@@ -1,0 +1,104 @@
+// The benchmark harness: one testing.B per table and figure of the
+// paper's evaluation section, plus the ablation benches DESIGN.md
+// calls out. Each benchmark regenerates its artifact (memoized per
+// process — experiments share characterizations and application
+// runs) and prints the reproduced table/figure once, so that
+//
+//	go test -bench=. -benchmem ./...
+//
+// emits the full reproduction. Wall-clock metrics of the *simulated*
+// runs are attached as custom benchmark metrics where meaningful.
+package ioeval
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ioeval/internal/experiments"
+)
+
+var printedArtifacts sync.Map
+
+// report prints the artifact once per process and satisfies the
+// benchmark contract.
+func report(b *testing.B, a experiments.Artifact) {
+	b.Helper()
+	if _, dup := printedArtifacts.LoadOrStore(a.ID, true); !dup {
+		fmt.Printf("\n%s\n", a)
+	}
+	for i := 0; i < b.N; i++ {
+		// The artifact is memoized; iterations are free by design —
+		// these benchmarks are experiment generators, not microbenches.
+	}
+}
+
+// --- characterization figures ----------------------------------------
+
+func BenchmarkFig5_IOzoneAohyper(b *testing.B)   { report(b, experiments.Fig5()) }
+func BenchmarkFig6_IORAohyper(b *testing.B)      { report(b, experiments.Fig6()) }
+func BenchmarkFig13_IOzoneClusterA(b *testing.B) { report(b, experiments.Fig13()) }
+func BenchmarkFig14_IORClusterA(b *testing.B)    { report(b, experiments.Fig14()) }
+
+// --- NAS BT-IO ---------------------------------------------------------
+
+func BenchmarkTable2_BTIOCharacterization16(b *testing.B) { report(b, experiments.Table2()) }
+func BenchmarkTable5_BTIOCharacterization64(b *testing.B) { report(b, experiments.Table5()) }
+func BenchmarkFig8_BTIOTimeline(b *testing.B)             { report(b, experiments.Fig8()) }
+
+func BenchmarkTable3and4_BTIOUsedPercentAohyper(b *testing.B) {
+	report(b, experiments.Table3())
+	report(b, experiments.Table4())
+}
+
+func BenchmarkFig12_BTIOAohyper(b *testing.B) {
+	rows := experiments.Fig12Data()
+	for _, r := range rows {
+		if r.Subtype == "FULL" && r.Label == "RAID5" {
+			b.ReportMetric(r.ExecSec, "sim-exec-s")
+			b.ReportMetric(r.IOSec, "sim-io-s")
+		}
+	}
+	report(b, experiments.Fig12())
+}
+
+func BenchmarkTable6and7_BTIOUsedPercentClusterA(b *testing.B) {
+	report(b, experiments.Table6())
+	report(b, experiments.Table7())
+}
+
+func BenchmarkFig15_BTIOClusterA(b *testing.B) { report(b, experiments.Fig15()) }
+
+// --- MADbench2 ---------------------------------------------------------
+
+func BenchmarkTable8_MadBenchCharacterization(b *testing.B) { report(b, experiments.Table8()) }
+func BenchmarkFig16_MadBenchTimeline(b *testing.B)          { report(b, experiments.Fig16()) }
+
+func BenchmarkFig17_MadBenchAohyper(b *testing.B) { report(b, experiments.Fig17()) }
+
+func BenchmarkTable9_MadBenchUsedPercentAohyper(b *testing.B) { report(b, experiments.Table9()) }
+
+func BenchmarkFig18_MadBenchClusterA(b *testing.B) { report(b, experiments.Fig18()) }
+
+func BenchmarkTable10and11_MadBenchUsedPercentClusterA(b *testing.B) {
+	report(b, experiments.Table10())
+	report(b, experiments.Table11())
+}
+
+// --- ablations (design-choice sensitivity) -----------------------------
+
+func BenchmarkAblationCollectiveBuffering(b *testing.B) {
+	report(b, experiments.AblationCollectiveBuffering())
+}
+func BenchmarkAblationSharedNetwork(b *testing.B) { report(b, experiments.AblationSharedNetwork()) }
+func BenchmarkAblationCachePolicy(b *testing.B)   { report(b, experiments.AblationCachePolicy()) }
+func BenchmarkAblationStripeUnit(b *testing.B)    { report(b, experiments.AblationStripeUnit()) }
+func BenchmarkAblationNFSTransferSize(b *testing.B) {
+	report(b, experiments.AblationNFSTransferSize())
+}
+func BenchmarkAblationAggregators(b *testing.B) { report(b, experiments.AblationAggregators()) }
+func BenchmarkAblationIONodes(b *testing.B)     { report(b, experiments.AblationIONodes()) }
+func BenchmarkAblationDegradedRAID5(b *testing.B) {
+	report(b, experiments.AblationDegradedRAID5())
+}
+func BenchmarkAblationSyncExport(b *testing.B) { report(b, experiments.AblationSyncExport()) }

@@ -1,0 +1,65 @@
+// Command beffio runs the b_eff_io-like effective-bandwidth benchmark
+// (the paper's second option for library-level characterization):
+// three access-pattern families across transfer sizes, reduced to one
+// effective bandwidth number.
+//
+// Usage:
+//
+//	beffio [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
+//	       [-procs 8] [-bytes 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/stats"
+)
+
+func main() {
+	platform := flag.String("platform", "aohyper", "cluster: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization")
+	procs := flag.Int("procs", 8, "processes")
+	bytesMB := flag.Int64("bytes", 64, "MiB per rank per measurement")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	if *platform == "clusterA" {
+		c = cluster.ClusterA()
+	} else {
+		switch *orgName {
+		case "jbod":
+			c = cluster.Aohyper(cluster.JBOD)
+		case "raid1":
+			c = cluster.Aohyper(cluster.RAID1)
+		case "raid5":
+			c = cluster.Aohyper(cluster.RAID5)
+		default:
+			fmt.Fprintf(os.Stderr, "beffio: unknown organization %q\n", *orgName)
+			os.Exit(1)
+		}
+	}
+
+	sum, err := bench.RunBeffIO(c, bench.BeffIOConfig{
+		Procs:        *procs,
+		BytesPerRank: *bytesMB << 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beffio:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("b_eff_io-like run — %s, %d procs, %d MiB/rank per pattern\n\n",
+		c.Cfg.Name, *procs, *bytesMB)
+	var tb stats.Table
+	tb.AddRow("pattern", "transfer", "write", "read")
+	for _, r := range sum.Results {
+		tb.AddRow(r.Pattern.String(), stats.IBytes(r.TransferSize),
+			stats.MBs(r.WriteRate), stats.MBs(r.ReadRate))
+	}
+	fmt.Println(tb.String())
+	fmt.Printf("b_eff_io = %s\n", stats.MBs(sum.BeffIO))
+}

@@ -1,0 +1,94 @@
+// Command btio runs the NAS BT-IO benchmark on a simulated cluster
+// and reports the paper's measurements: execution time, I/O time,
+// throughput, and the traced application characterization.
+//
+// Usage:
+//
+//	btio [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
+//	     [-class A|B|C] [-procs 16] [-subtype full|simple] [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/stats"
+	"ioeval/internal/trace"
+	"ioeval/internal/workload/btio"
+)
+
+func main() {
+	platform := flag.String("platform", "aohyper", "cluster: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization")
+	className := flag.String("class", "C", "NPB class: A, B or C")
+	procs := flag.Int("procs", 16, "MPI processes (square)")
+	subtype := flag.String("subtype", "full", "I/O subtype: full or simple")
+	timeline := flag.Bool("timeline", false, "render the Jumpshot-style trace timeline")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	if *platform == "clusterA" {
+		c = cluster.ClusterA()
+	} else {
+		switch *orgName {
+		case "jbod":
+			c = cluster.Aohyper(cluster.JBOD)
+		case "raid1":
+			c = cluster.Aohyper(cluster.RAID1)
+		case "raid5":
+			c = cluster.Aohyper(cluster.RAID5)
+		default:
+			fatal(fmt.Errorf("unknown organization %q", *orgName))
+		}
+	}
+
+	class := btio.ClassC
+	switch *className {
+	case "A":
+		class = btio.ClassA
+	case "B":
+		class = btio.ClassB
+	}
+	st := btio.Full
+	if *subtype == "simple" {
+		st = btio.Simple
+	}
+
+	app := btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1})
+	tr := trace.New()
+	fmt.Printf("running %s on %s ...\n\n", app.Name(), c.Cfg.Name)
+	res, err := app.Run(c, tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tb stats.Table
+	tb.AddRow("metric", "value")
+	tb.AddRow("execution time", res.ExecTime.String())
+	tb.AddRow("I/O time", res.IOTime.String())
+	tb.AddRow("write time", res.WriteTime.String())
+	tb.AddRow("read time", res.ReadTime.String())
+	tb.AddRow("throughput", stats.MBs(res.Throughput()))
+	fmt.Println(tb.String())
+
+	fmt.Println(core.FormatProfile(app.Name(), tr.Profile()))
+
+	fmt.Println("Signature (rank 0 phases and weights):")
+	for _, s := range tr.Signature(0) {
+		fmt.Printf("  %-5s %-10s ops=%-6d bytes=%s weight=%d\n",
+			s.Phase.Kind, s.Phase.Mode, s.Phase.Ops, stats.IBytes(s.Phase.Bytes), s.Weight)
+	}
+
+	if *timeline {
+		fmt.Println()
+		fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "btio:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command iomethod runs the paper's full three-phase methodology on a
+// simulated cluster: characterize the I/O system at every level of
+// the I/O path, analyze the configuration's factors, run an
+// application under the tracer and report the used-percentage tables.
+//
+// Usage:
+//
+//	iomethod [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
+//	         [-app btio|madbench] [-procs N] [-subtype full|simple]
+//	         [-filetype unique|shared] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/sim"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/flashio"
+	"ioeval/internal/workload/madbench"
+)
+
+func main() {
+	platform := flag.String("platform", "aohyper", "cluster to simulate: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization: jbod, raid1 or raid5")
+	appName := flag.String("app", "btio", "application: btio, madbench or flashio")
+	procs := flag.Int("procs", 16, "MPI processes (must be a square)")
+	subtype := flag.String("subtype", "full", "BT-IO subtype: full or simple")
+	filetype := flag.String("filetype", "shared", "MADbench2 filetype: unique or shared")
+	quick := flag.Bool("quick", false, "reduced characterization and class A BT-IO (fast demo)")
+	utilization := flag.Bool("utilization", false, "print the cluster utilization report after evaluation")
+	pfsNodes := flag.Int("pfs", 0, "deploy a PVFS-like parallel FS over N I/O nodes and run against it")
+	saveChar := flag.String("save-char", "", "write the characterization to this JSON file")
+	loadChar := flag.String("load-char", "", "reuse a characterization from this JSON file (skips phase 1 system side)")
+	flag.Parse()
+
+	org, err := parseOrg(*orgName)
+	if err != nil {
+		fatal(err)
+	}
+	build := func() *cluster.Cluster {
+		var cfg cluster.Config
+		if *platform == "clusterA" {
+			cfg = cluster.ClusterA().Cfg
+		} else {
+			cfg = cluster.Aohyper(org).Cfg
+		}
+		cfg.PFSIONodes = *pfsNodes
+		return cluster.New(cfg)
+	}
+	usePFS := *pfsNodes > 0
+
+	fmt.Println("== Phase 2 preview: I/O configuration analysis ==")
+	fmt.Println(core.AnalyzeConfiguration(build()))
+
+	fmt.Println("== Phase 1: characterization (system side) ==")
+	var ch *core.Characterization
+	if *loadChar != "" {
+		f, err := os.Open(*loadChar)
+		if err != nil {
+			fatal(err)
+		}
+		ch, err = core.ReadCharacterizationJSON(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(loaded characterization of %s from %s)\n", ch.Config, *loadChar)
+	} else {
+		cfg := core.DefaultCharacterizeConfig()
+		cfg.UsePFS = usePFS
+		if *quick {
+			cfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
+			cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
+			cfg.LocalFileSize = 512 << 20
+			cfg.GlobalFileSize = 512 << 20
+			cfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
+			cfg.LibFileSize = 256 << 20
+			cfg.LibProcs = 4
+		}
+		var err error
+		ch, err = core.Characterize(build, cfg)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *saveChar != "" {
+		f, err := os.Create(*saveChar)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ch.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("(characterization saved to %s)\n", *saveChar)
+	}
+	for _, level := range core.Levels() {
+		fmt.Println(core.FormatPerfTable(ch.Table(level)))
+	}
+
+	var app workload.App
+	switch *appName {
+	case "btio":
+		class := btio.ClassC
+		if *quick {
+			class = btio.ClassA
+		}
+		st := btio.Full
+		if *subtype == "simple" {
+			st = btio.Simple
+		}
+		app = btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1, UsePFS: usePFS})
+	case "madbench":
+		ft := madbench.Shared
+		if *filetype == "unique" {
+			ft = madbench.Unique
+		}
+		kpix := 18
+		if *quick {
+			kpix = 4
+		}
+		app = madbench.New(madbench.Config{Procs: *procs, KPix: kpix, FileType: ft, BusyWork: sim.Second})
+	case "flashio":
+		app = flashio.New(flashio.Config{Procs: *procs, Compute: 5 * sim.Second})
+	default:
+		fatal(fmt.Errorf("unknown app %q", *appName))
+	}
+
+	fmt.Printf("== Phase 1: characterization (application side) + Phase 3: evaluation ==\n")
+	fmt.Printf("running %s ...\n\n", app.Name())
+	evalCluster := build()
+	ev, err := core.Evaluate(evalCluster, app, ch)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	fmt.Println(core.FormatEvaluation(ev))
+	if *utilization {
+		fmt.Println(evalCluster.UtilizationReport())
+	}
+}
+
+func parseOrg(s string) (cluster.Organization, error) {
+	switch s {
+	case "jbod":
+		return cluster.JBOD, nil
+	case "raid1":
+		return cluster.RAID1, nil
+	case "raid5":
+		return cluster.RAID5, nil
+	}
+	return 0, fmt.Errorf("unknown organization %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iomethod:", err)
+	os.Exit(1)
+}

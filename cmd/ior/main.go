@@ -1,0 +1,65 @@
+// Command ior runs the IOR-like MPI-IO library-level sweep against a
+// simulated cluster's shared storage.
+//
+// Usage:
+//
+//	ior [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
+//	    [-procs 8] [-file 32768] [-xfer 256] [-collective]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/stats"
+)
+
+func main() {
+	platform := flag.String("platform", "aohyper", "cluster: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization")
+	procs := flag.Int("procs", 8, "processes")
+	fileMB := flag.Int64("file", 32768, "total file size in MiB (paper: 32 GiB)")
+	xferKB := flag.Int64("xfer", 256, "transfer size in KiB")
+	collective := flag.Bool("collective", false, "use collective (two-phase) I/O")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	if *platform == "clusterA" {
+		c = cluster.ClusterA()
+	} else {
+		switch *orgName {
+		case "jbod":
+			c = cluster.Aohyper(cluster.JBOD)
+		case "raid1":
+			c = cluster.Aohyper(cluster.RAID1)
+		case "raid5":
+			c = cluster.Aohyper(cluster.RAID5)
+		default:
+			fmt.Fprintf(os.Stderr, "ior: unknown organization %q\n", *orgName)
+			os.Exit(1)
+		}
+	}
+
+	results, err := bench.RunIOR(c, bench.IORConfig{
+		Procs:        *procs,
+		FileSize:     *fileMB << 20,
+		TransferSize: *xferKB << 10,
+		Collective:   *collective,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ior:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("IOR-like sweep — %s, %d procs, %d MiB file, %d KiB transfers, collective=%v\n\n",
+		c.Cfg.Name, *procs, *fileMB, *xferKB, *collective)
+	var tb stats.Table
+	tb.AddRow("block", "write", "read")
+	for _, r := range results {
+		tb.AddRow(stats.IBytes(r.BlockSize), stats.MBs(r.WriteRate), stats.MBs(r.ReadRate))
+	}
+	fmt.Println(tb.String())
+}

@@ -1,0 +1,97 @@
+// Command iozone runs the IOzone-like filesystem characterization
+// sweep against a simulated cluster, at either the I/O node's local
+// filesystem or a compute node's NFS mount.
+//
+// Usage:
+//
+//	iozone [-org jbod|raid1|raid5] [-target local|nfs]
+//	       [-file 4096] [-min 32] [-max 16384] [-modes seq,rand,stride]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/sim"
+	"ioeval/internal/stats"
+)
+
+func main() {
+	orgName := flag.String("org", "raid5", "device organization: jbod, raid1 or raid5")
+	target := flag.String("target", "local", "filesystem under test: local (I/O node) or nfs")
+	fileMB := flag.Int64("file", 4096, "file size in MiB (paper rule: 2x RAM)")
+	minKB := flag.Int64("min", 32, "smallest block size in KiB")
+	maxKB := flag.Int64("max", 16384, "largest block size in KiB")
+	modesArg := flag.String("modes", "seq", "comma list of: seq, rand, stride")
+	flag.Parse()
+
+	var org cluster.Organization
+	switch *orgName {
+	case "jbod":
+		org = cluster.JBOD
+	case "raid1":
+		org = cluster.RAID1
+	case "raid5":
+		org = cluster.RAID5
+	default:
+		fatal(fmt.Errorf("unknown organization %q", *orgName))
+	}
+	c := cluster.Aohyper(org)
+
+	var fsi fs.Interface = c.ServerFS
+	if *target == "nfs" {
+		fsi = c.Nodes[0].NFS
+	}
+
+	var modes []bench.Mode
+	for _, m := range strings.Split(*modesArg, ",") {
+		switch strings.TrimSpace(m) {
+		case "seq":
+			modes = append(modes, bench.SeqWrite, bench.SeqRead)
+		case "rand":
+			modes = append(modes, bench.RandWrite, bench.RandRead)
+		case "stride":
+			modes = append(modes, bench.StrideWrite, bench.StrideRead)
+		default:
+			fatal(fmt.Errorf("unknown mode %q", m))
+		}
+	}
+
+	var blockSizes []int64
+	for bs := *minKB << 10; bs <= *maxKB<<10; bs *= 2 {
+		blockSizes = append(blockSizes, bs)
+	}
+
+	results, err := bench.RunIOzone(c.Eng, fsi, bench.IOzoneConfig{
+		FileSize:   *fileMB << 20,
+		BlockSizes: blockSizes,
+		Modes:      modes,
+		RandomOps:  4096,
+		BetweenRuns: func(p *sim.Proc) {
+			c.IOCache.DropCaches(p)
+			c.Nodes[0].NFS.DropCaches(p)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("IOzone-like sweep — %s, %s target, file %d MiB\n\n", org, *target, *fileMB)
+	var tb stats.Table
+	tb.AddRow("mode", "block", "rate", "IOPS", "latency")
+	for _, r := range results {
+		tb.AddRow(r.Mode.String(), stats.IBytes(r.BlockSize), stats.MBs(r.Rate),
+			fmt.Sprintf("%.0f", r.IOPS), r.Latency.String())
+	}
+	fmt.Println(tb.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iozone:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command madbench runs the MADbench2 benchmark on a simulated
+// cluster and reports per-function times and transfer rates (S_w,
+// W_w, W_r, C_r), like the real benchmark does.
+//
+// Usage:
+//
+//	madbench [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
+//	         [-procs 16] [-kpix 18] [-bins 8] [-filetype unique|shared]
+//	         [-timeline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/sim"
+	"ioeval/internal/stats"
+	"ioeval/internal/trace"
+	"ioeval/internal/workload/madbench"
+)
+
+func main() {
+	platform := flag.String("platform", "aohyper", "cluster: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization")
+	procs := flag.Int("procs", 16, "MPI processes (square)")
+	kpix := flag.Int("kpix", 18, "KPIX (pixels = KPIX x 1024)")
+	bins := flag.Int("bins", 8, "component matrices")
+	filetype := flag.String("filetype", "shared", "unique or shared")
+	timeline := flag.Bool("timeline", false, "render the trace timeline")
+	flag.Parse()
+
+	var c *cluster.Cluster
+	if *platform == "clusterA" {
+		c = cluster.ClusterA()
+	} else {
+		switch *orgName {
+		case "jbod":
+			c = cluster.Aohyper(cluster.JBOD)
+		case "raid1":
+			c = cluster.Aohyper(cluster.RAID1)
+		case "raid5":
+			c = cluster.Aohyper(cluster.RAID5)
+		default:
+			fmt.Fprintf(os.Stderr, "madbench: unknown organization %q\n", *orgName)
+			os.Exit(1)
+		}
+	}
+
+	ft := madbench.Shared
+	if *filetype == "unique" {
+		ft = madbench.Unique
+	}
+	app := madbench.New(madbench.Config{
+		Procs: *procs, KPix: *kpix, Bins: *bins, FileType: ft, BusyWork: sim.Second,
+	})
+	tr := trace.New()
+	fmt.Printf("running %s on %s (slice %s per op) ...\n\n",
+		app.Name(), c.Cfg.Name, stats.IBytes(app.SliceBytes()))
+	res, err := app.Run(c, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madbench:", err)
+		os.Exit(1)
+	}
+
+	var tb stats.Table
+	tb.AddRow("metric", "value")
+	tb.AddRow("execution time", res.ExecTime.String())
+	tb.AddRow("I/O time", res.IOTime.String())
+	for _, k := range []string{"S_w", "W_r", "W_w", "C_r"} {
+		tb.AddRow(k+" rate", stats.MBs(res.PhaseRates[k]))
+	}
+	fmt.Println(tb.String())
+
+	if *timeline {
+		fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
+	}
+}

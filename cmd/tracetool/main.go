@@ -1,0 +1,148 @@
+// Command tracetool captures and analyzes application I/O traces —
+// the workflow of the paper's PAS2P tracing extension. It can run a
+// workload on a simulated cluster and dump the trace as JSON lines,
+// or load a previously captured trace and report the application
+// characterization, the detected phases with weights (the signature)
+// and the Jumpshot-style timeline.
+//
+// Capture:
+//
+//	tracetool -capture btio -procs 16 -out btio.trace
+//	tracetool -capture madbench -procs 16 -out mad.trace
+//
+// Analyze:
+//
+//	tracetool -in btio.trace -profile -signature -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/sim"
+	"ioeval/internal/stats"
+	"ioeval/internal/trace"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/madbench"
+)
+
+func main() {
+	capture := flag.String("capture", "", "workload to capture: btio or madbench (empty = analyze)")
+	procs := flag.Int("procs", 16, "processes for capture")
+	subtype := flag.String("subtype", "full", "BT-IO subtype for capture")
+	out := flag.String("out", "", "output trace file for capture")
+	in := flag.String("in", "", "input trace file for analysis")
+	profile := flag.Bool("profile", true, "print the application characterization")
+	signature := flag.Bool("signature", false, "print the phase signature per rank 0")
+	timeline := flag.Bool("timeline", false, "print the timeline")
+	csvOut := flag.String("csv", "", "export raw events as CSV to this file")
+	phasesCSV := flag.String("phases-csv", "", "export detected phases as CSV to this file")
+	quick := flag.Bool("quick", true, "reduced problem sizes for capture")
+	flag.Parse()
+
+	switch {
+	case *capture != "":
+		if *out == "" {
+			fatal(fmt.Errorf("-capture needs -out"))
+		}
+		tr := trace.New()
+		var app workload.App
+		switch *capture {
+		case "btio":
+			class := btio.ClassC
+			if *quick {
+				class = btio.ClassA
+			}
+			st := btio.Full
+			if *subtype == "simple" {
+				st = btio.Simple
+			}
+			app = btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1})
+		case "madbench":
+			kpix := 18
+			if *quick {
+				kpix = 4
+			}
+			app = madbench.New(madbench.Config{Procs: *procs, KPix: kpix, FileType: madbench.Shared, BusyWork: sim.Second})
+		default:
+			fatal(fmt.Errorf("unknown workload %q", *capture))
+		}
+		c := cluster.Aohyper(cluster.RAID5)
+		fmt.Fprintf(os.Stderr, "capturing %s ...\n", app.Name())
+		if _, err := app.Run(c, tr); err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(tr.Events()), *out)
+
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tr, err := trace.ReadJSON(f)
+		if err != nil {
+			fatal(err)
+		}
+		if *profile {
+			fmt.Println(core.FormatProfile(*in, tr.Profile()))
+		}
+		if *signature {
+			fmt.Println("Signature (rank 0):")
+			for _, s := range tr.Signature(0) {
+				fmt.Printf("  %-5s %-10s ops=%-8d bytes=%-10s rate=%-12s weight=%d\n",
+					s.Phase.Kind, s.Phase.Mode, s.Phase.Ops,
+					stats.IBytes(s.Phase.Bytes), stats.MBs(s.Phase.TransferRate()), s.Weight)
+			}
+			fmt.Println()
+		}
+		if *timeline {
+			fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
+		}
+		if *csvOut != "" {
+			if err := writeFile(*csvOut, tr.WriteCSV); err != nil {
+				fatal(err)
+			}
+		}
+		if *phasesCSV != "" {
+			ranks := tr.Profile().NumProcs
+			if err := writeFile(*phasesCSV, func(w io.Writer) error { return tr.PhaseCSV(w, ranks) }); err != nil {
+				fatal(err)
+			}
+		}
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracetool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// custom-app shows the extension point downstream users care about:
+// evaluating *your own* application's I/O behaviour with the
+// methodology. It defines a checkpoint/restart workload — every rank
+// periodically dumps its state with independent large writes, then a
+// restart phase reads the latest checkpoint back — and runs the full
+// characterize/evaluate flow on it.
+//
+// Run with: go run ./examples/custom-app
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/workload"
+)
+
+// checkpointer is a user-defined workload.App: compute for a while,
+// dump rank state, repeat; finally restart-read the last checkpoint.
+type checkpointer struct {
+	procs     int
+	stateSize int64 // per-rank checkpoint bytes
+	rounds    int
+	compute   sim.Duration
+}
+
+func (a *checkpointer) Name() string {
+	return fmt.Sprintf("checkpointer (%d procs, %d rounds)", a.procs, a.rounds)
+}
+
+func (a *checkpointer) Procs() int { return a.procs }
+
+func (a *checkpointer) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
+	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(a.procs))
+	w.SetTracer(tr)
+	f := mpiio.OpenFile(w, "/checkpoint.dat", fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
+		c.NFSMounts(a.procs), mpiio.DefaultHints())
+
+	writeTimes := make([]sim.Duration, a.procs)
+	readTimes := make([]sim.Duration, a.procs)
+	var openErr error
+	for rank := 0; rank < a.procs; rank++ {
+		rank := rank
+		c.Eng.Spawn(fmt.Sprintf("ckpt-r%d", rank), func(p *sim.Proc) {
+			if err := f.Open(p, rank); err != nil {
+				openErr = err
+				return
+			}
+			off := int64(rank) * a.stateSize
+			for round := 0; round < a.rounds; round++ {
+				w.Compute(p, rank, a.compute)
+				t0 := p.Now()
+				// Collective checkpoint write: all ranks dump together.
+				f.WriteAtAll(p, rank, off, a.stateSize)
+				writeTimes[rank] += sim.Duration(p.Now() - t0)
+				w.Barrier(p, rank)
+			}
+			// Restart: read the checkpoint back.
+			t0 := p.Now()
+			f.ReadAtAll(p, rank, off, a.stateSize)
+			readTimes[rank] += sim.Duration(p.Now() - t0)
+			f.Close(p, rank)
+		})
+	}
+	end := c.Eng.Run()
+	if openErr != nil {
+		return workload.Result{}, openErr
+	}
+	res := workload.Result{ExecTime: sim.Duration(end)}
+	for r := 0; r < a.procs; r++ {
+		if writeTimes[r] > res.WriteTime {
+			res.WriteTime = writeTimes[r]
+		}
+		if readTimes[r] > res.ReadTime {
+			res.ReadTime = readTimes[r]
+		}
+		if t := writeTimes[r] + readTimes[r]; t > res.IOTime {
+			res.IOTime = t
+		}
+	}
+	res.BytesWritten = int64(a.rounds) * a.stateSize * int64(a.procs)
+	res.BytesRead = a.stateSize * int64(a.procs)
+	return res, nil
+}
+
+func main() {
+	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
+	ch, err := core.Characterize(build, core.CharacterizeConfig{
+		FSBlockSizes:   []int64{1 << 20, 16 << 20},
+		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
+		LocalFileSize:  512 << 20,
+		GlobalFileSize: 512 << 20,
+		LibProcs:       4,
+		LibBlockSizes:  []int64{16 << 20},
+		LibFileSize:    256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app := &checkpointer{procs: 8, stateSize: 64 << 20, rounds: 10, compute: 5 * sim.Second}
+	ev, err := core.Evaluate(build(), app, ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	fmt.Println(core.FormatEvaluation(ev))
+	fmt.Println(`If the checkpoint used-percentage at the library level is near 100,
+the I/O system is the limit and the fix is architectural (faster
+storage path, more I/O nodes); if it is low, the fix is in the
+application's access pattern — exactly the decision the methodology
+is designed to support.`)
+}

@@ -1,0 +1,57 @@
+// Quickstart: the methodology in ~60 lines.
+//
+//  1. Build a simulated cluster (the paper's Aohyper, RAID 5).
+//  2. Characterize its I/O path (reduced sweep for speed).
+//  3. Run an application (NAS BT-IO class A) under the tracer.
+//  4. Print the evaluation: where on the I/O path the application
+//     sits, and how much of each level's capacity it obtains.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/workload/btio"
+)
+
+func main() {
+	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
+
+	// Phase 1 (system): characterize each I/O-path level with a
+	// reduced IOzone/IOR sweep.
+	cfg := core.CharacterizeConfig{
+		FSBlockSizes:   []int64{64 << 10, 1 << 20, 4 << 20},
+		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
+		LocalFileSize:  512 << 20,
+		GlobalFileSize: 512 << 20,
+		LibProcs:       4,
+		LibBlockSizes:  []int64{4 << 20, 32 << 20},
+		LibFileSize:    256 << 20,
+	}
+	ch, err := core.Characterize(build, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, level := range core.Levels() {
+		fmt.Println(core.FormatPerfTable(ch.Table(level)))
+	}
+
+	// Phase 2: what is configurable on this cluster?
+	fmt.Println("Configurable factors:")
+	fmt.Println(core.AnalyzeConfiguration(build()))
+
+	// Phases 1 (application) + 3: run NAS BT-IO and evaluate it
+	// against the characterized tables.
+	app := btio.New(btio.Config{Class: btio.ClassA, Procs: 4, Subtype: btio.Full, ComputeScale: 1})
+	ev, err := core.Evaluate(build(), app, ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	fmt.Println(core.FormatEvaluation(ev))
+}

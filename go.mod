@@ -1,0 +1,3 @@
+module ioeval
+
+go 1.22

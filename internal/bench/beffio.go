@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+)
+
+// b_eff_io (Rabenseifner & Koniges), the paper's second option for
+// library-level characterization: measure the effective parallel I/O
+// bandwidth across several access patterns and transfer sizes, and
+// reduce them to one number.
+
+// BeffPattern is one of the benchmark's access patterns.
+type BeffPattern int
+
+// The three patterns implemented (b_eff_io's main families).
+const (
+	// BeffScatter: one shared file, ranks write interleaved chunks
+	// (strided pattern, pattern type 0).
+	BeffScatter BeffPattern = iota
+	// BeffSegmented: one shared file, each rank owns one contiguous
+	// segment (pattern type 2).
+	BeffSegmented
+	// BeffSeparate: one file per process (pattern type 4).
+	BeffSeparate
+)
+
+func (p BeffPattern) String() string {
+	switch p {
+	case BeffScatter:
+		return "scatter"
+	case BeffSegmented:
+		return "segmented"
+	case BeffSeparate:
+		return "separate"
+	}
+	return fmt.Sprintf("BeffPattern(%d)", int(p))
+}
+
+// BeffIOConfig parameterizes the run.
+type BeffIOConfig struct {
+	Procs         int
+	TransferSizes []int64 // per-op sizes (default 32 KiB and 1 MiB)
+	// BytesPerRank per (pattern, size) measurement.
+	BytesPerRank int64
+	Patterns     []BeffPattern
+}
+
+// BeffIOResult is one measurement.
+type BeffIOResult struct {
+	Pattern      BeffPattern
+	TransferSize int64
+	WriteRate    float64 // aggregate bytes/second
+	ReadRate     float64
+}
+
+// BeffIOSummary is the benchmark's output: the individual pattern
+// results and the summary bandwidth b_eff_io (the average over
+// patterns and sizes, as the original reduces its measurements).
+type BeffIOSummary struct {
+	Results []BeffIOResult
+	BeffIO  float64 // bytes/second
+}
+
+// RunBeffIO measures effective parallel I/O bandwidth on the
+// cluster's shared storage through the MPI-IO layer.
+func RunBeffIO(c *cluster.Cluster, cfg BeffIOConfig) (BeffIOSummary, error) {
+	if cfg.Procs <= 0 {
+		panic("bench: b_eff_io needs processes")
+	}
+	if len(cfg.TransferSizes) == 0 {
+		cfg.TransferSizes = []int64{32 << 10, 1 << 20}
+	}
+	if cfg.BytesPerRank == 0 {
+		cfg.BytesPerRank = 64 << 20
+	}
+	if len(cfg.Patterns) == 0 {
+		cfg.Patterns = []BeffPattern{BeffScatter, BeffSegmented, BeffSeparate}
+	}
+
+	var sum BeffIOSummary
+	for _, pattern := range cfg.Patterns {
+		for _, ts := range cfg.TransferSizes {
+			res, err := beffOnce(c, cfg, pattern, ts)
+			if err != nil {
+				return BeffIOSummary{}, err
+			}
+			sum.Results = append(sum.Results, res)
+		}
+	}
+	// Reduce: arithmetic mean of the per-measurement mean of write
+	// and read rates.
+	var acc float64
+	for _, r := range sum.Results {
+		acc += (r.WriteRate + r.ReadRate) / 2
+	}
+	if len(sum.Results) > 0 {
+		sum.BeffIO = acc / float64(len(sum.Results))
+	}
+	return sum, nil
+}
+
+func beffOnce(c *cluster.Cluster, cfg BeffIOConfig, pattern BeffPattern, ts int64) (BeffIOResult, error) {
+	np := cfg.Procs
+	perRank := cfg.BytesPerRank / ts * ts // whole ops only
+	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+
+	path := func(rank int) string {
+		if pattern == BeffSeparate {
+			return fmt.Sprintf("/beff-%v-%d.%04d", pattern, ts, rank)
+		}
+		return fmt.Sprintf("/beff-%v-%d", pattern, ts)
+	}
+	vecsFor := func(rank int) []fs.IOVec {
+		n := perRank / ts
+		vecs := make([]fs.IOVec, 0, n)
+		for i := int64(0); i < n; i++ {
+			var off int64
+			switch pattern {
+			case BeffScatter:
+				off = (i*int64(np) + int64(rank)) * ts
+			case BeffSegmented:
+				off = int64(rank)*perRank + i*ts
+			case BeffSeparate:
+				off = i * ts
+			}
+			vecs = append(vecs, fs.IOVec{Off: off, Len: ts})
+		}
+		return vecs
+	}
+
+	// Separate files need per-rank worlds (communicator-of-self), like
+	// MADbench2 UNIQUE; shared patterns use the common world.
+	files := make([]*mpiio.File, np)
+	mounts := c.NFSMounts(np)
+	if pattern != BeffSeparate {
+		shared := mpiio.OpenFile(w, path(0), fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
+			mounts, mpiio.Hints{})
+		for r := range files {
+			files[r] = shared
+		}
+	}
+
+	var errs []error
+	start := c.Eng.Now() // measurements run back to back on one engine
+	var writeEnd, readEnd, readStart sim.Time
+	barrier := sim.NewCompletion(c.Eng, np)
+	var wrote, read int64
+	for rank := 0; rank < np; rank++ {
+		rank := rank
+		c.Eng.Spawn(fmt.Sprintf("beff-r%d", rank), func(p *sim.Proc) {
+			f := files[rank]
+			fRank := rank
+			if f == nil {
+				sub := mpiio.NewWorld(c.Eng, c.CommNet, []string{w.Node(rank)})
+				f = mpiio.OpenFile(sub, path(rank), fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
+					[]fs.Interface{mounts[rank]}, mpiio.Hints{})
+				fRank = 0
+			}
+			if err := f.Open(p, fRank); err != nil {
+				errs = append(errs, err)
+				barrier.Done()
+				return
+			}
+			vecs := vecsFor(rank)
+			wrote += f.WriteVec(p, fRank, vecs)
+			if p.Now() > writeEnd {
+				writeEnd = p.Now()
+			}
+			barrier.Done()
+			barrier.WaitFor(p)
+			if readStart == 0 {
+				readStart = p.Now()
+			}
+			read += f.ReadVec(p, fRank, vecs)
+			if p.Now() > readEnd {
+				readEnd = p.Now()
+			}
+			f.Close(p, fRank)
+		})
+	}
+	c.Eng.Run()
+	if len(errs) > 0 {
+		return BeffIOResult{}, errs[0]
+	}
+	want := perRank * int64(np)
+	if wrote != want || read != want {
+		return BeffIOResult{}, fmt.Errorf("b_eff_io %v/%d: moved %d/%d, want %d", pattern, ts, wrote, read, want)
+	}
+	res := BeffIOResult{Pattern: pattern, TransferSize: ts}
+	if d := sim.Duration(writeEnd - start).Seconds(); d > 0 {
+		res.WriteRate = float64(wrote) / d
+	}
+	if d := sim.Duration(readEnd - readStart).Seconds(); d > 0 {
+		res.ReadRate = float64(read) / d
+	}
+	if math.IsNaN(res.WriteRate) || math.IsNaN(res.ReadRate) {
+		return BeffIOResult{}, fmt.Errorf("b_eff_io %v/%d: degenerate rates", pattern, ts)
+	}
+	return res, nil
+}

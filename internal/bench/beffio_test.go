@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"ioeval/internal/cluster"
+)
+
+func TestBeffIO(t *testing.T) {
+	c := cluster.Aohyper(cluster.RAID5)
+	sum, err := RunBeffIO(c, BeffIOConfig{
+		Procs:         4,
+		TransferSizes: []int64{32 * kb, mb},
+		BytesPerRank:  16 * mb,
+	})
+	if err != nil {
+		t.Fatalf("b_eff_io: %v", err)
+	}
+	if len(sum.Results) != 6 { // 3 patterns × 2 sizes
+		t.Fatalf("results = %d, want 6", len(sum.Results))
+	}
+	byKey := map[string]BeffIOResult{}
+	for _, r := range sum.Results {
+		if r.WriteRate <= 0 || r.ReadRate <= 0 {
+			t.Fatalf("degenerate result: %+v", r)
+		}
+		// Buffered patterns (separate files) may run at client
+		// memory-copy speed: the cap is procs × MemRate, not the wire.
+		if r.WriteRate > 4*2.6e9 || r.ReadRate > 4*2.6e9 {
+			t.Fatalf("rate out of physical range: %+v", r)
+		}
+		byKey[r.Pattern.String()+string(rune('0'+r.TransferSize>>20))] = r
+	}
+	if sum.BeffIO <= 0 {
+		t.Fatalf("b_eff_io summary = %f", sum.BeffIO)
+	}
+	// Large transfers must not be slower than small ones for the
+	// scatter (strided, per-op-cost-bound) pattern.
+	var small, large float64
+	for _, r := range sum.Results {
+		if r.Pattern == BeffScatter {
+			if r.TransferSize == 32*kb {
+				small = r.WriteRate
+			} else {
+				large = r.WriteRate
+			}
+		}
+	}
+	if large < small*0.8 {
+		t.Fatalf("scatter writes fell with transfer size: %.1f -> %.1f MB/s", small/1e6, large/1e6)
+	}
+}
+
+func TestBeffIOSeparateFilesNoLocks(t *testing.T) {
+	// Separate-file pattern uses per-rank communicators: no byte-range
+	// locking, so it must not be slower than the scatter pattern at
+	// small transfers.
+	c := cluster.Aohyper(cluster.RAID5)
+	sum, err := RunBeffIO(c, BeffIOConfig{
+		Procs:         4,
+		TransferSizes: []int64{32 * kb},
+		BytesPerRank:  8 * mb,
+	})
+	if err != nil {
+		t.Fatalf("b_eff_io: %v", err)
+	}
+	var scatter, separate float64
+	for _, r := range sum.Results {
+		switch r.Pattern {
+		case BeffScatter:
+			scatter = r.WriteRate
+		case BeffSeparate:
+			separate = r.WriteRate
+		}
+	}
+	if separate < scatter {
+		t.Fatalf("separate files (%.1f MB/s) slower than locked scatter (%.1f MB/s)",
+			separate/1e6, scatter/1e6)
+	}
+}

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+)
+
+// IORConfig parameterizes the library-level characterization (the
+// paper: 8 processes, block sizes 1 MB – 1024 MB per process,
+// 256 KB transfer size, a fixed 32 GB file on the shared NFS
+// storage). The file size is constant across the block-size sweep —
+// IOR's segment count adjusts — so every point stresses the system
+// identically (total bytes moved = FileSize for each point).
+type IORConfig struct {
+	Path         string
+	Procs        int
+	FileSize     int64   // total shared file size (0 = 32 GiB)
+	BlockSizes   []int64 // per-process contiguous block, swept
+	TransferSize int64   // bytes per library call
+	// Collective uses MPI_File_write_at_all (two-phase); the paper's
+	// IOR runs use independent I/O.
+	Collective bool
+	// UsePFS runs against the cluster's parallel filesystem instead
+	// of NFS.
+	UsePFS bool
+	// BetweenRuns drops caches (see IOzoneConfig).
+	BetweenRuns func(p *sim.Proc)
+}
+
+// DefaultIORBlockSizes is the paper's 1 MB … 1024 MB sweep.
+func DefaultIORBlockSizes() []int64 {
+	var out []int64
+	for bs := int64(1 << 20); bs <= 1<<30; bs *= 4 {
+		out = append(out, bs)
+	}
+	return out
+}
+
+// IORResult is one sweep point.
+type IORResult struct {
+	BlockSize int64
+	WriteRate float64 // aggregate bytes/second
+	ReadRate  float64
+}
+
+// RunIOR measures MPI-IO library-level rates on the cluster's shared
+// storage: every rank writes then reads its own BlockSize segment of
+// one shared file in TransferSize operations.
+func RunIOR(c *cluster.Cluster, cfg IORConfig) ([]IORResult, error) {
+	if cfg.Path == "" {
+		cfg.Path = "/ior.tmp"
+	}
+	if cfg.Procs <= 0 {
+		panic("bench: IOR needs processes")
+	}
+	if cfg.TransferSize <= 0 {
+		cfg.TransferSize = 256 << 10
+	}
+	if cfg.FileSize <= 0 {
+		cfg.FileSize = 32 << 30
+	}
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = DefaultIORBlockSizes()
+	}
+
+	var results []IORResult
+	for _, bs := range cfg.BlockSizes {
+		res, err := iorOnce(c, cfg, bs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func iorOnce(c *cluster.Cluster, cfg IORConfig, bs int64) (IORResult, error) {
+	np := cfg.Procs
+	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	hints := mpiio.Hints{CollectiveBuffering: cfg.Collective}
+	mounts := c.NFSMounts(np)
+	if cfg.UsePFS {
+		mounts = c.PFSMounts(np)
+	}
+	f := mpiio.OpenFile(w, cfg.Path, fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
+		mounts, hints)
+
+	var errs []error
+	var writeEnd, readEnd sim.Time
+	var start, readStart sim.Time
+	var wrote, read int64
+	done := sim.NewCompletion(c.Eng, np)
+	barrier := sim.NewCompletion(c.Eng, np) // between write and read pass
+
+	for rank := 0; rank < np; rank++ {
+		rank := rank
+		c.Eng.Spawn(fmt.Sprintf("ior-r%d", rank), func(p *sim.Proc) {
+			defer done.Done()
+			if cfg.BetweenRuns != nil && rank == 0 {
+				cfg.BetweenRuns(p)
+			}
+			if err := f.Open(p, rank); err != nil {
+				errs = append(errs, err)
+				barrier.Done()
+				return
+			}
+			// IOR segment layout: the file is segments × (np × block);
+			// rank r owns block r of every segment and issues it in
+			// TransferSize operations.
+			segments := cfg.FileSize / (int64(np) * bs)
+			if segments < 1 {
+				segments = 1
+			}
+			vecs := make([]fs.IOVec, 0, segments*bs/cfg.TransferSize)
+			for seg := int64(0); seg < segments; seg++ {
+				base := (seg*int64(np) + int64(rank)) * bs
+				for off := int64(0); off < bs; off += cfg.TransferSize {
+					vecs = append(vecs, fs.IOVec{Off: base + off, Len: min64(cfg.TransferSize, bs-off)})
+				}
+			}
+			if rank == 0 {
+				start = p.Now()
+			}
+			if cfg.Collective {
+				wrote += f.WriteVecAll(p, rank, vecs)
+			} else {
+				wrote += f.WriteVec(p, rank, vecs)
+			}
+			if p.Now() > writeEnd {
+				writeEnd = p.Now()
+			}
+			barrier.Done()
+			barrier.WaitFor(p)
+			if readStart == 0 {
+				readStart = p.Now()
+			}
+			if cfg.Collective {
+				read += f.ReadVecAll(p, rank, vecs)
+			} else {
+				read += f.ReadVec(p, rank, vecs)
+			}
+			if p.Now() > readEnd {
+				readEnd = p.Now()
+			}
+			f.Close(p, rank)
+		})
+	}
+	c.Eng.Run()
+	if len(errs) > 0 {
+		return IORResult{}, errs[0]
+	}
+	segments := cfg.FileSize / (int64(np) * bs)
+	if segments < 1 {
+		segments = 1
+	}
+	if want := segments * bs * int64(np); wrote != want || read != want {
+		return IORResult{}, fmt.Errorf("ior: moved %d written / %d read bytes, want %d", wrote, read, want)
+	}
+	res := IORResult{BlockSize: bs}
+	if d := sim.Duration(writeEnd - start).Seconds(); d > 0 {
+		res.WriteRate = float64(wrote) / d
+	}
+	if d := sim.Duration(readEnd - readStart).Seconds(); d > 0 {
+		res.ReadRate = float64(read) / d
+	}
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package cache
+
+import (
+	"sort"
+
+	"ioeval/internal/device"
+	"ioeval/internal/sim"
+)
+
+var _ device.RunDev = (*Cache)(nil)
+
+// ReadRuns implements device.RunDev: it services many extents with
+// page-granular hit/miss logic but charges only one memory-copy sleep
+// and issues merged device reads for the missing pages. This keeps
+// the event count proportional to the number of *distinct missing
+// page runs*, not the number of application operations.
+func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
+	if len(runs) == 0 {
+		return
+	}
+	c.Stats.ReadOps += int64(len(runs))
+	ps := c.params.PageSize
+
+	// Stream detection for read-ahead: the batch continues the
+	// previous read and is itself contiguous and ascending.
+	streaming := runs[0].Off == c.lastReadEnd
+	for i := 1; i < len(runs); i++ {
+		if runs[i].Off != runs[i-1].Off+runs[i-1].Len {
+			streaming = false
+			break
+		}
+	}
+	lastRun := runs[len(runs)-1]
+	c.lastReadEnd = lastRun.Off + lastRun.Len
+
+	// Collect the missing page indices across all runs, counting hit
+	// and miss bytes per run against resident pages.
+	var missing []int64
+	var totalBytes int64
+	for _, r := range runs {
+		if r.Len == 0 {
+			continue
+		}
+		totalBytes += r.Len
+		first, last := c.pageRange(r.Off, r.Len)
+		allHit := true
+		for idx := first; idx < last; idx++ {
+			if pg, ok := c.pages[idx]; ok {
+				c.touch(pg)
+			} else {
+				missing = append(missing, idx)
+				allHit = false
+			}
+		}
+		if allHit {
+			c.Stats.HitBytes += r.Len
+		} else {
+			c.Stats.MissBytes += r.Len
+		}
+	}
+
+	if len(missing) > 0 {
+		sort.Slice(missing, func(i, j int) bool { return missing[i] < missing[j] })
+		// Dedup (two runs can touch the same page).
+		uniq := missing[:1]
+		for _, idx := range missing[1:] {
+			if idx != uniq[len(uniq)-1] {
+				uniq = append(uniq, idx)
+			}
+		}
+		// Insert as resident before the fetch (models page I/O locking),
+		// then fetch merged runs from the device.
+		var devRuns []device.Run
+		for _, idx := range uniq {
+			c.insert(p, idx, false)
+			off := idx * ps
+			n := ps
+			if off+n > c.under.Capacity() {
+				n = c.under.Capacity() - off
+			}
+			devRuns = append(devRuns, device.Run{Off: off, Len: n})
+		}
+		devRuns = device.MergeRuns(devRuns)
+		// Streaming batches extend the final fetch by the read-ahead
+		// window.
+		if streaming && c.params.ReadAhead > 0 && len(devRuns) > 0 {
+			lastDev := &devRuns[len(devRuns)-1]
+			if lastDev.Off+lastDev.Len >= lastRun.Off+lastRun.Len {
+				extend := c.params.ReadAhead
+				if lastDev.Off+lastDev.Len+extend > c.under.Capacity() {
+					extend = c.under.Capacity() - lastDev.Off - lastDev.Len
+				}
+				if extend > 0 {
+					first, last := c.pageRange(lastDev.Off+lastDev.Len, extend)
+					for idx := first; idx < last; idx++ {
+						c.insert(p, idx, false)
+					}
+					lastDev.Len += extend
+					c.Stats.ReadAheadBytes += extend
+				}
+			}
+		}
+		device.ReadRuns(p, c.under, devRuns)
+	}
+	c.memCopy(p, totalBytes)
+}
+
+// WriteRuns implements device.RunDev: pages covering all runs are
+// dirtied (or written through) with a single memory-copy charge and a
+// single throttle check.
+func (c *Cache) WriteRuns(p *sim.Proc, runs []device.Run) {
+	if len(runs) == 0 {
+		return
+	}
+	c.Stats.WriteOps += int64(len(runs))
+	var totalBytes int64
+	dirty := c.params.Policy == WriteBack
+	for _, r := range runs {
+		if r.Len == 0 {
+			continue
+		}
+		totalBytes += r.Len
+		first, last := c.pageRange(r.Off, r.Len)
+		for idx := first; idx < last; idx++ {
+			c.insert(p, idx, dirty)
+		}
+	}
+	c.memCopy(p, totalBytes)
+	if dirty {
+		c.throttle(p)
+		return
+	}
+	// Write-through: push the merged runs to the device.
+	sorted := append([]device.Run{}, runs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
+	device.WriteRuns(p, c.under, device.MergeRuns(sorted))
+}

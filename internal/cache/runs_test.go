@@ -1,0 +1,176 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ioeval/internal/device"
+	"ioeval/internal/sim"
+)
+
+func TestReadRunsHitMissAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	c, d := newStack(e, 256*mb)
+	run(e, func(p *sim.Proc) {
+		// Populate the first 8 MB, then read a vec half inside.
+		c.ReadAt(p, 0, 8*mb)
+		m0, h0 := c.Stats.MissBytes, c.Stats.HitBytes
+		c.ReadRuns(p, []device.Run{
+			{Off: 0, Len: 4 * mb},        // hit
+			{Off: 64 * mb, Len: 4 * mb},  // miss
+			{Off: 128 * mb, Len: 2 * mb}, // miss
+		})
+		if c.Stats.HitBytes-h0 != 4*mb {
+			t.Errorf("hit bytes = %d", c.Stats.HitBytes-h0)
+		}
+		if c.Stats.MissBytes-m0 != 6*mb {
+			t.Errorf("miss bytes = %d", c.Stats.MissBytes-m0)
+		}
+	})
+	if d.Stats.BytesRead < 14*mb {
+		t.Fatalf("device read %d", d.Stats.BytesRead)
+	}
+}
+
+func TestReadRunsMergesAdjacentMisses(t *testing.T) {
+	e := sim.NewEngine()
+	c, d := newStack(e, 256*mb)
+	run(e, func(p *sim.Proc) {
+		// 64 contiguous small runs: the device must see few large reads,
+		// not 64 small ones.
+		var runs []device.Run
+		for i := int64(0); i < 64; i++ {
+			runs = append(runs, device.Run{Off: i * 64 * kb, Len: 64 * kb})
+		}
+		c.ReadRuns(p, runs)
+	})
+	if d.Stats.Reads > 2 {
+		t.Fatalf("device ops = %d, want merged (≤2)", d.Stats.Reads)
+	}
+}
+
+func TestWriteRunsDirtiesAndThrottles(t *testing.T) {
+	e := sim.NewEngine()
+	c, d := newStack(e, 64*mb)
+	run(e, func(p *sim.Proc) {
+		var runs []device.Run
+		for i := int64(0); i < 512; i++ {
+			runs = append(runs, device.Run{Off: i * 64 * kb, Len: 64 * kb}) // 32 MB
+		}
+		c.WriteRuns(p, runs)
+	})
+	if c.Stats.WriteOps != 512 {
+		t.Fatalf("write ops = %d", c.Stats.WriteOps)
+	}
+	// 32 MB dirtied through a 64 MB cache (12.8 MB dirty limit): the
+	// throttle must have pushed data to the device.
+	if d.Stats.BytesWritten == 0 {
+		t.Fatal("no throttled write-back")
+	}
+}
+
+func TestWriteRunsWriteThrough(t *testing.T) {
+	e := sim.NewEngine()
+	d := device.NewDisk(e, device.DefaultSATA("d", 150*gb, 100e6))
+	params := DefaultParams("pc", 64*mb)
+	params.Policy = WriteThrough
+	c := New(e, params, d)
+	run(e, func(p *sim.Proc) {
+		c.WriteRuns(p, []device.Run{{Off: 0, Len: mb}, {Off: mb, Len: mb}})
+	})
+	if d.Stats.BytesWritten != 2*mb {
+		t.Fatalf("write-through device bytes = %d", d.Stats.BytesWritten)
+	}
+	if c.DirtyBytes() != 0 {
+		t.Fatal("write-through left dirty pages")
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	e := sim.NewEngine()
+	c, _ := newStack(e, 256*mb)
+	run(e, func(p *sim.Proc) {
+		c.WriteAt(p, 0, 8*mb)
+		c.ReadAt(p, 16*mb, 8*mb)
+		c.InvalidateRange(0, 8*mb) // drops the dirty range too
+		if c.DirtyBytes() != 0 {
+			t.Errorf("dirty after invalidate = %d", c.DirtyBytes())
+		}
+		m0 := c.Stats.MissBytes
+		c.ReadAt(p, 0, 8*mb)
+		if c.Stats.MissBytes-m0 < 8*mb {
+			t.Error("invalidated range still resident")
+		}
+		// The other range must still be cached.
+		m0 = c.Stats.MissBytes
+		c.ReadAt(p, 16*mb, 8*mb)
+		if c.Stats.MissBytes != m0 {
+			t.Error("untouched range was invalidated")
+		}
+	})
+}
+
+func TestPopulate(t *testing.T) {
+	e := sim.NewEngine()
+	c, d := newStack(e, 256*mb)
+	run(e, func(p *sim.Proc) {
+		before := p.Now()
+		c.Populate(p, 0, 8*mb)
+		if p.Now() != before {
+			t.Error("populate must be free of simulated time")
+		}
+		m0 := c.Stats.MissBytes
+		c.ReadAt(p, 0, 8*mb)
+		if c.Stats.MissBytes != m0 {
+			t.Error("populated range missed")
+		}
+	})
+	if d.Stats.BytesRead != 0 {
+		t.Fatalf("populate touched the device: %d", d.Stats.BytesRead)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	c, d := newStack(e, 64*mb)
+	if c.Name() != "pc" || c.Under() != device.BlockDev(d) || c.Capacity() != d.Capacity() {
+		t.Fatal("accessors broken")
+	}
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Fatal("policy strings")
+	}
+}
+
+// Property: ReadRuns over arbitrary run lists counts every requested
+// byte exactly once as hit or miss.
+func TestQuickReadRunsAccounting(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := sim.NewEngine()
+		c, _ := newStack(e, 32*mb)
+		ok := true
+		e.Spawn("t", func(p *sim.Proc) {
+			var runs []device.Run
+			var total int64
+			off := int64(0)
+			for _, v := range raw {
+				off += int64(v % 4096)
+				l := int64(v)%(128*kb) + 1
+				runs = append(runs, device.Run{Off: off, Len: l})
+				off += l
+				total += l
+			}
+			if len(runs) == 0 {
+				return
+			}
+			c.ReadRuns(p, runs)
+			if c.Stats.HitBytes+c.Stats.MissBytes != total {
+				ok = false
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"ioeval/internal/stats"
+)
+
+// UtilizationReport summarizes where simulated time went in the I/O
+// path after a run — the methodology's "identify the possible points
+// of inefficiency" aid: a saturated component (utilization near 1)
+// is the binding constraint; idle components confirm the application
+// or an upstream level is the limit.
+func (c *Cluster) UtilizationReport() string {
+	var tb stats.Table
+	tb.AddRow("component", "utilization / counters")
+
+	// I/O node disks.
+	for _, d := range c.IODisks {
+		tb.AddRow("I/O node disk "+d.Name(),
+			fmt.Sprintf("%.0f%% busy, %s read, %s written, %d random ops",
+				d.Utilization()*100,
+				stats.IBytes(d.Stats.BytesRead), stats.IBytes(d.Stats.BytesWritten),
+				d.Stats.RandomOps))
+	}
+	for _, d := range c.PFSDisks {
+		tb.AddRow("PFS node disk "+d.Name(),
+			fmt.Sprintf("%.0f%% busy, %s read, %s written",
+				d.Utilization()*100,
+				stats.IBytes(d.Stats.BytesRead), stats.IBytes(d.Stats.BytesWritten)))
+	}
+
+	// I/O node page cache.
+	hit := func(hitB, missB int64) string {
+		total := hitB + missB
+		if total == 0 {
+			return "no reads"
+		}
+		return fmt.Sprintf("%.0f%% read hit", 100*float64(hitB)/float64(total))
+	}
+	st := c.IOCache.Stats
+	tb.AddRow("I/O node page cache",
+		fmt.Sprintf("%s, %s written back, %d throttle stalls",
+			hit(st.HitBytes, st.MissBytes), stats.IBytes(st.WriteBackBytes), st.ThrottleStalls))
+
+	// Server NIC (the classic NFS bottleneck).
+	srvNIC := c.DataNet.NIC(c.IONodeName)
+	tb.AddRow("I/O node NIC (tx)",
+		fmt.Sprintf("%.0f%% busy, %s moved", srvNIC.Utilization()*100, stats.IBytes(srvNIC.Stats.Bytes)))
+
+	// Networks.
+	tb.AddRow("data network", fmt.Sprintf("%s in %d messages",
+		stats.IBytes(c.DataNet.Stats.Bytes), c.DataNet.Stats.Messages))
+	if c.CommNet != c.DataNet {
+		tb.AddRow("comm network", fmt.Sprintf("%s in %d messages",
+			stats.IBytes(c.CommNet.Stats.Bytes), c.CommNet.Stats.Messages))
+	}
+
+	// NFS server counters.
+	tb.AddRow("NFS server", fmt.Sprintf("%d read / %d write / %d meta RPCs",
+		c.Server.Stats.ReadRPCs, c.Server.Stats.WriteRPCs, c.Server.Stats.MetaRPCs))
+
+	// Compute-node aggregates.
+	var nodeDiskBusy float64
+	var nodeHit, nodeMiss int64
+	for _, n := range c.Nodes {
+		nodeDiskBusy += n.Disk.Utilization()
+		nodeHit += n.Cache.Stats.HitBytes
+		nodeMiss += n.Cache.Stats.MissBytes
+	}
+	tb.AddRow("compute-node disks (mean)",
+		fmt.Sprintf("%.0f%% busy", 100*nodeDiskBusy/float64(len(c.Nodes))))
+	tb.AddRow("compute-node page caches", hit(nodeHit, nodeMiss))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Utilization report — %s (%v) at t=%v\n", c.Cfg.Name, c.Cfg.Org, c.Eng.Now())
+	b.WriteString(tb.String())
+	return b.String()
+}

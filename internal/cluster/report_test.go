@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"ioeval/internal/fs"
+	"ioeval/internal/sim"
+)
+
+func TestUtilizationReport(t *testing.T) {
+	c := Aohyper(RAID5)
+	c.Eng.Spawn("app", func(p *sim.Proc) {
+		h, _ := c.Nodes[0].NFS.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(p, 0, 32*mb)
+		h.Close(p)
+	})
+	c.Eng.Run()
+	out := c.UtilizationReport()
+	for _, want := range []string{"I/O node disk", "page cache", "NFS server", "data network", "comm network"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUtilizationReportWithPFS(t *testing.T) {
+	cfg := Aohyper(RAID5).Cfg
+	cfg.PFSIONodes = 2
+	c := New(cfg)
+	c.Eng.Run()
+	if !strings.Contains(c.UtilizationReport(), "PFS node disk") {
+		t.Fatal("report missing PFS disks")
+	}
+}

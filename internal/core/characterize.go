@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+)
+
+// CharacterizeConfig controls the system-characterization phase.
+type CharacterizeConfig struct {
+	// FSBlockSizes is the filesystem-level sweep (default: the
+	// paper's 32 KB – 16 MB).
+	FSBlockSizes []int64
+	// FSModes are the IOzone modes characterized per level (default:
+	// sequential, strided and random, reads and writes).
+	FSModes []bench.Mode
+	// LocalFileSize / GlobalFileSize default to twice the I/O node's /
+	// compute node's RAM, the paper's stress rule.
+	LocalFileSize, GlobalFileSize int64
+	// RandomOps caps random-mode operations per measurement.
+	RandomOps int
+
+	// Library-level (IOR) sweep parameters: the paper used 8
+	// processes and 256 KB transfers over 1 MB – 1024 MB blocks of a
+	// fixed 32 GB shared file.
+	LibProcs      int
+	LibBlockSizes []int64
+	LibTransfer   int64
+	LibFileSize   int64
+
+	// UsePFS characterizes the cluster's parallel filesystem instead
+	// of NFS: the global level is a PFS client, the local level one
+	// PFS server node's filesystem (the cluster must be built with
+	// Config.PFSIONodes > 0).
+	UsePFS bool
+}
+
+// DefaultCharacterizeConfig mirrors the paper's setup.
+func DefaultCharacterizeConfig() CharacterizeConfig {
+	return CharacterizeConfig{
+		FSBlockSizes: bench.DefaultBlockSizes(),
+		FSModes: []bench.Mode{
+			bench.SeqWrite, bench.SeqRead,
+			bench.StrideWrite, bench.StrideRead,
+			bench.RandWrite, bench.RandRead,
+		},
+		RandomOps:     4096,
+		LibProcs:      8,
+		LibBlockSizes: bench.DefaultIORBlockSizes(),
+		LibTransfer:   256 << 10,
+		LibFileSize:   32 << 30,
+	}
+}
+
+// Characterization is the output of the system-characterization
+// phase: one performance table per I/O-path level.
+type Characterization struct {
+	Config string
+	Tables map[Level]*PerfTable
+}
+
+// Table returns the table of a level.
+func (c *Characterization) Table(l Level) *PerfTable { return c.Tables[l] }
+
+// Characterize measures a configuration at the three I/O-path levels.
+// build must return a *fresh* cluster of the configuration under test
+// each time it is called: characterizing dirties caches, allocators
+// and the simulated clock, so every level gets its own instance.
+func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Characterization, error) {
+	if len(cfg.FSBlockSizes) == 0 {
+		cfg.FSBlockSizes = bench.DefaultBlockSizes()
+	}
+	if len(cfg.FSModes) == 0 {
+		cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
+	}
+	if cfg.LibProcs == 0 {
+		cfg.LibProcs = 8
+	}
+	if len(cfg.LibBlockSizes) == 0 {
+		cfg.LibBlockSizes = bench.DefaultIORBlockSizes()
+	}
+	if cfg.LibTransfer == 0 {
+		cfg.LibTransfer = 256 << 10
+	}
+	if cfg.LibFileSize == 0 {
+		cfg.LibFileSize = 32 << 30
+	}
+	if cfg.RandomOps == 0 {
+		cfg.RandomOps = 4096
+	}
+
+	probe := build()
+	name := fmt.Sprintf("%s/%s", probe.Cfg.Name, probe.Cfg.Org)
+	if cfg.UsePFS {
+		name = fmt.Sprintf("%s/pfs-%d", probe.Cfg.Name, probe.Cfg.PFSIONodes)
+	}
+	ch := &Characterization{Config: name, Tables: map[Level]*PerfTable{}}
+
+	// Local filesystem level: IOzone on the I/O node's own mount,
+	// file twice the I/O node RAM, caches dropped between runs.
+	{
+		c := build()
+		fileSize := cfg.LocalFileSize
+		if fileSize == 0 {
+			fileSize = 2 * c.Cfg.IONodeRAM
+		}
+		localFS := fs.Interface(c.ServerFS)
+		drop := func(p *sim.Proc) { c.IOCache.DropCaches(p) }
+		if cfg.UsePFS {
+			localFS = c.PFS.Servers()[0].Backend()
+			drop = nil // PFS server backends sit on plain node caches
+		}
+		results, err := bench.RunIOzone(c.Eng, localFS, bench.IOzoneConfig{
+			Path:        "/char-local.tmp",
+			FileSize:    fileSize,
+			BlockSizes:  cfg.FSBlockSizes,
+			Modes:       cfg.FSModes,
+			RandomOps:   cfg.RandomOps,
+			BetweenRuns: drop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("local FS characterization: %w", err)
+		}
+		ch.Tables[LevelLocalFS] = tableFromIOzone(LevelLocalFS, name, Local, results)
+	}
+
+	// Global filesystem level: IOzone through a compute node's mount
+	// of the shared storage; caches dropped between runs.
+	{
+		c := build()
+		fileSize := cfg.GlobalFileSize
+		if fileSize == 0 {
+			fileSize = 2 * c.Cfg.NodeRAM
+		}
+		globalFS := fs.Interface(c.Nodes[0].NFS)
+		drop := func(p *sim.Proc) {
+			c.IOCache.DropCaches(p)
+			c.Nodes[0].NFS.DropCaches(p)
+		}
+		if cfg.UsePFS {
+			globalFS = c.Nodes[0].PFS
+			drop = nil // PFS performs no client caching
+		}
+		results, err := bench.RunIOzone(c.Eng, globalFS, bench.IOzoneConfig{
+			Path:        "/char-global.tmp",
+			FileSize:    fileSize,
+			BlockSizes:  cfg.FSBlockSizes,
+			Modes:       cfg.FSModes,
+			RandomOps:   cfg.RandomOps,
+			BetweenRuns: drop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("network FS characterization: %w", err)
+		}
+		ch.Tables[LevelNFS] = tableFromIOzone(LevelNFS, name, Global, results)
+	}
+
+	// I/O library level: IOR over MPI-IO on the shared storage.
+	{
+		c := build()
+		var drop func(p *sim.Proc)
+		if !cfg.UsePFS {
+			drop = func(p *sim.Proc) { c.IOCache.DropCaches(p) }
+		}
+		results, err := bench.RunIOR(c, bench.IORConfig{
+			Path:         "/char-lib.tmp",
+			Procs:        cfg.LibProcs,
+			FileSize:     cfg.LibFileSize,
+			BlockSizes:   cfg.LibBlockSizes,
+			TransferSize: cfg.LibTransfer,
+			UsePFS:       cfg.UsePFS,
+			BetweenRuns:  drop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("library characterization: %w", err)
+		}
+		t := &PerfTable{Level: LevelIOLib, Config: name}
+		for _, r := range results {
+			// Library-level IOPS/latency derive from the transfer size
+			// (IOR issues one library call per transfer).
+			ts := float64(cfg.LibTransfer)
+			t.Add(Row{Op: Write, BlockSize: r.BlockSize, Access: Global, Mode: trace.Sequential,
+				Rate: r.WriteRate, IOPS: r.WriteRate / ts,
+				Latency: sim.DurationFromSeconds(ts / r.WriteRate)})
+			t.Add(Row{Op: Read, BlockSize: r.BlockSize, Access: Global, Mode: trace.Sequential,
+				Rate: r.ReadRate, IOPS: r.ReadRate / ts,
+				Latency: sim.DurationFromSeconds(ts / r.ReadRate)})
+		}
+		ch.Tables[LevelIOLib] = t
+	}
+	return ch, nil
+}
+
+func tableFromIOzone(level Level, config string, access AccessType, results []bench.IOzoneResult) *PerfTable {
+	t := &PerfTable{Level: level, Config: config}
+	for _, r := range results {
+		op := Read
+		if r.Mode.IsWrite() {
+			op = Write
+		}
+		mode := trace.Sequential
+		switch {
+		case r.Mode.IsStrided():
+			mode = trace.Strided
+		case !r.Mode.IsSequential():
+			mode = trace.Random
+		}
+		t.Add(Row{Op: op, BlockSize: r.BlockSize, Access: access, Mode: mode,
+			Rate: r.Rate, IOPS: r.IOPS, Latency: r.Latency})
+	}
+	return t
+}

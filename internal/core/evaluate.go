@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+	"ioeval/internal/workload"
+)
+
+// Measurement is one application-side observation: the transfer rate
+// the application achieved for an operation type, with the access
+// pattern metadata the table search needs (the inputs of Fig. 10).
+type Measurement struct {
+	Op        OpType
+	BlockSize int64
+	Access    AccessType
+	Mode      trace.AccessMode
+	Rate      float64 // aggregate bytes/second across ranks
+	Ops       int64
+	Bytes     int64
+}
+
+// MeasurementsFromTrace derives per-operation-type measurements from
+// a captured trace: for each direction, the dominant block size and
+// access mode, and the aggregate rate (total bytes over the slowest
+// rank's cumulative time in that direction — ranks run in parallel).
+func MeasurementsFromTrace(tr *trace.Tracer, access AccessType) []Measurement {
+	type acc struct {
+		bytes   int64
+		ops     int64
+		perRank map[int]sim.Duration
+		sizes   map[int64]int64
+		modes   map[trace.AccessMode]int64
+	}
+	newAcc := func() *acc {
+		return &acc{perRank: map[int]sim.Duration{}, sizes: map[int64]int64{}, modes: map[trace.AccessMode]int64{}}
+	}
+	accs := map[OpType]*acc{Read: newAcc(), Write: newAcc()}
+
+	ranks := map[int]bool{}
+	for _, ev := range tr.Events() {
+		ranks[ev.Rank] = true
+	}
+	for rank := range ranks {
+		for _, ph := range tr.Phases(rank) {
+			op := Write
+			if ph.Kind == mpiio.OpRead {
+				op = Read
+			}
+			a := accs[op]
+			a.bytes += ph.Bytes
+			a.ops += ph.Ops
+			a.perRank[rank] += ph.Duration()
+			if ph.Ops > 0 {
+				a.sizes[ph.Bytes/ph.Ops] += ph.Ops
+			}
+			a.modes[ph.Mode] += ph.Ops
+		}
+	}
+
+	var out []Measurement
+	for _, op := range []OpType{Write, Read} {
+		a := accs[op]
+		if a.ops == 0 {
+			continue
+		}
+		var worst sim.Duration
+		for _, d := range a.perRank {
+			if d > worst {
+				worst = d
+			}
+		}
+		m := Measurement{
+			Op:        op,
+			Access:    access,
+			BlockSize: dominantKey(a.sizes),
+			Mode:      dominantMode(a.modes),
+			Ops:       a.ops,
+			Bytes:     a.bytes,
+		}
+		if s := worst.Seconds(); s > 0 {
+			m.Rate = float64(a.bytes) / s
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func dominantKey(m map[int64]int64) int64 {
+	var best int64
+	var bestN int64 = -1
+	for k, n := range m {
+		if n > bestN || (n == bestN && k > best) {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+func dominantMode(m map[trace.AccessMode]int64) trace.AccessMode {
+	best := trace.Sequential
+	var bestN int64 = -1
+	for k, n := range m {
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// UsedRow is one row of the used-percentage table (Tables III, IV,
+// VI, VII, IX, X, XI): how much of a level's characterized capacity
+// the application obtained.
+type UsedRow struct {
+	Level         Level
+	Op            OpType
+	BlockSize     int64
+	Mode          trace.AccessMode
+	MeasuredRate  float64
+	CharRate      float64
+	LookupMode    trace.AccessMode // mode actually found in the table
+	UsedPct       float64
+	CharAvailable bool
+}
+
+// UsedTable implements the generation algorithm of Fig. 10: for every
+// application measurement and every characterized I/O-path level,
+// search the level's performance table (Fig. 11) and compute the used
+// percentage. Values above 100% mean the application was not limited
+// by that level (characterization stresses a single path; the
+// application may exploit caches or parallelism) — then the next
+// level in the path explains the behaviour.
+func UsedTable(ms []Measurement, ch *Characterization) []UsedRow {
+	var out []UsedRow
+	for _, m := range ms {
+		for _, level := range Levels() {
+			t := ch.Tables[level]
+			if t == nil {
+				continue
+			}
+			row := UsedRow{
+				Level:        level,
+				Op:           m.Op,
+				BlockSize:    m.BlockSize,
+				Mode:         m.Mode,
+				MeasuredRate: m.Rate,
+			}
+			// Levels characterized for global access only (library,
+			// NFS) are searched with Global regardless of where the
+			// application ran; the local-FS level with Local.
+			access := Global
+			if level == LevelLocalFS {
+				access = Local
+			}
+			if rate, usedMode, ok := t.Lookup(m.Op, m.BlockSize, access, m.Mode); ok && rate > 0 {
+				row.CharRate = rate
+				row.LookupMode = usedMode
+				row.UsedPct = m.Rate / rate * 100
+				row.CharAvailable = true
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Evaluation is the output of the methodology's third phase for one
+// application on one configuration.
+type Evaluation struct {
+	AppName string
+	Config  string
+	Result  workload.Result
+	Profile trace.Profile
+	Meas    []Measurement
+	Used    []UsedRow
+	Trace   *trace.Tracer // the captured trace (timelines, phases)
+}
+
+// Evaluate runs the application on the cluster under a tracer and
+// produces the evaluation against the configuration's
+// characterization. The cluster must be fresh (unused engine).
+func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Evaluation, error) {
+	tr := trace.New()
+	res, err := app.Run(c, tr)
+	if err != nil {
+		return nil, fmt.Errorf("evaluate %s: %w", app.Name(), err)
+	}
+	ms := MeasurementsFromTrace(tr, Global)
+	ev := &Evaluation{
+		AppName: app.Name(),
+		Config:  ch.Config,
+		Result:  res,
+		Profile: tr.Profile(),
+		Meas:    ms,
+		Used:    UsedTable(ms, ch),
+		Trace:   tr,
+	}
+	return ev, nil
+}
+
+// IOPS returns the application-level I/O operations per second of
+// I/O time (one of the paper's five evaluation metrics).
+func (e *Evaluation) IOPS() float64 {
+	d := e.Result.IOTime.Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(e.Profile.NumReads+e.Profile.NumWrites) / d
+}
+
+// MeanLatency returns the mean per-operation latency over the run's
+// I/O time.
+func (e *Evaluation) MeanLatency() sim.Duration {
+	ops := e.Profile.NumReads + e.Profile.NumWrites
+	if ops == 0 {
+		return 0
+	}
+	return e.Result.IOTime / sim.Duration(ops)
+}
+
+// UsedFor returns the used percentage for (level, op), or -1 when the
+// evaluation has no such row.
+func (e *Evaluation) UsedFor(level Level, op OpType) float64 {
+	for _, u := range e.Used {
+		if u.Level == level && u.Op == op && u.CharAvailable {
+			return u.UsedPct
+		}
+	}
+	return -1
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/workload"
+)
+
+// Methodology is the one-stop entry point: it strings the paper's
+// three phases together for a configuration and produces a complete
+// report. Characterization is computed on first use and cached, so
+// many applications can be evaluated against one configuration
+// cheaply (the phase structure the paper intends).
+type Methodology struct {
+	// Build returns a fresh cluster of the configuration under study.
+	Build func() *cluster.Cluster
+	// CharConfig parameterizes the characterization phase; the zero
+	// value uses the paper's defaults.
+	CharConfig CharacterizeConfig
+	// Requirements, when non-nil, are checked against every
+	// evaluation.
+	Requirements *Requirements
+
+	char *Characterization
+}
+
+// Report is the output of one methodology run for one application.
+type Report struct {
+	Characterization *Characterization
+	ConfigAnalysis   string
+	Evaluation       *Evaluation
+	Checks           []RequirementCheck
+	Utilization      string
+}
+
+// Characterization returns (computing once) the configuration's
+// performance tables.
+func (m *Methodology) Characterization() (*Characterization, error) {
+	if m.Build == nil {
+		return nil, fmt.Errorf("core: Methodology needs a Build function")
+	}
+	if m.char == nil {
+		ch, err := Characterize(m.Build, m.CharConfig)
+		if err != nil {
+			return nil, err
+		}
+		m.char = ch
+	}
+	return m.char, nil
+}
+
+// Run executes all three phases for the application.
+func (m *Methodology) Run(app workload.App) (*Report, error) {
+	ch, err := m.Characterization()
+	if err != nil {
+		return nil, err
+	}
+	c := m.Build()
+	analysis := AnalyzeConfiguration(c)
+	ev, err := Evaluate(c, app, ch)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Characterization: ch,
+		ConfigAnalysis:   analysis,
+		Evaluation:       ev,
+		Utilization:      c.UtilizationReport(),
+	}
+	if m.Requirements != nil {
+		rep.Checks = CheckEvaluation(*m.Requirements, ev)
+	}
+	return rep, nil
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== I/O configuration analysis ==\n")
+	b.WriteString(r.ConfigAnalysis)
+	b.WriteString("\n== Characterization (system side) ==\n")
+	for _, level := range Levels() {
+		if t := r.Characterization.Table(level); t != nil {
+			b.WriteString(FormatPerfTable(t))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("== Application characterization ==\n")
+	b.WriteString(FormatProfile(r.Evaluation.AppName, r.Evaluation.Profile))
+	b.WriteString("\n== Evaluation ==\n")
+	b.WriteString(FormatEvaluation(r.Evaluation))
+	if len(r.Checks) > 0 {
+		b.WriteString("\n== Requirements ==\n")
+		b.WriteString(FormatChecks(r.Checks))
+	}
+	b.WriteString("\n== Utilization ==\n")
+	b.WriteString(r.Utilization)
+	return b.String()
+}

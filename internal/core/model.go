@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/stats"
+	"ioeval/internal/trace"
+)
+
+// This file implements the paper's stated future work (Section V):
+// "define an I/O model of the application to support the evaluation,
+// design and selection of the configurations ... to determine which
+// I/O configuration meets the performance requirements of the user on
+// a given system."
+//
+// The model is built from the application's PAS2P-style signature —
+// its repetitive I/O phases and their weights — captured on *any*
+// system, and combined with a target configuration's characterized
+// performance tables to predict the application's I/O time there
+// without running it.
+
+// PhaseModel is one modeled phase pattern of the application.
+type PhaseModel struct {
+	Kind      OpType
+	Mode      trace.AccessMode
+	BlockSize int64 // per-operation payload
+	OpsPerOcc int64 // operations per occurrence (per rank)
+	Bytes     int64 // bytes per occurrence (per rank)
+	Weight    int   // occurrences over the run
+}
+
+// IOModel is the functional I/O model of an application: its phase
+// patterns (from a representative rank) and the process count.
+type IOModel struct {
+	App    string
+	Procs  int
+	Phases []PhaseModel
+}
+
+// BuildModel derives the model from a captured trace, using rank 0 as
+// the representative process (scientific applications are SPMD; the
+// paper's signature extraction makes the same assumption).
+func BuildModel(app string, tr *trace.Tracer, procs int) IOModel {
+	m := IOModel{App: app, Procs: procs}
+	for _, s := range tr.Signature(0) {
+		ph := s.Phase
+		kind := Write
+		if ph.Kind == mpiio.OpRead {
+			kind = Read
+		}
+		bs := int64(0)
+		if ph.Ops > 0 {
+			bs = ph.Bytes / ph.Ops
+		}
+		m.Phases = append(m.Phases, PhaseModel{
+			Kind:      kind,
+			Mode:      ph.Mode,
+			BlockSize: bs,
+			OpsPerOcc: ph.Ops,
+			Bytes:     ph.Bytes,
+			Weight:    s.Weight,
+		})
+	}
+	return m
+}
+
+// TotalBytes returns the application's total traffic in one direction
+// across all ranks.
+func (m IOModel) TotalBytes(op OpType) int64 {
+	var total int64
+	for _, ph := range m.Phases {
+		if ph.Kind == op {
+			total += ph.Bytes * int64(ph.Weight)
+		}
+	}
+	return total * int64(m.Procs)
+}
+
+// PhasePrediction is the predicted cost of one phase pattern on a
+// configuration.
+type PhasePrediction struct {
+	Phase     PhaseModel
+	Level     Level   // the binding (slowest) characterized level
+	Rate      float64 // bytes/second used for the prediction
+	TotalTime sim.Duration
+}
+
+// Prediction is the model's estimate for an application on a
+// characterized configuration.
+type Prediction struct {
+	App    string
+	Config string
+	Phases []PhasePrediction
+
+	IOTime    sim.Duration // predicted total I/O wall time
+	ReadTime  sim.Duration
+	WriteTime sim.Duration
+}
+
+// Predict estimates the application's I/O time on a configuration
+// from its characterized tables alone. For each phase pattern the
+// binding rate is the *minimum* characterized rate across the I/O
+// path levels at the phase's operation type, block size and access
+// mode — a conservative estimate: caching effects that let real runs
+// exceed characterized rates (used % > 100) are not modeled, so
+// predictions upper-bound the I/O time of cache-friendly workloads
+// while tracking pattern-bound workloads closely.
+func Predict(m IOModel, ch *Characterization) Prediction {
+	pred := Prediction{App: m.App, Config: ch.Config}
+	for _, ph := range m.Phases {
+		var bindRate float64
+		var bindLevel Level
+		for _, level := range Levels() {
+			t := ch.Tables[level]
+			if t == nil {
+				continue
+			}
+			access := Global
+			if level == LevelLocalFS {
+				access = Local
+			}
+			rate, _, ok := t.Lookup(ph.Kind, ph.BlockSize, access, ph.Mode)
+			if !ok || rate <= 0 {
+				continue
+			}
+			if bindRate == 0 || rate < bindRate {
+				bindRate = rate
+				bindLevel = level
+			}
+		}
+		pp := PhasePrediction{Phase: ph, Level: bindLevel, Rate: bindRate}
+		if bindRate > 0 {
+			// The phase moves Bytes per rank per occurrence; all ranks
+			// share the characterized aggregate path.
+			totalBytes := ph.Bytes * int64(ph.Weight) * int64(m.Procs)
+			pp.TotalTime = sim.DurationFromSeconds(float64(totalBytes) / bindRate)
+		}
+		pred.Phases = append(pred.Phases, pp)
+		pred.IOTime += pp.TotalTime
+		if ph.Kind == Read {
+			pred.ReadTime += pp.TotalTime
+		} else {
+			pred.WriteTime += pp.TotalTime
+		}
+	}
+	return pred
+}
+
+// SelectConfiguration ranks characterized configurations by predicted
+// I/O time for the modeled application — the paper's goal of
+// "determining which I/O configuration meets the performance
+// requirements of the user". Ties and near-ties (within tolerance)
+// should be broken by availability or cost, which the model does not
+// know; the full ranking is returned so the caller can apply those
+// criteria.
+func SelectConfiguration(m IOModel, chs []*Characterization) []Prediction {
+	preds := make([]Prediction, 0, len(chs))
+	for _, ch := range chs {
+		preds = append(preds, Predict(m, ch))
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].IOTime < preds[j].IOTime })
+	return preds
+}
+
+// FormatPrediction renders a prediction.
+func FormatPrediction(p Prediction) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Predicted I/O time for %s on %s: %v (write %v, read %v)\n",
+		p.App, p.Config, p.IOTime, p.WriteTime, p.ReadTime)
+	var tb stats.Table
+	tb.AddRow("op", "mode", "block", "ops/occ", "weight", "binding level", "rate", "time")
+	for _, pp := range p.Phases {
+		tb.AddRow(pp.Phase.Kind.String(), pp.Phase.Mode.String(),
+			stats.IBytes(pp.Phase.BlockSize),
+			fmt.Sprintf("%d", pp.Phase.OpsPerOcc), fmt.Sprintf("%d", pp.Phase.Weight),
+			pp.Level.String(), stats.MBs(pp.Rate), pp.TotalTime.String())
+	}
+	b.WriteString(tb.String())
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+)
+
+func TestCharacterizationRoundTrip(t *testing.T) {
+	ch := &Characterization{Config: "aohyper/RAID5", Tables: map[Level]*PerfTable{
+		LevelNFS: {Level: LevelNFS, Config: "aohyper/RAID5", Rows: []Row{
+			{Op: Write, BlockSize: 1 << 20, Access: Global, Mode: trace.Sequential,
+				Rate: 77e6, IOPS: 73.4, Latency: 13 * sim.Millisecond},
+			{Op: Read, BlockSize: 32 << 10, Access: Global, Mode: trace.Random, Rate: 2.5e6},
+		}},
+		LevelLocalFS: {Level: LevelLocalFS, Config: "aohyper/RAID5", Rows: []Row{
+			{Op: Read, BlockSize: 4 << 20, Access: Local, Mode: trace.Strided, Rate: 150e6},
+		}},
+	}}
+	var buf bytes.Buffer
+	if err := ch.WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ReadCharacterizationJSON(&buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got.Config != ch.Config {
+		t.Fatalf("config = %q", got.Config)
+	}
+	for level, want := range ch.Tables {
+		gt := got.Table(level)
+		if gt == nil || len(gt.Rows) != len(want.Rows) {
+			t.Fatalf("level %v rows mismatch", level)
+		}
+		for i, wr := range want.Rows {
+			if gt.Rows[i] != wr {
+				t.Fatalf("level %v row %d = %+v, want %+v", level, i, gt.Rows[i], wr)
+			}
+		}
+	}
+	// Lookups behave identically after the round trip.
+	r1, _, _ := ch.Table(LevelNFS).Lookup(Write, 1<<20, Global, trace.Sequential)
+	r2, _, _ := got.Table(LevelNFS).Lookup(Write, 1<<20, Global, trace.Sequential)
+	if r1 != r2 {
+		t.Fatalf("lookup changed: %v vs %v", r1, r2)
+	}
+}
+
+func TestReadCharacterizationRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"not json",
+		`{"format":"other","version":1}`,
+		`{"format":"ioeval-characterization","version":2}`,
+		`{"format":"ioeval-characterization","version":1,"tables":{"nope":[]}}`,
+		`{"format":"ioeval-characterization","version":1,"tables":{"network FS":[{"op":"frobnicate"}]}}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadCharacterizationJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted garbage", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/stats"
+	"ioeval/internal/trace"
+)
+
+// FormatPerfTable renders a characterized performance table in the
+// paper's Table I shape.
+func FormatPerfTable(t *PerfTable) string {
+	var tb stats.Table
+	tb.AddRow("OperationType", "Blocksize", "AccessType", "AccessMode", "TransferRate", "IOPS", "Latency")
+	rows := append([]Row{}, t.Rows...)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Op != rows[j].Op {
+			return rows[i].Op < rows[j].Op
+		}
+		if rows[i].Mode != rows[j].Mode {
+			return rows[i].Mode < rows[j].Mode
+		}
+		return rows[i].BlockSize < rows[j].BlockSize
+	})
+	for _, r := range rows {
+		iops, lat := "-", "-"
+		if r.IOPS > 0 {
+			iops = fmt.Sprintf("%.0f", r.IOPS)
+		}
+		if r.Latency > 0 {
+			lat = r.Latency.String()
+		}
+		tb.AddRow(r.Op.String(), stats.IBytes(r.BlockSize), r.Access.String(),
+			r.Mode.String(), stats.MBs(r.Rate), iops, lat)
+	}
+	return fmt.Sprintf("Performance table — level: %s, configuration: %s\n%s",
+		t.Level, t.Config, tb.String())
+}
+
+// FormatUsedTable renders the used-percentage rows in the shape of
+// the paper's Tables III/IV/VI/VII/IX/X/XI.
+func FormatUsedTable(used []UsedRow) string {
+	var tb stats.Table
+	tb.AddRow("Level", "Op", "Blocksize", "Mode", "Measured", "Characterized", "Used%")
+	for _, u := range used {
+		char, pct := "n/a", "n/a"
+		if u.CharAvailable {
+			char = stats.MBs(u.CharRate)
+			pct = fmt.Sprintf("%.1f", u.UsedPct)
+		}
+		tb.AddRow(u.Level.String(), u.Op.String(), stats.IBytes(u.BlockSize),
+			u.Mode.String(), stats.MBs(u.MeasuredRate), char, pct)
+	}
+	return tb.String()
+}
+
+// FormatProfile renders an application characterization in the shape
+// of the paper's Tables II/V/VIII.
+func FormatProfile(name string, p trace.Profile) string {
+	var tb stats.Table
+	tb.AddRow("Parameter", "Value")
+	tb.AddRow("numFiles", fmt.Sprintf("%d", p.NumFiles))
+	tb.AddRow("numIO_read", fmt.Sprintf("%d", p.NumReads))
+	tb.AddRow("numIO_write", fmt.Sprintf("%d", p.NumWrites))
+	tb.AddRow("bk_read", sizesString(p.ReadBlockSizes))
+	tb.AddRow("bk_write", sizesString(p.WriteBlockSizes))
+	tb.AddRow("numIO_open", fmt.Sprintf("%d", p.NumOpens))
+	tb.AddRow("numIO_close", fmt.Sprintf("%d", p.NumCloses))
+	tb.AddRow("numProcesses", fmt.Sprintf("%d", p.NumProcs))
+	return fmt.Sprintf("Application characterization — %s\n%s", name, tb.String())
+}
+
+func sizesString(sizes []trace.BlockSizeCount) string {
+	if len(sizes) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, 2)
+	for i, s := range sizes {
+		if i == 2 {
+			break
+		}
+		parts = append(parts, stats.IBytes(s.Bytes))
+	}
+	return strings.Join(parts, " and ")
+}
+
+// FormatEvaluation renders the full evaluation: the paper's metric
+// set (execution time, I/O time, IOPS, latency, throughput — Section
+// III-C) and the used-percentage table.
+func FormatEvaluation(e *Evaluation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Evaluation — %s on %s\n", e.AppName, e.Config)
+	fmt.Fprintf(&b, "  execution time: %v\n", e.Result.ExecTime)
+	fmt.Fprintf(&b, "  I/O time:       %v (%.1f%% of execution)\n",
+		e.Result.IOTime, 100*float64(e.Result.IOTime)/float64(e.Result.ExecTime))
+	if iops := e.IOPS(); iops > 0 {
+		fmt.Fprintf(&b, "  IOPS:           %.0f ops/s (mean latency %v)\n", iops, e.MeanLatency())
+	}
+	fmt.Fprintf(&b, "  throughput:     %s\n", stats.MBs(e.Result.Throughput()))
+	b.WriteString(FormatUsedTable(e.Used))
+	return b.String()
+}
+
+// AnalyzeConfiguration renders the configuration-analysis phase
+// (Section III-B): the configurable factors of the cluster.
+func AnalyzeConfiguration(c *cluster.Cluster) string {
+	var tb stats.Table
+	tb.AddRow("Factor", "Configuration")
+	for _, f := range c.Describe() {
+		tb.AddRow(f.Name, f.Value)
+	}
+	return tb.String()
+}

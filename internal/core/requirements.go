@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"ioeval/internal/stats"
+)
+
+// Requirements captures what the user needs from the I/O system — the
+// paper's framing: "to efficiently use the I/O system it is necessary
+// to know its performance capacity to determine if it fulfills the
+// I/O requirements of applications".
+type Requirements struct {
+	// MinWriteRate / MinReadRate are the aggregate application-level
+	// transfer rates required, in bytes/second (0 = no requirement).
+	MinWriteRate float64
+	MinReadRate  float64
+	// MaxIOFraction is the largest acceptable share of execution time
+	// spent in I/O (0 = no requirement).
+	MaxIOFraction float64
+}
+
+// RequirementCheck is one verdict.
+type RequirementCheck struct {
+	Name      string
+	Required  string
+	Observed  string
+	Satisfied bool
+}
+
+// CheckEvaluation tests an executed evaluation against requirements.
+func CheckEvaluation(req Requirements, ev *Evaluation) []RequirementCheck {
+	var out []RequirementCheck
+	rates := map[OpType]float64{}
+	for _, m := range ev.Meas {
+		rates[m.Op] = m.Rate
+	}
+	if req.MinWriteRate > 0 {
+		out = append(out, RequirementCheck{
+			Name:      "write rate",
+			Required:  "≥ " + stats.MBs(req.MinWriteRate),
+			Observed:  stats.MBs(rates[Write]),
+			Satisfied: rates[Write] >= req.MinWriteRate,
+		})
+	}
+	if req.MinReadRate > 0 {
+		out = append(out, RequirementCheck{
+			Name:      "read rate",
+			Required:  "≥ " + stats.MBs(req.MinReadRate),
+			Observed:  stats.MBs(rates[Read]),
+			Satisfied: rates[Read] >= req.MinReadRate,
+		})
+	}
+	if req.MaxIOFraction > 0 && ev.Result.ExecTime > 0 {
+		frac := float64(ev.Result.IOTime) / float64(ev.Result.ExecTime)
+		out = append(out, RequirementCheck{
+			Name:      "I/O fraction of runtime",
+			Required:  fmt.Sprintf("≤ %.0f%%", req.MaxIOFraction*100),
+			Observed:  fmt.Sprintf("%.1f%%", frac*100),
+			Satisfied: frac <= req.MaxIOFraction,
+		})
+	}
+	return out
+}
+
+// CheckPrediction tests a model prediction against rate requirements:
+// the predicted aggregate rate per direction is total bytes over
+// predicted time.
+func CheckPrediction(req Requirements, m IOModel, pred Prediction) []RequirementCheck {
+	var out []RequirementCheck
+	rate := func(op OpType, t float64) float64 {
+		if t <= 0 {
+			return 0
+		}
+		return float64(m.TotalBytes(op)) / t
+	}
+	if req.MinWriteRate > 0 {
+		got := rate(Write, pred.WriteTime.Seconds())
+		out = append(out, RequirementCheck{
+			Name:      "predicted write rate",
+			Required:  "≥ " + stats.MBs(req.MinWriteRate),
+			Observed:  stats.MBs(got),
+			Satisfied: got >= req.MinWriteRate,
+		})
+	}
+	if req.MinReadRate > 0 {
+		got := rate(Read, pred.ReadTime.Seconds())
+		out = append(out, RequirementCheck{
+			Name:      "predicted read rate",
+			Required:  "≥ " + stats.MBs(req.MinReadRate),
+			Observed:  stats.MBs(got),
+			Satisfied: got >= req.MinReadRate,
+		})
+	}
+	return out
+}
+
+// Satisfied reports whether every check passed.
+func Satisfied(checks []RequirementCheck) bool {
+	for _, c := range checks {
+		if !c.Satisfied {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatChecks renders verdicts.
+func FormatChecks(checks []RequirementCheck) string {
+	var tb stats.Table
+	tb.AddRow("requirement", "required", "observed", "verdict")
+	for _, c := range checks {
+		verdict := "NOT MET"
+		if c.Satisfied {
+			verdict = "met"
+		}
+		tb.AddRow(c.Name, c.Required, c.Observed, verdict)
+	}
+	var b strings.Builder
+	b.WriteString(tb.String())
+	return b.String()
+}

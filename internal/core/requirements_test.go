@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ioeval/internal/sim"
+	"ioeval/internal/workload"
+)
+
+func evalWithRates(wRate, rRate float64, ioFrac float64) *Evaluation {
+	return &Evaluation{
+		Result: workload.Result{
+			ExecTime: 100 * sim.Second,
+			IOTime:   sim.Duration(ioFrac * 100 * float64(sim.Second)),
+		},
+		Meas: []Measurement{
+			{Op: Write, Rate: wRate},
+			{Op: Read, Rate: rRate},
+		},
+	}
+}
+
+func TestCheckEvaluationAllMet(t *testing.T) {
+	req := Requirements{MinWriteRate: 50e6, MinReadRate: 40e6, MaxIOFraction: 0.5}
+	checks := CheckEvaluation(req, evalWithRates(60e6, 45e6, 0.3))
+	if len(checks) != 3 || !Satisfied(checks) {
+		t.Fatalf("checks = %+v", checks)
+	}
+}
+
+func TestCheckEvaluationViolations(t *testing.T) {
+	req := Requirements{MinWriteRate: 50e6, MaxIOFraction: 0.2}
+	checks := CheckEvaluation(req, evalWithRates(10e6, 45e6, 0.9))
+	if Satisfied(checks) {
+		t.Fatalf("violations not detected: %+v", checks)
+	}
+	var failed int
+	for _, c := range checks {
+		if !c.Satisfied {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed = %d, want 2: %+v", failed, checks)
+	}
+}
+
+func TestCheckEvaluationNoRequirements(t *testing.T) {
+	if checks := CheckEvaluation(Requirements{}, evalWithRates(1, 1, 1)); len(checks) != 0 {
+		t.Fatalf("checks = %+v", checks)
+	}
+}
+
+func TestCheckPrediction(t *testing.T) {
+	tr := syntheticTrace(10, 10<<20, 10<<20)
+	m := BuildModel("app", tr, 4)
+	pred := Predict(m, modelChar(100e6, 100e6))
+	// Predicted rates equal the characterized 100 MB/s (bytes/time by
+	// construction), so 50 MB/s requirements pass and 200 MB/s fail.
+	pass := CheckPrediction(Requirements{MinWriteRate: 50e6, MinReadRate: 50e6}, m, pred)
+	if !Satisfied(pass) {
+		t.Fatalf("pass checks: %+v", pass)
+	}
+	fail := CheckPrediction(Requirements{MinWriteRate: 200e6}, m, pred)
+	if Satisfied(fail) {
+		t.Fatalf("fail checks: %+v", fail)
+	}
+}
+
+func TestFormatChecks(t *testing.T) {
+	req := Requirements{MinWriteRate: 50e6}
+	out := FormatChecks(CheckEvaluation(req, evalWithRates(10e6, 0, 0)))
+	if !strings.Contains(out, "NOT MET") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,163 @@
+// Package core implements the paper's methodology: characterization
+// of the I/O system into per-level performance tables (Table I),
+// application characterization via traces, the performance-table
+// search algorithm (Fig. 11), used-percentage generation (Fig. 10),
+// I/O-configuration analysis, and the evaluation phase that ties them
+// together.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+)
+
+// OpType is the I/O operation direction (Table I: read=0, write=1).
+type OpType int
+
+// Operation types.
+const (
+	Read OpType = iota
+	Write
+)
+
+func (o OpType) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// AccessType distinguishes node-local from shared/global access
+// (Table I: Local=0, Global=1).
+type AccessType int
+
+// Access types.
+const (
+	Local AccessType = iota
+	Global
+)
+
+func (a AccessType) String() string {
+	if a == Local {
+		return "local"
+	}
+	return "global"
+}
+
+// Level is a position on the hierarchical I/O path (Fig. 2).
+type Level int
+
+// The paper's three characterized levels.
+const (
+	LevelIOLib   Level = iota // MPI-IO library
+	LevelNFS                  // network (global) filesystem
+	LevelLocalFS              // I/O node local filesystem / devices
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelIOLib:
+		return "I/O library"
+	case LevelNFS:
+		return "network FS"
+	case LevelLocalFS:
+		return "local FS"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// Levels lists all levels in I/O-path order (application side first).
+func Levels() []Level { return []Level{LevelIOLib, LevelNFS, LevelLocalFS} }
+
+// Row is one entry of a performance table (the paper's Table I data
+// structure: OperationType, Blocksize, AccessType, AccessesMode,
+// transferrate).
+type Row struct {
+	Op        OpType
+	BlockSize int64 // bytes
+	Access    AccessType
+	Mode      trace.AccessMode
+	Rate      float64 // bytes/second, measured under a stressed system
+
+	// IOPS and Latency complete the paper's three level metrics
+	// ("we evaluate the bandwidth, IOPs, and latency" — Section III-A).
+	// The table search uses Rate; these describe the same measurement.
+	IOPS    float64
+	Latency sim.Duration // mean per-operation latency
+}
+
+// PerfTable is the characterized performance of one I/O-path level of
+// one configuration.
+type PerfTable struct {
+	Level  Level
+	Config string // configuration name (e.g. "aohyper/RAID5")
+	Rows   []Row
+}
+
+// Add appends a row.
+func (t *PerfTable) Add(r Row) { t.Rows = append(t.Rows, r) }
+
+// Lookup implements the paper's search algorithm (Fig. 11): among
+// rows matching operation type, access mode and access type, select
+// the transfer rate whose block size matches the requested one —
+// clamping below the table minimum and above the maximum, and taking
+// the closest upper entry in between.
+//
+// When no row matches the exact access mode (the table was not
+// characterized for it), the mode is relaxed — strided access falls
+// back to sequential (a strided pattern still progresses forward
+// through the file, which on real systems behaves far closer to a
+// sequential stream than to random access), then random; random
+// falls back the other way. The mode actually used is reported.
+func (t *PerfTable) Lookup(op OpType, blockSize int64, access AccessType, mode trace.AccessMode) (rate float64, usedMode trace.AccessMode, ok bool) {
+	for _, m := range modeFallback(mode) {
+		if r, found := t.lookupExact(op, blockSize, access, m); found {
+			return r, m, true
+		}
+	}
+	return 0, mode, false
+}
+
+func modeFallback(m trace.AccessMode) []trace.AccessMode {
+	switch m {
+	case trace.Strided:
+		return []trace.AccessMode{trace.Strided, trace.Sequential, trace.Random}
+	case trace.Random:
+		return []trace.AccessMode{trace.Random, trace.Strided, trace.Sequential}
+	default:
+		return []trace.AccessMode{trace.Sequential, trace.Strided, trace.Random}
+	}
+}
+
+func (t *PerfTable) lookupExact(op OpType, blockSize int64, access AccessType, mode trace.AccessMode) (float64, bool) {
+	var candidates []Row
+	for _, r := range t.Rows {
+		if r.Op == op && r.Access == access && r.Mode == mode {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].BlockSize < candidates[j].BlockSize })
+	minRow, maxRow := candidates[0], candidates[len(candidates)-1]
+	switch {
+	case blockSize <= minRow.BlockSize:
+		return minRow.Rate, true
+	case blockSize >= maxRow.BlockSize:
+		return maxRow.Rate, true
+	}
+	// Exact match or the closest upper value.
+	for _, r := range candidates {
+		if r.BlockSize == blockSize {
+			return r.Rate, true
+		}
+		if r.BlockSize > blockSize {
+			return r.Rate, true
+		}
+	}
+	return maxRow.Rate, true // unreachable, kept for safety
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ioeval/internal/trace"
+)
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+func testTable() *PerfTable {
+	t := &PerfTable{Level: LevelNFS, Config: "test"}
+	for _, r := range []Row{
+		{Op: Read, BlockSize: 32 * kb, Access: Global, Mode: trace.Sequential, Rate: 40e6},
+		{Op: Read, BlockSize: mb, Access: Global, Mode: trace.Sequential, Rate: 80e6},
+		{Op: Read, BlockSize: 16 * mb, Access: Global, Mode: trace.Sequential, Rate: 100e6},
+		{Op: Write, BlockSize: mb, Access: Global, Mode: trace.Sequential, Rate: 60e6},
+		{Op: Read, BlockSize: mb, Access: Global, Mode: trace.Random, Rate: 10e6},
+	} {
+		t.Add(r)
+	}
+	return t
+}
+
+func TestLookupExact(t *testing.T) {
+	tab := testTable()
+	rate, mode, ok := tab.Lookup(Read, mb, Global, trace.Sequential)
+	if !ok || rate != 80e6 || mode != trace.Sequential {
+		t.Fatalf("exact lookup: %v %v %v", rate, mode, ok)
+	}
+}
+
+func TestLookupBelowMinClamps(t *testing.T) {
+	tab := testTable()
+	rate, _, ok := tab.Lookup(Read, 4*kb, Global, trace.Sequential)
+	if !ok || rate != 40e6 {
+		t.Fatalf("below-min lookup = %v, want min row's 40e6", rate)
+	}
+}
+
+func TestLookupAboveMaxClamps(t *testing.T) {
+	tab := testTable()
+	rate, _, ok := tab.Lookup(Read, 512*mb, Global, trace.Sequential)
+	if !ok || rate != 100e6 {
+		t.Fatalf("above-max lookup = %v, want max row's 100e6", rate)
+	}
+}
+
+func TestLookupBetweenTakesClosestUpper(t *testing.T) {
+	tab := testTable()
+	// 512 KB sits between 32 KB and 1 MB: Fig. 11 takes the closest
+	// upper value (1 MB ⇒ 80 MB/s).
+	rate, _, ok := tab.Lookup(Read, 512*kb, Global, trace.Sequential)
+	if !ok || rate != 80e6 {
+		t.Fatalf("between lookup = %v, want upper row's 80e6", rate)
+	}
+}
+
+func TestLookupModeFallback(t *testing.T) {
+	tab := testTable()
+	// No strided rows: Strided falls back to Sequential first (a
+	// strided pattern still progresses forward through the file).
+	rate, mode, ok := tab.Lookup(Read, mb, Global, trace.Strided)
+	if !ok || rate != 80e6 || mode != trace.Sequential {
+		t.Fatalf("fallback lookup = %v %v %v, want sequential's 80e6", rate, mode, ok)
+	}
+	// No random/strided writes: falls back to Sequential.
+	rate, mode, ok = tab.Lookup(Write, mb, Global, trace.Random)
+	if !ok || rate != 60e6 || mode != trace.Sequential {
+		t.Fatalf("write fallback = %v %v %v", rate, mode, ok)
+	}
+}
+
+func TestLookupMissFails(t *testing.T) {
+	tab := testTable()
+	if _, _, ok := tab.Lookup(Read, mb, Local, trace.Sequential); ok {
+		t.Fatal("lookup with wrong access type must fail")
+	}
+	empty := &PerfTable{}
+	if _, _, ok := empty.Lookup(Read, mb, Global, trace.Sequential); ok {
+		t.Fatal("lookup in empty table must fail")
+	}
+}
+
+// Property: the returned rate is always one of the table's rates for
+// matching op/access, whatever the block size.
+func TestQuickLookupReturnsTableRate(t *testing.T) {
+	tab := testTable()
+	valid := map[float64]bool{40e6: true, 80e6: true, 100e6: true}
+	f := func(bsRaw uint32) bool {
+		bs := int64(bsRaw)%(64*mb) + 1
+		rate, _, ok := tab.Lookup(Read, bs, Global, trace.Sequential)
+		return ok && valid[rate]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: lookup is monotone in block size for a monotone table.
+func TestQuickLookupMonotone(t *testing.T) {
+	tab := testTable()
+	f := func(aRaw, bRaw uint32) bool {
+		a := int64(aRaw)%(64*mb) + 1
+		b := int64(bRaw)%(64*mb) + 1
+		if a > b {
+			a, b = b, a
+		}
+		ra, _, _ := tab.Lookup(Read, a, Global, trace.Sequential)
+		rb, _, _ := tab.Lookup(Read, b, Global, trace.Sequential)
+		return ra <= rb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Sections III–IV) on the simulated platforms.
+// Each experiment function is memoized: the bench harness
+// (bench_test.go) and the shape assertions (experiments_test.go)
+// share one execution per process.
+//
+// Absolute numbers come from the simulated substrate, not the
+// authors' hardware — EXPERIMENTS.md records, per artifact, the shape
+// that must (and does) hold.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/madbench"
+)
+
+// Artifact is one regenerated table or figure.
+type Artifact struct {
+	ID    string // e.g. "fig5", "tab3"
+	Title string
+	Text  string // printable reproduction
+}
+
+func (a Artifact) String() string {
+	return fmt.Sprintf("==== %s — %s ====\n%s", strings.ToUpper(a.ID), a.Title, a.Text)
+}
+
+// Platform identifies one of the paper's clusters.
+type Platform int
+
+// The two experimental platforms.
+const (
+	Aohyper Platform = iota
+	ClusterA
+)
+
+func (pl Platform) String() string {
+	if pl == Aohyper {
+		return "Aohyper"
+	}
+	return "ClusterA"
+}
+
+// BuildCluster returns a fresh cluster for a platform/organization.
+// Cluster A ignores org (it has a single RAID 5 configuration).
+func BuildCluster(pl Platform, org cluster.Organization) *cluster.Cluster {
+	if pl == Aohyper {
+		return cluster.Aohyper(org)
+	}
+	return cluster.ClusterA()
+}
+
+// AohyperOrgs is the paper's three configurations of Fig. 4.
+var AohyperOrgs = []cluster.Organization{cluster.JBOD, cluster.RAID1, cluster.RAID5}
+
+// fsCharModes keeps characterization affordable: sequential plus
+// random (strided phases fall back to random in the table search).
+var fsCharModes = []bench.Mode{bench.SeqWrite, bench.SeqRead, bench.RandWrite, bench.RandRead}
+
+// charConfig returns the paper's characterization parameters for a
+// platform.
+func charConfig(pl Platform) core.CharacterizeConfig {
+	cfg := core.CharacterizeConfig{
+		FSBlockSizes:  bench.DefaultBlockSizes(), // 32 KB … 16 MB
+		FSModes:       fsCharModes,
+		RandomOps:     2048,
+		LibProcs:      8,
+		LibBlockSizes: bench.DefaultIORBlockSizes(), // 1 MB … 1024 MB
+		LibTransfer:   256 << 10,
+		LibFileSize:   32 << 30, // the paper's 32 GB IOR file
+	}
+	if pl == ClusterA {
+		cfg.LibFileSize = 40 << 30 // the paper used 40 GB on cluster A
+	}
+	return cfg
+}
+
+// --- memoization ------------------------------------------------------
+
+var (
+	charMu    sync.Mutex
+	charCache = map[string]*core.Characterization{}
+
+	evalMu    sync.Mutex
+	evalCache = map[string]*core.Evaluation{}
+)
+
+// Characterization returns (computing once) the three-level
+// characterization of a platform/organization.
+func Characterization(pl Platform, org cluster.Organization) *core.Characterization {
+	if pl == ClusterA {
+		org = cluster.RAID5 // Cluster A has a single configuration
+	}
+	key := fmt.Sprintf("%v/%v", pl, org)
+	charMu.Lock()
+	defer charMu.Unlock()
+	if ch, ok := charCache[key]; ok {
+		return ch
+	}
+	ch, err := core.Characterize(func() *cluster.Cluster { return BuildCluster(pl, org) }, charConfig(pl))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: characterize %s: %v", key, err))
+	}
+	charCache[key] = ch
+	return ch
+}
+
+// EvalBTIO returns (computing once) the evaluation of NAS BT-IO on a
+// platform/organization.
+func EvalBTIO(pl Platform, org cluster.Organization, procs int, st btio.Subtype) *core.Evaluation {
+	key := fmt.Sprintf("btio/%v/%v/%d/%v", pl, org, procs, st)
+	return memoEval(key, pl, org, btio.New(btio.Config{
+		Class:        btio.ClassC,
+		Procs:        procs,
+		Subtype:      st,
+		ComputeScale: 1.0,
+	}))
+}
+
+// EvalMadBench returns (computing once) the evaluation of MADbench2.
+func EvalMadBench(pl Platform, org cluster.Organization, procs int, ft madbench.FileType) *core.Evaluation {
+	key := fmt.Sprintf("madbench/%v/%v/%d/%v", pl, org, procs, ft)
+	return memoEval(key, pl, org, madbench.New(madbench.Config{
+		Procs:    procs,
+		KPix:     18,
+		Bins:     8,
+		FileType: ft,
+		BusyWork: 1e9, // 1 s busy-work per bin (IO mode)
+	}))
+}
+
+func memoEval(key string, pl Platform, org cluster.Organization, app workload.App) *core.Evaluation {
+	evalMu.Lock()
+	defer evalMu.Unlock()
+	if ev, ok := evalCache[key]; ok {
+		return ev
+	}
+	ch := Characterization(pl, org)
+	ev, err := core.Evaluate(BuildCluster(pl, org), app, ch)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: evaluate %s: %v", key, err))
+	}
+	evalCache[key] = ev
+	return ev
+}

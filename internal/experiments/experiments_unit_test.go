@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ioeval/internal/cluster"
+)
+
+func TestArtifactString(t *testing.T) {
+	a := Artifact{ID: "fig5", Title: "title", Text: "body\n"}
+	s := a.String()
+	if !strings.HasPrefix(s, "==== FIG5 — title ====") || !strings.Contains(s, "body") {
+		t.Fatalf("render: %q", s)
+	}
+}
+
+func TestBuildClusterPlatforms(t *testing.T) {
+	if c := BuildCluster(Aohyper, cluster.JBOD); c.Cfg.Name != "aohyper" || c.Cfg.Org != cluster.JBOD {
+		t.Fatalf("aohyper build: %+v", c.Cfg)
+	}
+	if c := BuildCluster(ClusterA, cluster.JBOD); c.Cfg.Name != "clusterA" || c.Cfg.Org != cluster.RAID5 {
+		t.Fatalf("clusterA build: %+v", c.Cfg)
+	}
+	if Aohyper.String() != "Aohyper" || ClusterA.String() != "ClusterA" {
+		t.Fatal("platform strings")
+	}
+}
+
+func TestCharConfigPlatformFileSizes(t *testing.T) {
+	if got := charConfig(Aohyper).LibFileSize; got != 32<<30 {
+		t.Fatalf("aohyper lib file = %d", got)
+	}
+	if got := charConfig(ClusterA).LibFileSize; got != 40<<30 {
+		t.Fatalf("clusterA lib file = %d", got)
+	}
+}

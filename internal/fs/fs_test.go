@@ -1,0 +1,379 @@
+package fs
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ioeval/internal/cache"
+	"ioeval/internal/device"
+	"ioeval/internal/sim"
+)
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// newMount builds disk -> cache -> fs, the standard local stack.
+func newMount(e *sim.Engine, cacheBytes int64) (*Mount, *device.Disk) {
+	d := device.NewDisk(e, device.DefaultSATA("d", 150*gb, 100e6))
+	c := cache.New(e, cache.DefaultParams("pc", cacheBytes), d)
+	return NewMount(e, DefaultMountParams("ext4"), c), d
+}
+
+// newRawMount builds fs directly over the disk (no cache), for tests
+// that need deterministic device traffic.
+func newRawMount(e *sim.Engine) (*Mount, *device.Disk) {
+	d := device.NewDisk(e, device.DefaultSATA("d", 150*gb, 100e6))
+	return NewMount(e, DefaultMountParams("ext4"), d), d
+}
+
+func run(t *testing.T, e *sim.Engine, fn func(*sim.Proc)) {
+	t.Helper()
+	e.Spawn("t", func(p *sim.Proc) { fn(p) })
+	e.Run()
+}
+
+func TestCreateWriteReadBack(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 256*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, err := m.Open(p, "/data/file", OWrite|OCreate)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if n := h.WriteAt(p, 0, 4*mb); n != 4*mb {
+			t.Fatalf("wrote %d", n)
+		}
+		if h.Size() != 4*mb {
+			t.Fatalf("size = %d", h.Size())
+		}
+		if n := h.ReadAt(p, 0, 4*mb); n != 4*mb {
+			t.Fatalf("read %d", n)
+		}
+		h.Close(p)
+	})
+}
+
+func TestOpenMissingWithoutCreate(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		_, err := m.Open(p, "/nope", ORead)
+		if !errors.Is(err, ErrNotExist) {
+			t.Fatalf("err = %v, want ErrNotExist", err)
+		}
+	})
+}
+
+func TestReadShortAtEOF(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, 100*kb)
+		if n := h.ReadAt(p, 50*kb, 100*kb); n != 50*kb {
+			t.Fatalf("short read = %d, want %d", n, 50*kb)
+		}
+		if n := h.ReadAt(p, 200*kb, kb); n != 0 {
+			t.Fatalf("read past EOF = %d, want 0", n)
+		}
+	})
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, mb)
+		h.Close(p)
+		h2, _ := m.Open(p, "/f", OWrite|OTrunc)
+		if h2.Size() != 0 {
+			t.Fatalf("size after O_TRUNC = %d", h2.Size())
+		}
+		h2.Close(p)
+	})
+}
+
+func TestRemove(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, mb)
+		h.Close(p)
+		if err := m.Remove(p, "/f"); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+		if _, err := m.Stat(p, "/f"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("stat after remove: %v", err)
+		}
+		if err := m.Remove(p, "/f"); !errors.Is(err, ErrNotExist) {
+			t.Fatalf("double remove: %v", err)
+		}
+	})
+}
+
+func TestSpaceReuseAfterRemove(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newRawMount(e)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/a", OWrite|OCreate)
+		h.WriteAt(p, 0, gb)
+		h.Close(p)
+		used := m.nextFree
+		m.Remove(p, "/a")
+		h2, _ := m.Open(p, "/b", OWrite|OCreate)
+		h2.WriteAt(p, 0, gb)
+		h2.Close(p)
+		if m.nextFree != used {
+			t.Fatalf("freed space not reused: nextFree %d -> %d", used, m.nextFree)
+		}
+	})
+}
+
+func TestStat(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, 123*kb)
+		h.Close(p)
+		fi, err := m.Stat(p, "/f")
+		if err != nil || fi.Size != 123*kb {
+			t.Fatalf("stat = %+v, %v", fi, err)
+		}
+	})
+}
+
+func TestStreamingWriteIsSequentialOnDisk(t *testing.T) {
+	e := sim.NewEngine()
+	m, d := newRawMount(e)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		for off := int64(0); off < 64*mb; off += 4 * mb {
+			h.WriteAt(p, off, 4*mb)
+		}
+		h.Close(p)
+	})
+	// The bump allocator must produce contiguous extents: all but the
+	// first device write continue a sequential run.
+	if d.Stats.SeqHits < d.Stats.Writes-1 {
+		t.Fatalf("writes not sequential: seq=%d of %d", d.Stats.SeqHits, d.Stats.Writes)
+	}
+}
+
+func TestWriteReadViaCacheFasterThanDisk(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 256*mb)
+	var tFirst, tSecond sim.Duration
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, 32*mb)
+		t0 := p.Now()
+		h.ReadAt(p, 0, 32*mb)
+		tFirst = sim.Duration(p.Now() - t0)
+		t0 = p.Now()
+		h.ReadAt(p, 0, 32*mb)
+		tSecond = sim.Duration(p.Now() - t0)
+		h.Close(p)
+	})
+	// Freshly written data is in the page cache: both reads are hits
+	// and cost about the same (memory speed).
+	if tFirst > 2*tSecond {
+		t.Fatalf("first read %v, second %v: cache not effective", tFirst, tSecond)
+	}
+}
+
+func TestVecMatchesLoopTotals(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 256*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		var vecs []IOVec
+		for i := int64(0); i < 100; i++ {
+			vecs = append(vecs, IOVec{Off: i * 10 * kb, Len: 2 * kb}) // strided
+		}
+		if n := h.WriteVec(p, vecs); n != 200*kb {
+			t.Fatalf("WriteVec total = %d, want %d", n, 200*kb)
+		}
+		if h.Size() != 99*10*kb+2*kb {
+			t.Fatalf("size = %d", h.Size())
+		}
+		if n := h.ReadVec(p, vecs); n != 200*kb {
+			t.Fatalf("ReadVec total = %d, want %d", n, 200*kb)
+		}
+		h.Close(p)
+	})
+	if m.Stats.WriteCalls != 100 || m.Stats.ReadCalls != 100 {
+		t.Fatalf("per-op accounting: %+v", m.Stats)
+	}
+}
+
+func TestVecChargesPerOpCost(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 256*mb)
+	var tVec sim.Duration
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, 16*mb)
+		h.Sync(p)
+		var vecs []IOVec
+		for i := int64(0); i < 1000; i++ {
+			vecs = append(vecs, IOVec{Off: i * 16 * kb, Len: kb})
+		}
+		t0 := p.Now()
+		h.ReadVec(p, vecs)
+		tVec = sim.Duration(p.Now() - t0)
+		h.Close(p)
+	})
+	// 1000 ops × 2µs syscall ⇒ at least 2 ms regardless of caching.
+	if tVec < 2*sim.Millisecond {
+		t.Fatalf("vectored read %v, want ≥2ms of per-op cost", tVec)
+	}
+}
+
+func TestOutOfSpacePanics(t *testing.T) {
+	e := sim.NewEngine()
+	d := device.NewDisk(e, device.DefaultSATA("tiny", 10*mb, 100e6))
+	m := NewMount(e, DefaultMountParams("ext4"), d)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected out-of-space panic")
+			}
+		}()
+		h.WriteAt(p, 0, 20*mb)
+	})
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 64*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.Close(p)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected use-after-close panic")
+			}
+		}()
+		h.ReadAt(p, 0, 1)
+	})
+}
+
+func TestSyncFlushesToDevice(t *testing.T) {
+	e := sim.NewEngine()
+	m, d := newMount(e, 256*mb)
+	run(t, e, func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h.WriteAt(p, 0, 8*mb)
+		if d.Stats.BytesWritten != 0 {
+			t.Fatalf("device written %d before sync", d.Stats.BytesWritten)
+		}
+		h.Sync(p)
+		if d.Stats.BytesWritten < 8*mb {
+			t.Fatalf("device written %d after sync, want ≥8MB", d.Stats.BytesWritten)
+		}
+		h.Close(p)
+	})
+}
+
+// Property: after writing arbitrary (offset, length) pairs, the file
+// size equals the maximum end, and reading the whole file back
+// returns exactly that many bytes.
+func TestQuickSizeInvariant(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		if len(pairs) == 0 {
+			return true
+		}
+		e := sim.NewEngine()
+		m, _ := newMount(e, 64*mb)
+		ok := true
+		e.Spawn("t", func(p *sim.Proc) {
+			h, _ := m.Open(p, "/f", OWrite|OCreate)
+			var maxEnd int64
+			for i, v := range pairs {
+				off := int64(v) * 64
+				n := int64(i%7+1) * 100
+				h.WriteAt(p, off, n)
+				if off+n > maxEnd {
+					maxEnd = off + n
+				}
+			}
+			if h.Size() != maxEnd {
+				ok = false
+			}
+			if got := h.ReadAt(p, 0, maxEnd+999); got != maxEnd {
+				ok = false
+			}
+			h.Close(p)
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: extents of a file never overlap each other physically.
+func TestQuickExtentsDisjoint(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		e := sim.NewEngine()
+		m, _ := newRawMount(e)
+		ok := true
+		e.Spawn("t", func(p *sim.Proc) {
+			var hs []Handle
+			for i, s := range sizes {
+				if i >= 8 {
+					break
+				}
+				h, _ := m.Open(p, string(rune('a'+i)), OWrite|OCreate)
+				h.WriteAt(p, 0, int64(s)+1)
+				hs = append(hs, h)
+			}
+			type iv struct{ off, end int64 }
+			var all []iv
+			for _, f := range m.files {
+				for _, e := range f.extents {
+					all = append(all, iv{e.physOff, e.physOff + e.length})
+				}
+			}
+			for i := range all {
+				for j := i + 1; j < len(all); j++ {
+					a, b := all[i], all[j]
+					if a.off < b.end && b.off < a.end {
+						ok = false
+					}
+				}
+			}
+			for _, h := range hs {
+				h.Close(p)
+			}
+		})
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFSWrite(b *testing.B) {
+	e := sim.NewEngine()
+	m, _ := newMount(e, 256*mb)
+	e.Spawn("w", func(p *sim.Proc) {
+		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		for i := 0; i < b.N; i++ {
+			h.WriteAt(p, int64(i%1024)*64*kb, 64*kb)
+		}
+		h.Close(p)
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,196 @@
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+
+	"ioeval/internal/fs"
+	"ioeval/internal/sim"
+)
+
+// View is the analogue of an MPI file view (MPI_File_set_view with a
+// vector/subarray filetype): starting at Disp, the file is tiled by a
+// repeating Frame, and the rank sees only the Tiles within each frame,
+// concatenated into a dense stream.
+//
+//	|<-------- Frame -------->|<-------- Frame -------->| ...
+//	  [tile0]   [tile1]          [tile0]   [tile1]
+//
+// Sequential Read/Write calls then consume the view like a plain
+// stream while the file-level accesses follow the strided pattern —
+// exactly how BT-IO's "simple" subtype and similar codes are written.
+type View struct {
+	Disp  int64      // displacement: view start in the file
+	Tiles []fs.IOVec // per-frame visible extents (offsets relative to frame start)
+	Frame int64      // frame length in file bytes
+}
+
+// Validate checks the view's invariants.
+func (v View) Validate() error {
+	if v.Frame <= 0 {
+		return fmt.Errorf("mpiio: view frame %d must be positive", v.Frame)
+	}
+	if len(v.Tiles) == 0 {
+		return fmt.Errorf("mpiio: view needs at least one tile")
+	}
+	last := int64(-1)
+	for i, t := range v.Tiles {
+		if t.Off < 0 || t.Len <= 0 || t.Off+t.Len > v.Frame {
+			return fmt.Errorf("mpiio: tile %d (%+v) outside frame %d", i, t, v.Frame)
+		}
+		if t.Off <= last {
+			return fmt.Errorf("mpiio: tiles must be sorted and disjoint (tile %d)", i)
+		}
+		last = t.Off + t.Len
+	}
+	return nil
+}
+
+// payload returns the visible bytes per frame.
+func (v View) payload() int64 {
+	var n int64
+	for _, t := range v.Tiles {
+		n += t.Len
+	}
+	return n
+}
+
+// translate maps [pos, pos+n) of the dense view stream to file
+// extents.
+func (v View) translate(pos, n int64) []fs.IOVec {
+	payload := v.payload()
+	var out []fs.IOVec
+	for n > 0 {
+		frame := pos / payload
+		within := pos % payload
+		// Find the tile containing `within`.
+		acc := int64(0)
+		for _, t := range v.Tiles {
+			if within < acc+t.Len {
+				tOff := within - acc
+				take := t.Len - tOff
+				if take > n {
+					take = n
+				}
+				off := v.Disp + frame*v.Frame + t.Off + tOff
+				if k := len(out); k > 0 && out[k-1].Off+out[k-1].Len == off {
+					out[k-1].Len += take
+				} else {
+					out = append(out, fs.IOVec{Off: off, Len: take})
+				}
+				pos += take
+				n -= take
+				break
+			}
+			acc += t.Len
+		}
+		if within >= payload {
+			panic("mpiio: view translation out of frame")
+		}
+	}
+	return out
+}
+
+// viewState is a rank's installed view plus its stream cursor.
+type viewState struct {
+	view View
+	pos  int64
+}
+
+// SetView installs a view for the calling rank and resets its cursor
+// (MPI_File_set_view semantics).
+func (f *File) SetView(rank int, v View) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if f.views == nil {
+		f.views = make(map[int]*viewState)
+	}
+	f.views[rank] = &viewState{view: v}
+	return nil
+}
+
+// viewVecs consumes n bytes of the rank's view stream.
+func (f *File) viewVecs(rank int, n int64) []fs.IOVec {
+	vs, ok := f.views[rank]
+	if !ok {
+		panic(fmt.Sprintf("mpiio: rank %d has no view on %q", rank, f.path))
+	}
+	vecs := vs.view.translate(vs.pos, n)
+	vs.pos += n
+	return vecs
+}
+
+// Write writes n bytes at the rank's current view position
+// (independent I/O through the view; MPI_File_write).
+func (f *File) Write(p *sim.Proc, rank int, n int64) int64 {
+	return f.WriteVec(p, rank, f.viewVecs(rank, n))
+}
+
+// Read reads n bytes at the rank's current view position.
+func (f *File) Read(p *sim.Proc, rank int, n int64) int64 {
+	return f.ReadVec(p, rank, f.viewVecs(rank, n))
+}
+
+// WriteAll is the collective write of n bytes through the view
+// (MPI_File_write_all): the two-phase machinery merges every rank's
+// strided tiles into large contiguous accesses.
+func (f *File) WriteAll(p *sim.Proc, rank int, n int64) int64 {
+	return f.WriteVecAll(p, rank, f.viewVecs(rank, n))
+}
+
+// ReadAll is the collective read through the view.
+func (f *File) ReadAll(p *sim.Proc, rank int, n int64) int64 {
+	return f.ReadVecAll(p, rank, f.viewVecs(rank, n))
+}
+
+// SeekView moves the rank's view cursor (MPI_File_seek with
+// MPI_SEEK_SET semantics, in view-relative bytes).
+func (f *File) SeekView(rank int, pos int64) {
+	vs, ok := f.views[rank]
+	if !ok {
+		panic(fmt.Sprintf("mpiio: rank %d has no view on %q", rank, f.path))
+	}
+	if pos < 0 {
+		panic("mpiio: negative view position")
+	}
+	vs.pos = pos
+}
+
+// ViewOf returns a copy of the rank's installed view (ok=false if
+// none).
+func (f *File) ViewOf(rank int) (View, bool) {
+	vs, ok := f.views[rank]
+	if !ok {
+		return View{}, false
+	}
+	return vs.view, true
+}
+
+// ContiguousView is the default view: the whole file, dense.
+func ContiguousView() View {
+	return View{Disp: 0, Frame: 1 << 40, Tiles: []fs.IOVec{{Off: 0, Len: 1 << 40}}}
+}
+
+// StridedView builds the common vector filetype: blocks of blockLen
+// every stride bytes, starting at disp + rank*blockLen — the classic
+// round-robin decomposition of nRanks over a shared file.
+func StridedView(disp int64, rank int, nRanks int, blockLen int64) View {
+	return View{
+		Disp:  disp,
+		Frame: int64(nRanks) * blockLen,
+		Tiles: []fs.IOVec{{Off: int64(rank) * blockLen, Len: blockLen}},
+	}
+}
+
+// sortTiles is a helper for building views from unsorted extents.
+func sortTiles(tiles []fs.IOVec) []fs.IOVec {
+	sort.Slice(tiles, func(i, j int) bool { return tiles[i].Off < tiles[j].Off })
+	return tiles
+}
+
+// SubarrayView builds a view exposing the given in-frame extents
+// (sorted for the caller), repeating every frame bytes.
+func SubarrayView(disp int64, frame int64, tiles []fs.IOVec) View {
+	return View{Disp: disp, Frame: frame, Tiles: sortTiles(tiles)}
+}

@@ -1,0 +1,196 @@
+// Package mpiio models an MPI-IO-like parallel I/O library over the
+// simulated cluster: a World of ranks placed on nodes, message
+// passing and barriers over the communication network, and Files
+// supporting independent and collective (two-phase, ROMIO-style
+// collective buffering) operations against any fs.Interface — local
+// mounts or NFS clients.
+//
+// This layer is where the paper's headline contrast lives: NAS BT-IO
+// "full" uses collective buffering (few large contiguous writes by
+// aggregator ranks) while "simple" issues millions of small strided
+// independent operations.
+package mpiio
+
+import (
+	"fmt"
+	"math/bits"
+
+	"ioeval/internal/netsim"
+	"ioeval/internal/sim"
+)
+
+// Op identifies a traced operation kind.
+type Op int
+
+// Operation kinds reported to a Tracer.
+const (
+	OpWrite Op = iota
+	OpRead
+	OpWriteAll
+	OpReadAll
+	OpOpen
+	OpClose
+	OpSync
+	OpCompute
+	OpComm
+	OpBarrier
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpWriteAll:
+		return "write_all"
+	case OpReadAll:
+		return "read_all"
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpSync:
+		return "sync"
+	case OpCompute:
+		return "compute"
+	case OpComm:
+		return "comm"
+	case OpBarrier:
+		return "barrier"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsIO reports whether the op moves file data.
+func (o Op) IsIO() bool {
+	return o == OpWrite || o == OpRead || o == OpWriteAll || o == OpReadAll
+}
+
+// Event is one traced library call.
+type Event struct {
+	Rank   int
+	Op     Op
+	File   string
+	Offset int64 // first byte touched (-1 when not applicable)
+	Bytes  int64 // payload bytes
+	Count  int   // number of application-level operations represented
+	Stride int64 // constant stride between vector elements (0 if n/a)
+	Span   int64 // file-range extent covered (last end - first offset)
+	T0, T1 sim.Time
+}
+
+// Tracer receives events from the library. The trace package
+// implements it; a nil tracer disables tracing.
+type Tracer interface {
+	Record(ev Event)
+}
+
+// World is the set of MPI ranks and their node placement.
+type World struct {
+	eng    *sim.Engine
+	net    *netsim.Network
+	nodes  []string // node name per rank
+	tracer Tracer
+
+	barrier genBarrier
+}
+
+// NewWorld creates a world of len(rankNodes) ranks; rankNodes[i] is
+// the network node hosting rank i (must be attached to net).
+func NewWorld(e *sim.Engine, net *netsim.Network, rankNodes []string) *World {
+	if len(rankNodes) == 0 {
+		panic("mpiio: empty world")
+	}
+	w := &World{eng: e, net: net, nodes: append([]string{}, rankNodes...)}
+	w.barrier.n = len(rankNodes)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.nodes) }
+
+// Node returns the node hosting a rank.
+func (w *World) Node(rank int) string { return w.nodes[rank] }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Net returns the communication network.
+func (w *World) Net() *netsim.Network { return w.net }
+
+// SetTracer installs tr for all subsequent operations.
+func (w *World) SetTracer(tr Tracer) { w.tracer = tr }
+
+// Tracer returns the installed tracer (possibly nil).
+func (w *World) Tracer() Tracer { return w.tracer }
+
+func (w *World) trace(ev Event) {
+	if w.tracer != nil {
+		w.tracer.Record(ev)
+	}
+}
+
+// Compute models computation on a rank for d of simulated time.
+func (w *World) Compute(p *sim.Proc, rank int, d sim.Duration) {
+	t0 := p.Now()
+	p.Sleep(d)
+	w.trace(Event{Rank: rank, Op: OpCompute, Offset: -1, T0: t0, T1: p.Now()})
+}
+
+// Send models a point-to-point message of nb bytes.
+func (w *World) Send(p *sim.Proc, fromRank, toRank int, nb int64) {
+	t0 := p.Now()
+	w.net.Send(p, w.nodes[fromRank], w.nodes[toRank], nb)
+	w.trace(Event{Rank: fromRank, Op: OpComm, Offset: -1, Bytes: nb, Count: 1, T0: t0, T1: p.Now()})
+}
+
+// Barrier blocks the rank until every rank has entered, then charges
+// a dissemination-barrier cost of ceil(log2 n) network latencies.
+func (w *World) Barrier(p *sim.Proc, rank int) {
+	t0 := p.Now()
+	w.barrier.wait(p)
+	rounds := bits.Len(uint(w.Size() - 1))
+	p.Sleep(sim.Duration(rounds) * 2 * w.net.Params().Latency)
+	w.trace(Event{Rank: rank, Op: OpBarrier, Offset: -1, T0: t0, T1: p.Now()})
+}
+
+// genBarrier is a reusable generation-counting barrier.
+type genBarrier struct {
+	n, count int
+	waiters  []func()
+}
+
+func (b *genBarrier) wait(p *sim.Proc) {
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		ws := b.waiters
+		b.waiters = nil
+		for _, wk := range ws {
+			wk()
+		}
+		return
+	}
+	b.waiters = append(b.waiters, p.PrepareWait())
+	p.Wait()
+}
+
+// oneShotBarrier synchronizes exactly n arrivals once.
+type oneShotBarrier struct {
+	n, count int
+	waiters  []func()
+}
+
+func (b *oneShotBarrier) wait(p *sim.Proc) {
+	b.count++
+	if b.count == b.n {
+		for _, wk := range b.waiters {
+			wk()
+		}
+		b.waiters = nil
+		return
+	}
+	b.waiters = append(b.waiters, p.PrepareWait())
+	p.Wait()
+}

@@ -1,0 +1,177 @@
+// Package netsim models a cluster interconnect: switched full-duplex
+// links with bandwidth, latency and contention. Each attached node
+// gets a NIC with independent transmit and receive channels; the
+// switch fabric is non-blocking (standard for the Gigabit Ethernet
+// switches in the paper's clusters), so contention arises at NICs —
+// exactly where it arises for NFS servers with many clients.
+//
+// Large transfers are segmented into quanta so concurrent flows share
+// a NIC approximately fairly, like TCP streams on a real link.
+package netsim
+
+import (
+	"fmt"
+
+	"ioeval/internal/sim"
+)
+
+// Params describes one network.
+type Params struct {
+	Name string
+	// Bandwidth is the effective per-NIC data rate in bytes/second
+	// (wire rate minus protocol overhead; ~117 MB/s for GigE TCP).
+	Bandwidth float64
+	// Latency is the one-way message latency (propagation + switch +
+	// stack traversal).
+	Latency sim.Duration
+	// Quantum is the segmentation size for bandwidth sharing; zero
+	// defaults to 1 MiB.
+	Quantum int64
+	// PerMessage is a fixed per-message software overhead (syscalls,
+	// interrupt handling), charged once per Send.
+	PerMessage sim.Duration
+}
+
+// GigabitEthernet returns parameters for the paper's Gigabit Ethernet
+// data networks.
+func GigabitEthernet(name string) Params {
+	return Params{
+		Name:       name,
+		Bandwidth:  117e6,
+		Latency:    100 * sim.Microsecond,
+		Quantum:    1 << 20,
+		PerMessage: 10 * sim.Microsecond,
+	}
+}
+
+// Stats counts traffic through a network.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// Network is a switched interconnect.
+type Network struct {
+	eng    *sim.Engine
+	params Params
+	nics   map[string]*NIC
+
+	// Stats accumulates global traffic counters.
+	Stats Stats
+}
+
+// NIC is one node's attachment: independent TX and RX channels.
+type NIC struct {
+	node string
+	tx   *sim.Resource
+	rx   *sim.Resource
+
+	// Stats accumulates per-NIC counters.
+	Stats Stats
+}
+
+// New creates a network.
+func New(e *sim.Engine, params Params) *Network {
+	if params.Bandwidth <= 0 {
+		panic(fmt.Sprintf("netsim %q: bandwidth must be positive", params.Name))
+	}
+	if params.Quantum == 0 {
+		params.Quantum = 1 << 20
+	}
+	if params.Quantum < 0 {
+		panic(fmt.Sprintf("netsim %q: negative quantum", params.Name))
+	}
+	return &Network{eng: e, params: params, nics: map[string]*NIC{}}
+}
+
+// Params returns the network parameters.
+func (n *Network) Params() Params { return n.params }
+
+// Attach adds a node to the network and returns its NIC. Attaching
+// the same name twice panics: node names are the address space.
+func (n *Network) Attach(node string) *NIC {
+	if _, dup := n.nics[node]; dup {
+		panic(fmt.Sprintf("netsim %q: node %q attached twice", n.params.Name, node))
+	}
+	nic := &NIC{
+		node: node,
+		tx:   sim.NewResource(n.eng, n.params.Name+":"+node+":tx", 1),
+		rx:   sim.NewResource(n.eng, n.params.Name+":"+node+":rx", 1),
+	}
+	n.nics[node] = nic
+	return nic
+}
+
+// NIC returns the NIC of an attached node, or panics if unknown.
+func (n *Network) NIC(node string) *NIC {
+	nic, ok := n.nics[node]
+	if !ok {
+		panic(fmt.Sprintf("netsim %q: unknown node %q", n.params.Name, node))
+	}
+	return nic
+}
+
+// xferTime returns serialization time for nb bytes at link rate.
+func (n *Network) xferTime(nb int64) sim.Duration {
+	return sim.Duration(float64(nb) / n.params.Bandwidth * 1e9)
+}
+
+// Send transfers nb bytes from one node to another, blocking p for
+// the full transfer time. Loopback (from == to) costs only the
+// per-message overhead plus a memory-speed copy approximation.
+func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
+	if nb < 0 {
+		panic(fmt.Sprintf("netsim %q: negative send size", n.params.Name))
+	}
+	src, dst := n.NIC(from), n.NIC(to)
+	n.Stats.Messages++
+	n.Stats.Bytes += nb
+	src.Stats.Messages++
+	src.Stats.Bytes += nb
+	dst.Stats.Messages++
+	dst.Stats.Bytes += nb
+
+	p.Sleep(n.params.PerMessage)
+	if from == to {
+		// Loopback: no wire, charge a fast memory copy.
+		p.Sleep(sim.Duration(float64(nb) / (4 * n.params.Bandwidth) * 1e9))
+		return
+	}
+
+	// First quantum carries the one-way latency; the rest pipeline.
+	first := true
+	remaining := nb
+	for {
+		q := remaining
+		if q > n.params.Quantum {
+			q = n.params.Quantum
+		}
+		src.tx.Acquire(p, 1)
+		dst.rx.Acquire(p, 1)
+		t := n.xferTime(q)
+		if first {
+			t += n.params.Latency
+			first = false
+		}
+		p.Sleep(t)
+		dst.rx.Release(1)
+		src.tx.Release(1)
+		remaining -= q
+		if remaining <= 0 {
+			return
+		}
+	}
+}
+
+// RoundTrip models a small request/response exchange (an RPC shell):
+// request of reqBytes one way, response of respBytes back.
+func (n *Network) RoundTrip(p *sim.Proc, from, to string, reqBytes, respBytes int64) {
+	n.Send(p, from, to, reqBytes)
+	n.Send(p, to, from, respBytes)
+}
+
+// Utilization returns the TX-side utilization of a node's NIC.
+func (nic *NIC) Utilization() float64 { return nic.tx.Utilization() }
+
+// Node returns the NIC's node name.
+func (nic *NIC) Node() string { return nic.node }

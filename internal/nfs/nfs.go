@@ -1,0 +1,508 @@
+// Package nfs models a network filesystem: a server exporting a local
+// filesystem (fs.Mount) on an I/O node, and per-node clients that
+// satisfy fs.Interface by issuing RPCs over a netsim.Network.
+//
+// The client caches attributes (the NFS attribute cache) and — when
+// ClientParams.CacheBytes is set — file data under close-to-open
+// consistency (clientcache.go). MPI-IO (ROMIO) disables the data
+// cache for files shared by more than one process (SetDirectIO), as
+// close-to-open is too weak there; single-process opens such as
+// MADbench2's UNIQUE file-per-process keep it, which is how
+// applications can exceed the characterized NFS rates when their
+// working set fits in RAM. Server-side caching arises naturally from
+// the exported fs.Mount's page cache.
+package nfs
+
+import (
+	"fmt"
+
+	"ioeval/internal/cache"
+	"ioeval/internal/fs"
+	"ioeval/internal/netsim"
+	"ioeval/internal/sim"
+)
+
+// rpcHeaderBytes approximates the on-wire size of an NFS RPC header.
+const rpcHeaderBytes = 150
+
+// ServerParams configures an NFS server.
+type ServerParams struct {
+	Name string
+	// Threads is the number of nfsd threads: the server-side
+	// concurrency limit for RPC processing.
+	Threads int64
+	// RPCCost is the server CPU cost to process one RPC.
+	RPCCost sim.Duration
+	// SyncExport models the Linux default `sync` export option: every
+	// application-level write must be committed to stable storage
+	// before the reply, costing CommitCost on a server thread. Large
+	// streaming writes amortize it (the client uses UNSTABLE chunk
+	// writes plus one COMMIT per application call), but small-record
+	// workloads pay it per operation — a large part of why NAS BT-IO
+	// "simple" collapses on NFS.
+	SyncExport bool
+	// CommitCost is the stable-storage commit charge per committed
+	// write (journal commit + RAID controller write-back cache ack).
+	CommitCost sim.Duration
+	// LockCost is the lockd (NLM) processing charge per byte-range
+	// lock/unlock pair, on top of the wire round trips. MPI-IO pays it
+	// per operation on shared files.
+	LockCost sim.Duration
+}
+
+// DefaultServerParams mirrors a stock Linux nfsd configuration with a
+// sync export backed by a write-back-cached array.
+func DefaultServerParams(name string) ServerParams {
+	return ServerParams{
+		Name:       name,
+		Threads:    8,
+		RPCCost:    30 * sim.Microsecond,
+		SyncExport: true,
+		CommitCost: 1300 * sim.Microsecond,
+		LockCost:   800 * sim.Microsecond,
+	}
+}
+
+// Server exports a local filesystem over the network.
+type Server struct {
+	eng     *sim.Engine
+	params  ServerParams
+	node    string
+	net     *netsim.Network
+	backend fs.Interface
+	threads *sim.Resource
+	handles map[string]fs.Handle
+	gen     map[string]int64 // per-path change generation (attr cache / close-to-open)
+
+	// Stats counts RPCs served by kind.
+	Stats ServerStats
+}
+
+// ServerStats counts server-side RPC activity.
+type ServerStats struct {
+	ReadRPCs, WriteRPCs, MetaRPCs int64
+	BytesRead, BytesWritten       int64
+}
+
+// NewServer creates a server on the given node exporting backend.
+func NewServer(e *sim.Engine, params ServerParams, node string, net *netsim.Network, backend fs.Interface) *Server {
+	if params.Threads <= 0 {
+		panic(fmt.Sprintf("nfs %q: need at least one server thread", params.Name))
+	}
+	return &Server{
+		eng:     e,
+		params:  params,
+		node:    node,
+		net:     net,
+		backend: backend,
+		threads: sim.NewResource(e, "nfsd:"+params.Name, params.Threads),
+		handles: map[string]fs.Handle{},
+		gen:     map[string]int64{},
+	}
+}
+
+// Node returns the server's network node name.
+func (s *Server) Node() string { return s.node }
+
+// Backend returns the exported filesystem.
+func (s *Server) Backend() fs.Interface { return s.backend }
+
+// handle returns (opening if needed) the server-side handle for path.
+func (s *Server) handle(p *sim.Proc, path string, flags int) (fs.Handle, error) {
+	if h, ok := s.handles[path]; ok {
+		return h, nil
+	}
+	h, err := s.backend.Open(p, path, flags)
+	if err != nil {
+		return nil, err
+	}
+	s.handles[path] = h
+	return h, nil
+}
+
+// serve charges server-side RPC processing: a server thread is held
+// for the CPU cost of nRPCs plus the backend work done inside fn.
+func (s *Server) serve(p *sim.Proc, nRPCs int64, fn func()) {
+	s.threads.Acquire(p, 1)
+	p.Sleep(s.params.RPCCost * sim.Duration(nRPCs))
+	if fn != nil {
+		fn()
+	}
+	s.threads.Release(1)
+}
+
+// commit charges the stable-storage commit cost for n application
+// writes on a sync export (no-op for async exports).
+func (s *Server) commit(p *sim.Proc, n int64) {
+	if !s.params.SyncExport || n == 0 {
+		return
+	}
+	s.threads.Acquire(p, 1)
+	p.Sleep(s.params.CommitCost * sim.Duration(n))
+	s.threads.Release(1)
+}
+
+// ClientParams configures an NFS client mount.
+type ClientParams struct {
+	Name  string
+	RSize int64 // read chunk size per RPC
+	WSize int64 // write chunk size per RPC
+	// CacheBytes is the client-side page-cache budget for NFS data
+	// (close-to-open consistency; see clientcache.go). Zero disables
+	// client data caching.
+	CacheBytes int64
+}
+
+// DefaultClientParams mirrors a common rsize/wsize=256K mount.
+func DefaultClientParams(name string) ClientParams {
+	return ClientParams{Name: name, RSize: 256 << 10, WSize: 256 << 10}
+}
+
+// Client is a node's NFS mount of a Server. It implements
+// fs.Interface.
+type Client struct {
+	eng    *sim.Engine
+	params ClientParams
+	node   string
+	net    *netsim.Network
+	srv    *Server
+
+	attrCache map[string]fs.FileInfo
+
+	// Client data cache (nil when disabled); see clientcache.go.
+	dataCache *cache.Cache
+	pathSlots map[string]int64
+	slotPaths map[int64]string
+	validGen  map[string]int64
+	sizes     map[string]int64 // client view of file sizes (write-behind)
+
+	// Stats counts client-side RPC activity.
+	Stats ClientStats
+}
+
+// ClientStats counts client-side traffic.
+type ClientStats struct {
+	ReadRPCs, WriteRPCs, MetaRPCs int64
+	BytesRead, BytesWritten       int64
+	AttrCacheHits                 int64
+}
+
+var _ fs.Interface = (*Client)(nil)
+
+// NewClient mounts srv on the given client node.
+func NewClient(e *sim.Engine, params ClientParams, node string, net *netsim.Network, srv *Server) *Client {
+	if params.RSize <= 0 || params.WSize <= 0 {
+		panic(fmt.Sprintf("nfs client %q: rsize/wsize must be positive", params.Name))
+	}
+	c := &Client{
+		eng:       e,
+		params:    params,
+		node:      node,
+		net:       net,
+		srv:       srv,
+		attrCache: map[string]fs.FileInfo{},
+		pathSlots: map[string]int64{},
+		slotPaths: map[int64]string{},
+		validGen:  map[string]int64{},
+		sizes:     map[string]int64{},
+	}
+	if params.CacheBytes > 0 {
+		cp := cache.DefaultParams(params.Name+":"+node+":datacache", params.CacheBytes)
+		c.dataCache = cache.New(e, cp, &clientDev{c: c})
+	}
+	return c
+}
+
+// Name implements fs.Interface.
+func (c *Client) Name() string { return c.params.Name }
+
+// Node returns the client's network node.
+func (c *Client) Node() string { return c.node }
+
+// Server returns the mounted server.
+func (c *Client) Server() *Server { return c.srv }
+
+// metaRPC performs a small request/response exchange plus server CPU.
+func (c *Client) metaRPC(p *sim.Proc, fn func()) {
+	c.Stats.MetaRPCs++
+	c.srv.Stats.MetaRPCs++
+	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
+	c.srv.serve(p, 1, fn)
+	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
+}
+
+// Open implements fs.Interface.
+func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
+	var h fs.Handle
+	var err error
+	c.metaRPC(p, func() {
+		h, err = c.srv.handle(p, path, flags)
+		if err == nil && flags&fs.OTrunc != 0 {
+			c.srv.gen[path]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if flags&fs.OTrunc != 0 {
+		delete(c.attrCache, path)
+		c.sizes[path] = 0
+	}
+	c.revalidate(p, path)
+	return &remoteHandle{c: c, path: path, srvHandle: h}, nil
+}
+
+// Remove implements fs.Interface.
+func (c *Client) Remove(p *sim.Proc, path string) error {
+	var err error
+	c.metaRPC(p, func() {
+		if h, ok := c.srv.handles[path]; ok {
+			h.Close(p)
+			delete(c.srv.handles, path)
+		}
+		err = c.srv.backend.Remove(p, path)
+		c.srv.gen[path]++
+	})
+	delete(c.attrCache, path)
+	c.invalidatePath(path)
+	return err
+}
+
+// Stat implements fs.Interface, consulting the attribute cache first.
+func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
+	if fi, ok := c.attrCache[path]; ok {
+		c.Stats.AttrCacheHits++
+		return fi, nil
+	}
+	var fi fs.FileInfo
+	var err error
+	c.metaRPC(p, func() { fi, err = c.srv.backend.Stat(p, path) })
+	if err == nil {
+		c.attrCache[path] = fi
+	}
+	return fi, err
+}
+
+// Sync implements fs.Interface: a COMMIT RPC plus a server-side sync.
+func (c *Client) Sync(p *sim.Proc) {
+	c.metaRPC(p, func() { c.srv.backend.Sync(p) })
+}
+
+// LockUnlock charges the cost of count byte-range lock/unlock pairs.
+// MPI-IO (ROMIO) brackets every operation on an NFS file with fcntl
+// locks to get shared-file consistency; each pair is two synchronous
+// RPCs. The mpiio layer calls this for mounts that support it.
+func (c *Client) LockUnlock(p *sim.Proc, count int64) {
+	if count <= 0 {
+		return
+	}
+	c.Stats.MetaRPCs += 2 * count
+	c.srv.Stats.MetaRPCs += 2 * count
+	// Two round trips per pair plus the lockd (NLM) processing cost,
+	// pipelined with the op stream: charged serially on the client,
+	// plus server CPU on a thread.
+	p.Sleep(sim.Duration(count) * (4*c.net.Params().Latency + c.srv.params.LockCost))
+	c.srv.serve(p, 2*count, nil)
+}
+
+type remoteHandle struct {
+	c         *Client
+	path      string
+	srvHandle fs.Handle
+	closed    bool
+	direct    bool // bypass the client data cache (MPI-IO shared files)
+}
+
+func (h *remoteHandle) Path() string { return h.path }
+
+// Size returns the client's view of the file size: the server size
+// extended by any not-yet-flushed write-behind data.
+func (h *remoteHandle) Size() int64 {
+	if sz := h.c.sizes[h.path]; sz > h.srvHandle.Size() {
+		return sz
+	}
+	return h.srvHandle.Size()
+}
+
+func (h *remoteHandle) check() {
+	if h.closed {
+		panic(fmt.Sprintf("nfs: use of closed handle %q", h.path))
+	}
+}
+
+// rpcRead fetches a range in RSize chunks, each a synchronous RPC.
+func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
+	var got int64
+	for n > 0 {
+		chunk := n
+		if chunk > c.params.RSize {
+			chunk = c.params.RSize
+		}
+		c.Stats.ReadRPCs++
+		c.srv.Stats.ReadRPCs++
+		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
+		var r int64
+		c.srv.serve(p, 1, func() { r = srvHandle.ReadAt(p, off, chunk) })
+		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes+r)
+		got += r
+		off += chunk
+		n -= chunk
+		if r < chunk {
+			break // EOF
+		}
+	}
+	c.srv.Stats.BytesRead += got
+	return got
+}
+
+// ReadAt implements fs.Handle: served from the client data cache when
+// close-to-open validity allows, otherwise in RSize RPC chunks.
+func (h *remoteHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
+	h.check()
+	if got, ok := h.cachedRead(p, off, n); ok {
+		return got
+	}
+	got := h.c.rpcRead(p, h.srvHandle, off, n)
+	h.c.Stats.BytesRead += got
+	return got
+}
+
+// rpcWriteUnstable pushes a range in WSize chunks of UNSTABLE write
+// RPCs (no commit — callers decide when to commit).
+func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
+	var put int64
+	for n > 0 {
+		chunk := n
+		if chunk > c.params.WSize {
+			chunk = c.params.WSize
+		}
+		c.Stats.WriteRPCs++
+		c.srv.Stats.WriteRPCs++
+		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes+chunk)
+		c.srv.serve(p, 1, func() { srvHandle.WriteAt(p, off, chunk) })
+		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
+		put += chunk
+		off += chunk
+		n -= chunk
+	}
+	c.srv.Stats.BytesWritten += put
+	return put
+}
+
+// WriteAt implements fs.Handle. Buffered handles absorb the write
+// into the client cache (write-behind); direct handles issue
+// synchronous RPCs with a stable commit per call, as MPI-IO requires
+// on NFS.
+func (h *remoteHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
+	h.check()
+	c := h.c
+	if put, ok := h.cachedWrite(p, off, n); ok {
+		return put
+	}
+	put := c.rpcWriteUnstable(p, h.srvHandle, off, n)
+	c.srv.commit(p, 1)
+	c.srv.gen[h.path]++
+	c.Stats.BytesWritten += put
+	delete(c.attrCache, h.path)
+	return put
+}
+
+// ReadVec implements fs.Handle. Many small operations are batched:
+// the wire carries one aggregate request and one aggregate response,
+// while per-operation latency and server CPU are charged for every
+// element — so op-count penalties survive without one simulation
+// event per operation.
+func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+	h.check()
+	if len(vecs) == 0 {
+		return 0
+	}
+	c := h.c
+	if c.dataCache != nil && !h.direct {
+		var got int64
+		for _, v := range vecs {
+			n, ok := h.cachedRead(p, v.Off, v.Len)
+			if !ok {
+				n = c.rpcRead(p, h.srvHandle, v.Off, v.Len)
+				c.Stats.BytesRead += n
+			}
+			got += n
+		}
+		return got
+	}
+	count := int64(len(vecs))
+	c.Stats.ReadRPCs += count
+	c.srv.Stats.ReadRPCs += count
+	// Request stream: headers only (one per op).
+	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes*count)
+	// Per-RPC round-trip latencies beyond the first pipeline poorly for
+	// synchronous clients: charge them serially.
+	extra := count - 1
+	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
+	var got int64
+	c.srv.serve(p, count, func() { got = h.srvHandle.ReadVec(p, vecs) })
+	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count+got)
+	c.Stats.BytesRead += got
+	c.srv.Stats.BytesRead += got
+	return got
+}
+
+// WriteVec implements fs.Handle; see ReadVec for the batching model.
+func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+	h.check()
+	if len(vecs) == 0 {
+		return 0
+	}
+	c := h.c
+	if c.dataCache != nil && !h.direct {
+		var put int64
+		for _, v := range vecs {
+			n, ok := h.cachedWrite(p, v.Off, v.Len)
+			if !ok {
+				n = c.rpcWriteUnstable(p, h.srvHandle, v.Off, v.Len)
+				c.srv.commit(p, 1)
+				c.srv.gen[h.path]++
+				c.Stats.BytesWritten += n
+			}
+			put += n
+		}
+		return put
+	}
+	count := int64(len(vecs))
+	var total int64
+	for _, v := range vecs {
+		total += v.Len
+	}
+	c.Stats.WriteRPCs += count
+	c.srv.Stats.WriteRPCs += count
+	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes*count+total)
+	extra := count - 1
+	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
+	var put int64
+	c.srv.serve(p, count, func() { put = h.srvHandle.WriteVec(p, vecs) })
+	c.srv.commit(p, count)
+	c.srv.gen[h.path]++
+	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count)
+	c.Stats.BytesWritten += put
+	c.srv.Stats.BytesWritten += put
+	delete(c.attrCache, h.path)
+	return put
+}
+
+// Sync implements fs.Handle: flush write-behind data, then COMMIT.
+func (h *remoteHandle) Sync(p *sim.Proc) {
+	h.check()
+	h.flushAndCommit(p)
+	h.c.metaRPC(p, func() { h.srvHandle.Sync(p) })
+}
+
+// Close implements fs.Handle. Per close-to-open consistency the
+// client flushes write-behind data and commits; the server-side
+// handle stays open for other clients (it is reference-counted by
+// path on the server).
+func (h *remoteHandle) Close(p *sim.Proc) {
+	h.check()
+	h.flushAndCommit(p)
+	h.closed = true
+	h.c.metaRPC(p, nil)
+}

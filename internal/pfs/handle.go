@@ -1,0 +1,228 @@
+package pfs
+
+import (
+	"fmt"
+	"sort"
+
+	"ioeval/internal/fs"
+	"ioeval/internal/sim"
+)
+
+// pfsHandle is an open parallel file.
+type pfsHandle struct {
+	c      *Client
+	path   string
+	closed bool
+}
+
+var _ fs.Handle = (*pfsHandle)(nil)
+
+func (h *pfsHandle) Path() string { return h.path }
+
+func (h *pfsHandle) Size() int64 { return h.c.sys.sizes[h.path] }
+
+func (h *pfsHandle) check() {
+	if h.closed {
+		panic(fmt.Sprintf("pfs: use of closed handle %q", h.path))
+	}
+}
+
+// serverOp is the per-server share of a striped request: subfile
+// extents plus the operation count it represents.
+type serverOp struct {
+	vecs  []fs.IOVec
+	bytes int64
+	ops   int64
+}
+
+// stripeMap splits logical extents into per-server subfile extents.
+// Global chunk g lives on server g%N at subfile chunk g/N.
+func (h *pfsHandle) stripeMap(vecs []fs.IOVec) []serverOp {
+	sys := h.c.sys
+	stripe := sys.params.StripeSize
+	n := int64(len(sys.servers))
+	out := make([]serverOp, n)
+	for _, v := range vecs {
+		off, length := v.Off, v.Len
+		first := true
+		for length > 0 {
+			g := off / stripe
+			within := off % stripe
+			take := stripe - within
+			if take > length {
+				take = length
+			}
+			s := g % n
+			local := (g/n)*stripe + within
+			op := &out[s]
+			// Merge physically adjacent subfile extents.
+			if k := len(op.vecs); k > 0 && op.vecs[k-1].Off+op.vecs[k-1].Len == local {
+				op.vecs[k-1].Len += take
+			} else {
+				op.vecs = append(op.vecs, fs.IOVec{Off: local, Len: take})
+			}
+			op.bytes += take
+			if first {
+				op.ops++ // each server charges one request per client op
+				first = false
+			}
+			off += take
+			length -= take
+		}
+	}
+	// Every touched server charges at least one request per call.
+	for i := range out {
+		if out[i].bytes > 0 && out[i].ops == 0 {
+			out[i].ops = 1
+		}
+	}
+	return out
+}
+
+// transfer executes the striped request: all touched servers work
+// concurrently; per server the client pays request envelopes, the
+// wire carries the aggregate data, and the server performs the
+// subfile I/O on its local stack.
+func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
+	c := h.c
+	sys := c.sys
+	var fns []func(*sim.Proc)
+	var total int64
+	var errs []error
+	for i := range ops {
+		i := i
+		op := ops[i]
+		if op.bytes == 0 {
+			continue
+		}
+		total += op.bytes
+		srv := sys.servers[i]
+		fns = append(fns, func(child *sim.Proc) {
+			c.Stats.Requests += op.ops
+			srv.Stats.Requests += op.ops
+			req := rpcHeaderBytes * op.ops
+			if write {
+				req += op.bytes
+			}
+			c.net.Send(child, c.node, srv.node, req)
+			srv.threads.Acquire(child, 1)
+			child.Sleep(sys.params.RPCCost * sim.Duration(op.ops))
+			sh, err := sys.subfile(child, i, h.path)
+			if err != nil {
+				errs = append(errs, err)
+				srv.threads.Release(1)
+				return
+			}
+			if write {
+				sh.WriteVec(child, op.vecs)
+				srv.Stats.BytesWritten += op.bytes
+			} else {
+				sh.ReadVec(child, op.vecs)
+				srv.Stats.BytesRead += op.bytes
+			}
+			srv.threads.Release(1)
+			resp := rpcHeaderBytes * op.ops
+			if !write {
+				resp += op.bytes
+			}
+			c.net.Send(child, srv.node, c.node, resp)
+		})
+	}
+	sim.Fork(p, "pfs-xfer", fns...)
+	if len(errs) > 0 {
+		panic(fmt.Sprintf("pfs: subfile error: %v", errs[0]))
+	}
+	if write {
+		c.Stats.BytesWritten += total
+	} else {
+		c.Stats.BytesRead += total
+	}
+	return total
+}
+
+// WriteAt implements fs.Handle.
+func (h *pfsHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
+	h.check()
+	if n == 0 {
+		return 0
+	}
+	put := h.transfer(p, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), true)
+	h.grow(off + n)
+	return put
+}
+
+// ReadAt implements fs.Handle.
+func (h *pfsHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
+	h.check()
+	size := h.Size()
+	if off >= size {
+		return 0
+	}
+	if off+n > size {
+		n = size - off
+	}
+	if n == 0 {
+		return 0
+	}
+	return h.transfer(p, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), false)
+}
+
+// WriteVec implements fs.Handle.
+func (h *pfsHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+	h.check()
+	if len(vecs) == 0 {
+		return 0
+	}
+	var maxEnd int64
+	for _, v := range vecs {
+		if end := v.Off + v.Len; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	put := h.transfer(p, h.stripeMap(vecs), true)
+	h.grow(maxEnd)
+	return put
+}
+
+// ReadVec implements fs.Handle.
+func (h *pfsHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+	h.check()
+	size := h.Size()
+	clamped := make([]fs.IOVec, 0, len(vecs))
+	for _, v := range vecs {
+		if v.Off >= size {
+			continue
+		}
+		if v.Off+v.Len > size {
+			v.Len = size - v.Off
+		}
+		if v.Len > 0 {
+			clamped = append(clamped, v)
+		}
+	}
+	if len(clamped) == 0 {
+		return 0
+	}
+	sort.Slice(clamped, func(i, j int) bool { return clamped[i].Off < clamped[j].Off })
+	return h.transfer(p, h.stripeMap(clamped), false)
+}
+
+// grow extends the metadata size (monotonic).
+func (h *pfsHandle) grow(end int64) {
+	if end > h.c.sys.sizes[h.path] {
+		h.c.sys.sizes[h.path] = end
+	}
+}
+
+// Sync implements fs.Handle.
+func (h *pfsHandle) Sync(p *sim.Proc) {
+	h.check()
+	h.c.Sync(p)
+}
+
+// Close implements fs.Handle (metadata release).
+func (h *pfsHandle) Close(p *sim.Proc) {
+	h.check()
+	h.closed = true
+	h.c.metaRPC(p, nil)
+}

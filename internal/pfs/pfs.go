@@ -1,0 +1,245 @@
+// Package pfs models a PVFS-like user-level parallel filesystem:
+// files are striped round-robin across multiple I/O servers, clients
+// talk to all servers concurrently, and there is no client-side data
+// caching and no locking (PVFS semantics — MPI-IO/ROMIO runs on it
+// without the byte-range locks NFS needs).
+//
+// The paper's configuration-analysis phase lists "number and
+// placement of I/O nodes" among the configurable factors but its
+// testbeds had a single NFS node; the authors point to simulation
+// (SIMCAN) for exploring other architectures. This package is that
+// exploration: it lets the methodology characterize and evaluate
+// multi-I/O-node configurations on the same simulated substrate.
+package pfs
+
+import (
+	"fmt"
+
+	"ioeval/internal/fs"
+	"ioeval/internal/netsim"
+	"ioeval/internal/sim"
+)
+
+// rpcHeaderBytes approximates a PVFS request/response envelope.
+const rpcHeaderBytes = 120
+
+// Params configures a parallel filesystem deployment.
+type Params struct {
+	Name       string
+	StripeSize int64 // bytes per stripe chunk (PVFS default: 64 KiB)
+	// Threads per server (request concurrency limit).
+	Threads int64
+	// RPCCost is the server CPU charge per request.
+	RPCCost sim.Duration
+}
+
+// DefaultParams mirrors a stock PVFS deployment.
+func DefaultParams(name string) Params {
+	return Params{
+		Name:       name,
+		StripeSize: 64 << 10,
+		Threads:    16,
+		RPCCost:    20 * sim.Microsecond,
+	}
+}
+
+// Server is one I/O daemon: it stores the subfiles of its stripe
+// column on a node-local filesystem.
+type Server struct {
+	eng     *sim.Engine
+	node    string
+	net     *netsim.Network
+	backend fs.Interface
+	threads *sim.Resource
+	handles map[string]fs.Handle
+
+	// Stats counts server traffic.
+	Stats ServerStats
+}
+
+// ServerStats counts per-server activity.
+type ServerStats struct {
+	Requests                int64
+	BytesRead, BytesWritten int64
+}
+
+// System is a deployed parallel filesystem: the server group plus
+// shared metadata. Server 0 doubles as the metadata server, as in
+// small PVFS deployments.
+type System struct {
+	params  Params
+	servers []*Server
+	sizes   map[string]int64 // logical file sizes (metadata)
+}
+
+// NewSystem deploys servers on the given nodes; backends[i] is the
+// node-local filesystem of server i.
+func NewSystem(e *sim.Engine, params Params, nodes []string, net *netsim.Network, backends []fs.Interface) *System {
+	if len(nodes) == 0 || len(nodes) != len(backends) {
+		panic(fmt.Sprintf("pfs %q: %d nodes, %d backends", params.Name, len(nodes), len(backends)))
+	}
+	if params.StripeSize <= 0 {
+		panic(fmt.Sprintf("pfs %q: stripe size must be positive", params.Name))
+	}
+	if params.Threads <= 0 {
+		params.Threads = 16
+	}
+	sys := &System{params: params, sizes: map[string]int64{}}
+	for i, node := range nodes {
+		sys.servers = append(sys.servers, &Server{
+			eng:     e,
+			node:    node,
+			net:     net,
+			backend: backends[i],
+			threads: sim.NewResource(e, fmt.Sprintf("pfsd:%s:%d", params.Name, i), params.Threads),
+			handles: map[string]fs.Handle{},
+		})
+	}
+	return sys
+}
+
+// Servers returns the I/O daemons (for statistics inspection).
+func (sys *System) Servers() []*Server { return sys.servers }
+
+// Backend returns the server's node-local filesystem (the methodology
+// characterizes it as the "local FS" level of a PFS deployment).
+func (s *Server) Backend() fs.Interface { return s.backend }
+
+// Params returns the deployment parameters.
+func (sys *System) Params() Params { return sys.params }
+
+// subfile returns (opening/creating lazily) server i's subfile handle
+// for a path.
+func (sys *System) subfile(p *sim.Proc, i int, path string) (fs.Handle, error) {
+	srv := sys.servers[i]
+	if h, ok := srv.handles[path]; ok {
+		return h, nil
+	}
+	h, err := srv.backend.Open(p, fmt.Sprintf("/pvfs%s.s%d", path, i), fs.ORead|fs.OWrite|fs.OCreate)
+	if err != nil {
+		return nil, err
+	}
+	srv.handles[path] = h
+	return h, nil
+}
+
+// Client is a node's view of the parallel filesystem. It implements
+// fs.Interface. Note the absence of ByteRangeLocker and of any data
+// cache: PVFS does neither.
+type Client struct {
+	eng  *sim.Engine
+	node string
+	net  *netsim.Network
+	sys  *System
+
+	// Stats counts client traffic.
+	Stats ClientStats
+}
+
+// ClientStats counts client-side activity.
+type ClientStats struct {
+	Requests                int64
+	BytesRead, BytesWritten int64
+}
+
+var _ fs.Interface = (*Client)(nil)
+
+// NewClient attaches a compute node to the filesystem.
+func NewClient(e *sim.Engine, node string, net *netsim.Network, sys *System) *Client {
+	return &Client{eng: e, node: node, net: net, sys: sys}
+}
+
+// Name implements fs.Interface.
+func (c *Client) Name() string { return c.sys.params.Name }
+
+// Node returns the client's network node.
+func (c *Client) Node() string { return c.node }
+
+// metaServer is the metadata daemon (server 0).
+func (c *Client) metaServer() *Server { return c.sys.servers[0] }
+
+// metaRPC performs a metadata request against server 0.
+func (c *Client) metaRPC(p *sim.Proc, fn func() error) error {
+	srv := c.metaServer()
+	c.Stats.Requests++
+	srv.Stats.Requests++
+	c.net.Send(p, c.node, srv.node, rpcHeaderBytes)
+	srv.threads.Acquire(p, 1)
+	p.Sleep(c.sys.params.RPCCost)
+	var err error
+	if fn != nil {
+		err = fn()
+	}
+	srv.threads.Release(1)
+	c.net.Send(p, srv.node, c.node, rpcHeaderBytes)
+	return err
+}
+
+// Open implements fs.Interface.
+func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
+	err := c.metaRPC(p, func() error {
+		_, exists := c.sys.sizes[path]
+		if !exists {
+			if flags&fs.OCreate == 0 {
+				return fmt.Errorf("open %q: %w", path, fs.ErrNotExist)
+			}
+			c.sys.sizes[path] = 0
+		}
+		if flags&fs.OTrunc != 0 {
+			c.sys.sizes[path] = 0
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &pfsHandle{c: c, path: path}, nil
+}
+
+// Remove implements fs.Interface.
+func (c *Client) Remove(p *sim.Proc, path string) error {
+	return c.metaRPC(p, func() error {
+		if _, ok := c.sys.sizes[path]; !ok {
+			return fmt.Errorf("remove %q: %w", path, fs.ErrNotExist)
+		}
+		delete(c.sys.sizes, path)
+		for i, srv := range c.sys.servers {
+			if h, ok := srv.handles[path]; ok {
+				h.Close(p)
+				delete(srv.handles, path)
+				srv.backend.Remove(p, fmt.Sprintf("/pvfs%s.s%d", path, i))
+			}
+		}
+		return nil
+	})
+}
+
+// Stat implements fs.Interface.
+func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
+	var fi fs.FileInfo
+	err := c.metaRPC(p, func() error {
+		size, ok := c.sys.sizes[path]
+		if !ok {
+			return fmt.Errorf("stat %q: %w", path, fs.ErrNotExist)
+		}
+		fi = fs.FileInfo{Path: path, Size: size}
+		return nil
+	})
+	return fi, err
+}
+
+// Sync implements fs.Interface: flush every server's backend.
+func (c *Client) Sync(p *sim.Proc) {
+	fns := make([]func(*sim.Proc), len(c.sys.servers))
+	for i := range c.sys.servers {
+		srv := c.sys.servers[i]
+		fns[i] = func(child *sim.Proc) {
+			c.net.Send(child, c.node, srv.node, rpcHeaderBytes)
+			srv.threads.Acquire(child, 1)
+			srv.backend.Sync(child)
+			srv.threads.Release(1)
+			c.net.Send(child, srv.node, c.node, rpcHeaderBytes)
+		}
+	}
+	sim.Fork(p, "pfs-sync", fns...)
+}

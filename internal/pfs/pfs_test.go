@@ -1,0 +1,231 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ioeval/internal/cache"
+	"ioeval/internal/device"
+	"ioeval/internal/fs"
+	"ioeval/internal/netsim"
+	"ioeval/internal/sim"
+)
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// rig builds nServers PFS servers and one client over GigE.
+type rig struct {
+	eng    *sim.Engine
+	sys    *System
+	client *Client
+	disks  []*device.Disk
+}
+
+func newRig(nServers int) *rig {
+	e := sim.NewEngine()
+	net := netsim.New(e, netsim.GigabitEthernet("data"))
+	nodes := make([]string, nServers)
+	backends := make([]fs.Interface, nServers)
+	r := &rig{eng: e}
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("io%d", i)
+		net.Attach(nodes[i])
+		d := device.NewDisk(e, device.DefaultSATA(fmt.Sprintf("d%d", i), 230*gb, 100e6))
+		r.disks = append(r.disks, d)
+		pc := cache.New(e, cache.DefaultParams(fmt.Sprintf("pc%d", i), 1*gb), d)
+		backends[i] = fs.NewMount(e, fs.DefaultMountParams("ext4"), pc)
+	}
+	net.Attach("cl")
+	r.sys = NewSystem(e, DefaultParams("pvfs"), nodes, net, backends)
+	r.client = NewClient(e, "cl", net, r.sys)
+	return r
+}
+
+func run(t *testing.T, e *sim.Engine, fn func(*sim.Proc)) {
+	t.Helper()
+	e.Spawn("t", func(p *sim.Proc) { fn(p) })
+	e.Run()
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := newRig(4)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, err := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if n := h.WriteAt(p, 0, 8*mb); n != 8*mb {
+			t.Fatalf("wrote %d", n)
+		}
+		if h.Size() != 8*mb {
+			t.Fatalf("size = %d", h.Size())
+		}
+		if n := h.ReadAt(p, 0, 8*mb); n != 8*mb {
+			t.Fatalf("read %d", n)
+		}
+		h.Close(p)
+	})
+}
+
+func TestStripingDistributesEvenly(t *testing.T) {
+	r := newRig(4)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(p, 0, 8*mb) // 128 chunks of 64 KiB over 4 servers
+		h.Close(p)
+	})
+	for i, srv := range r.sys.Servers() {
+		if srv.Stats.BytesWritten != 2*mb {
+			t.Fatalf("server %d got %d bytes, want 2MB", i, srv.Stats.BytesWritten)
+		}
+	}
+}
+
+func TestOpenMissingFails(t *testing.T) {
+	r := newRig(2)
+	run(t, r.eng, func(p *sim.Proc) {
+		if _, err := r.client.Open(p, "/ghost", fs.ORead); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestStatRemove(t *testing.T) {
+	r := newRig(2)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(p, 0, 100*kb)
+		h.Close(p)
+		fi, err := r.client.Stat(p, "/f")
+		if err != nil || fi.Size != 100*kb {
+			t.Fatalf("stat = %+v, %v", fi, err)
+		}
+		if err := r.client.Remove(p, "/f"); err != nil {
+			t.Fatalf("remove: %v", err)
+		}
+		if _, err := r.client.Stat(p, "/f"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("stat after remove: %v", err)
+		}
+	})
+}
+
+func TestTruncateOnOpen(t *testing.T) {
+	r := newRig(2)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(p, 0, mb)
+		h.Close(p)
+		h2, _ := r.client.Open(p, "/f", fs.OWrite|fs.OTrunc)
+		if h2.Size() != 0 {
+			t.Fatalf("size after trunc = %d", h2.Size())
+		}
+		h2.Close(p)
+	})
+}
+
+func TestReadClampsToEOF(t *testing.T) {
+	r := newRig(2)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		h.WriteAt(p, 0, 100*kb)
+		if n := h.ReadAt(p, 50*kb, mb); n != 50*kb {
+			t.Fatalf("short read = %d", n)
+		}
+		if n := h.ReadAt(p, mb, kb); n != 0 {
+			t.Fatalf("read past EOF = %d", n)
+		}
+		h.Close(p)
+	})
+}
+
+func TestMoreServersMoreThroughput(t *testing.T) {
+	// The point of the architecture: aggregate bandwidth scales with
+	// I/O nodes (until the client NIC binds).
+	timeFor := func(nServers int) sim.Duration {
+		r := newRig(nServers)
+		var dur sim.Duration
+		run(t, r.eng, func(p *sim.Proc) {
+			h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
+			t0 := p.Now()
+			h.WriteAt(p, 0, 256*mb)
+			h.Sync(p)
+			dur = sim.Duration(p.Now() - t0)
+			h.Close(p)
+		})
+		return dur
+	}
+	t1, t4 := timeFor(1), timeFor(4)
+	if t4 >= t1 {
+		t.Fatalf("4 servers (%v) not faster than 1 (%v)", t4, t1)
+	}
+}
+
+func TestVecTotals(t *testing.T) {
+	r := newRig(3)
+	run(t, r.eng, func(p *sim.Proc) {
+		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		var vecs []fs.IOVec
+		for i := int64(0); i < 100; i++ {
+			vecs = append(vecs, fs.IOVec{Off: i * 100 * kb, Len: 10 * kb})
+		}
+		if n := h.WriteVec(p, vecs); n != 1000*kb {
+			t.Fatalf("vec wrote %d", n)
+		}
+		if n := h.ReadVec(p, vecs); n != 1000*kb {
+			t.Fatalf("vec read %d", n)
+		}
+		h.Close(p)
+	})
+}
+
+func TestNoLockingInterface(t *testing.T) {
+	// PVFS needs no byte-range locks: the client must NOT implement
+	// the locking interface the mpiio layer probes for.
+	type locker interface {
+		LockUnlock(p *sim.Proc, count int64)
+	}
+	var c fs.Interface = newRig(1).client
+	if _, ok := c.(locker); ok {
+		t.Fatal("pfs.Client must not implement byte-range locking")
+	}
+}
+
+// Property: stripe mapping preserves total bytes and every subfile
+// extent is non-overlapping within its server.
+func TestQuickStripeMapCoverage(t *testing.T) {
+	r := newRig(5)
+	h := &pfsHandle{c: r.client, path: "/q"}
+	f := func(raw []uint16) bool {
+		var vecs []fs.IOVec
+		off := int64(0)
+		var total int64
+		for _, v := range raw {
+			l := int64(v%5000) + 1
+			gap := int64(v % 3000)
+			off += gap
+			vecs = append(vecs, fs.IOVec{Off: off, Len: l})
+			off += l
+			total += l
+		}
+		ops := h.stripeMap(vecs)
+		var mapped int64
+		for _, op := range ops {
+			for i, v := range op.vecs {
+				mapped += v.Len
+				if i > 0 && v.Off < op.vecs[i-1].Off+op.vecs[i-1].Len {
+					return false // overlap or disorder within a server
+				}
+			}
+		}
+		return mapped == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

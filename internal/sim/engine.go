@@ -1,0 +1,170 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine advances a virtual clock (integer nanoseconds) by executing
+// events from a priority queue ordered by (time, insertion sequence).
+// On top of the raw event calendar, the package offers a process model
+// (Proc) in which each simulated activity runs in its own goroutine and
+// synchronizes with the engine through a strict handshake, so execution
+// is sequential and fully deterministic: at any instant exactly one
+// goroutine — the engine or a single process — is running.
+//
+// All higher-level subsystems of this repository (disks, RAID, caches,
+// networks, filesystems, the MPI-IO analogue) are built on this engine.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulated time in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring time.Duration's constants.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Seconds returns the time as a floating-point number of seconds since
+// the simulation began.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// DurationFromSeconds converts seconds to a simulated Duration,
+// rounding to the nearest nanosecond.
+func DurationFromSeconds(s float64) Duration {
+	return Duration(s*float64(Second) + 0.5)
+}
+
+type event struct {
+	t   Time
+	seq uint64 // tie-breaker: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	running bool
+	procs   int // live (spawned, unfinished) processes, for diagnostics
+}
+
+// NewEngine returns an engine with the clock at zero and an empty
+// event calendar.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at now+delay. A negative delay
+// panics: the simulation cannot travel backwards.
+func (e *Engine) Schedule(delay Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: e.now + Time(delay), seq: e.seq, fn: fn})
+}
+
+// ScheduleAt arranges for fn to run at absolute time t, which must not
+// be in the past.
+func (e *Engine) ScheduleAt(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt %d in the past (now %d)", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the calendar is empty, returning the final
+// simulated time. If any spawned process is still blocked when the
+// calendar drains (a deadlock in the modeled system), Run panics,
+// because silently dropping stuck work would corrupt every measurement
+// taken from the simulation.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.procs > 0 {
+		panic(fmt.Sprintf("sim: deadlock: %d process(es) still blocked with no pending events", e.procs))
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ limit and then stops, leaving
+// later events on the calendar. The clock is advanced to limit even if
+// no event lands exactly there.
+func (e *Engine) RunUntil(limit Time) Time {
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.events.Len() > 0 && e.events[0].t <= limit {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting on the calendar.
+func (e *Engine) Pending() int { return e.events.Len() }

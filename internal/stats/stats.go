@@ -1,0 +1,106 @@
+// Package stats provides small numeric and formatting helpers shared
+// by the methodology reports and command-line tools.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N              int
+	Min, Max, Mean float64
+}
+
+// Summarize computes a Summary (zero value for an empty sample).
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	return s
+}
+
+// MBs formats a byte rate as MB/s (decimal megabytes, as the paper's
+// tables do).
+func MBs(bytesPerSecond float64) string {
+	return fmt.Sprintf("%.1f MB/s", bytesPerSecond/1e6)
+}
+
+// IBytes formats a byte count with binary units.
+func IBytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib && n%gib == 0:
+		return fmt.Sprintf("%dGiB", n/gib)
+	case n >= gib:
+		return fmt.Sprintf("%.1fGiB", float64(n)/float64(gib))
+	case n >= mib && n%mib == 0:
+		return fmt.Sprintf("%dMiB", n/mib)
+	case n >= mib:
+		return fmt.Sprintf("%.1fMiB", float64(n)/float64(mib))
+	case n >= kib:
+		return fmt.Sprintf("%.1fKiB", float64(n)/float64(kib))
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+// Table renders rows of cells as an aligned text table. The first row
+// is the header.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := map[int]int{}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		if ri == 0 {
+			for i := range row {
+				if i > 0 {
+					b.WriteString("  ")
+				}
+				b.WriteString(strings.Repeat("-", widths[i]))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

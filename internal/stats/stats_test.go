@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2})
+	if s.N != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+func TestQuickSummarizeBounds(t *testing.T) {
+	f := func(raw []int32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Bounded inputs: the property concerns ordering, not float
+		// overflow behaviour at ±1e308.
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.N == len(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMBs(t *testing.T) {
+	if got := MBs(117e6); got != "117.0 MB/s" {
+		t.Fatalf("MBs = %q", got)
+	}
+}
+
+func TestIBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:           "512B",
+		32 << 10:      "32.0KiB",
+		1 << 20:       "1MiB",
+		1<<20 + 1<<19: "1.5MiB",
+		4 << 30:       "4GiB",
+	}
+	for in, want := range cases {
+		if got := IBytes(in); got != want {
+			t.Errorf("IBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.AddRow("a", "long-header")
+	tb.AddRow("value-x", "b")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Fatalf("misaligned table:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("missing header rule:\n%s", out)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Fatal("empty table should render empty")
+	}
+}

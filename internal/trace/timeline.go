@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+)
+
+// Timeline renders a Jumpshot-style per-rank activity chart (the
+// paper's Figs. 8 and 16) as text: one lane per rank, one column per
+// time bucket, with the dominant activity of each bucket marked:
+//
+//	W write   R read   C compute   M communication   B barrier   . idle
+type Timeline struct {
+	Width int // columns (default 100)
+}
+
+// lane activity codes in priority order (I/O wins ties so short I/O
+// bursts stay visible, as in the paper's figures).
+var laneChar = map[mpiio.Op]byte{
+	mpiio.OpWrite:    'W',
+	mpiio.OpWriteAll: 'W',
+	mpiio.OpRead:     'R',
+	mpiio.OpReadAll:  'R',
+	mpiio.OpCompute:  'C',
+	mpiio.OpComm:     'M',
+	mpiio.OpBarrier:  'B',
+}
+
+var lanePriority = map[byte]int{'W': 5, 'R': 5, 'M': 3, 'B': 2, 'C': 4, '.': 0}
+
+// Render draws the events. Ranks are sorted ascending; the time axis
+// spans the first event start to the last event end.
+func (tl Timeline) Render(events []mpiio.Event) string {
+	width := tl.Width
+	if width <= 0 {
+		width = 100
+	}
+	if len(events) == 0 {
+		return "(no events)\n"
+	}
+	var tMin, tMax sim.Time
+	maxRank := 0
+	for i, ev := range events {
+		if i == 0 || ev.T0 < tMin {
+			tMin = ev.T0
+		}
+		if i == 0 || ev.T1 > tMax {
+			tMax = ev.T1
+		}
+		if ev.Rank > maxRank {
+			maxRank = ev.Rank
+		}
+	}
+	span := float64(tMax - tMin)
+	if span <= 0 {
+		span = 1
+	}
+	lanes := make([][]byte, maxRank+1)
+	for r := range lanes {
+		lanes[r] = []byte(strings.Repeat(".", width))
+	}
+	for _, ev := range events {
+		ch, ok := laneChar[ev.Op]
+		if !ok {
+			continue
+		}
+		c0 := int(float64(ev.T0-tMin) / span * float64(width))
+		c1 := int(float64(ev.T1-tMin) / span * float64(width))
+		if c1 >= width {
+			c1 = width - 1
+		}
+		for c := c0; c <= c1; c++ {
+			if lanePriority[ch] >= lanePriority[lanes[ev.Rank][c]] {
+				lanes[ev.Rank][c] = ch
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %v   (W write, R read, C compute, M comm, B barrier)\n",
+		sim.Duration(tMax-tMin))
+	for r, lane := range lanes {
+		fmt.Fprintf(&b, "rank %3d |%s|\n", r, lane)
+	}
+	return b.String()
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+)
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// mk builds an event quickly.
+func mk(rank int, op mpiio.Op, off, bytes int64, count int, stride int64, t0, t1 sim.Time) mpiio.Event {
+	return mpiio.Event{Rank: rank, Op: op, File: "/f", Offset: off, Bytes: bytes,
+		Count: count, Stride: stride, T0: t0, T1: t1}
+}
+
+func TestProfileCounts(t *testing.T) {
+	tr := New()
+	tr.Record(mk(0, mpiio.OpOpen, -1, 0, 1, 0, 0, 10))
+	tr.Record(mk(1, mpiio.OpOpen, -1, 0, 1, 0, 0, 10))
+	tr.Record(mk(0, mpiio.OpWrite, 0, 10*mb, 1, 0, 10, 110))
+	tr.Record(mk(1, mpiio.OpWrite, 10*mb, 10*mb, 1, 0, 10, 120))
+	tr.Record(mk(0, mpiio.OpRead, 0, 2*mb, 2, mb, 120, 150))
+	tr.Record(mk(0, mpiio.OpClose, -1, 0, 1, 0, 150, 151))
+	p := tr.Profile()
+	if p.NumProcs != 2 || p.NumFiles != 1 {
+		t.Fatalf("procs=%d files=%d", p.NumProcs, p.NumFiles)
+	}
+	if p.NumWrites != 2 || p.NumReads != 2 {
+		t.Fatalf("writes=%d reads=%d", p.NumWrites, p.NumReads)
+	}
+	if p.NumOpens != 2 || p.NumCloses != 1 {
+		t.Fatalf("opens=%d closes=%d", p.NumOpens, p.NumCloses)
+	}
+	if p.BytesWritten != 20*mb || p.BytesRead != 2*mb {
+		t.Fatalf("bytes: w=%d r=%d", p.BytesWritten, p.BytesRead)
+	}
+	// Write block size: 10MB ×2; read block size: 1MB ×2 (vector of 2).
+	if p.WriteBlockSizes[0].Bytes != 10*mb || p.WriteBlockSizes[0].Count != 2 {
+		t.Fatalf("write sizes: %+v", p.WriteBlockSizes)
+	}
+	if p.ReadBlockSizes[0].Bytes != mb || p.ReadBlockSizes[0].Count != 2 {
+		t.Fatalf("read sizes: %+v", p.ReadBlockSizes)
+	}
+	if p.ExecTime != 151 {
+		t.Fatalf("exec time = %v", p.ExecTime)
+	}
+	// Rank 0 I/O time = 100 + 30 = 130; rank 1 = 110. Max = 130.
+	if p.IOTime != 130 {
+		t.Fatalf("io time = %v", p.IOTime)
+	}
+}
+
+func TestPhasesSplitOnCompute(t *testing.T) {
+	tr := New()
+	// write, write (one phase) | compute | write (second phase) | read phase
+	tr.Record(mk(0, mpiio.OpWrite, 0, mb, 1, 0, 0, 10))
+	tr.Record(mk(0, mpiio.OpWrite, mb, mb, 1, 0, 10, 20))
+	tr.Record(mk(0, mpiio.OpCompute, -1, 0, 0, 0, 20, 50))
+	tr.Record(mk(0, mpiio.OpWrite, 2*mb, mb, 1, 0, 50, 60))
+	tr.Record(mk(0, mpiio.OpRead, 0, 3*mb, 1, 0, 60, 90))
+	phases := tr.Phases(0)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d, want 3: %+v", len(phases), phases)
+	}
+	if phases[0].Kind != mpiio.OpWrite || phases[0].Ops != 2 || phases[0].Bytes != 2*mb {
+		t.Fatalf("phase 0 = %+v", phases[0])
+	}
+	if phases[1].Kind != mpiio.OpWrite || phases[1].Ops != 1 {
+		t.Fatalf("phase 1 = %+v", phases[1])
+	}
+	if phases[2].Kind != mpiio.OpRead {
+		t.Fatalf("phase 2 = %+v", phases[2])
+	}
+}
+
+func TestPhaseKindChangeSplits(t *testing.T) {
+	tr := New()
+	tr.Record(mk(0, mpiio.OpWrite, 0, mb, 1, 0, 0, 10))
+	tr.Record(mk(0, mpiio.OpRead, 0, mb, 1, 0, 10, 20))
+	tr.Record(mk(0, mpiio.OpWrite, mb, mb, 1, 0, 20, 30))
+	if n := len(tr.Phases(0)); n != 3 {
+		t.Fatalf("phases = %d, want 3", n)
+	}
+}
+
+func TestAccessModeDetection(t *testing.T) {
+	tr := New()
+	// Sequential: back-to-back offsets.
+	tr.Record(mk(0, mpiio.OpWrite, 0, mb, 1, 0, 0, 10))
+	tr.Record(mk(0, mpiio.OpWrite, mb, mb, 1, 0, 10, 20))
+	tr.Record(mk(0, mpiio.OpBarrier, -1, 0, 0, 0, 20, 21))
+	// Strided vector: stride 16KB over 1.6KB records.
+	tr.Record(mk(0, mpiio.OpWrite, 0, 160*kb, 100, 16*kb, 21, 50))
+	tr.Record(mk(0, mpiio.OpBarrier, -1, 0, 0, 0, 50, 51))
+	// Strided singles: non-contiguous offsets.
+	tr.Record(mk(0, mpiio.OpRead, 0, kb, 1, 0, 51, 52))
+	tr.Record(mk(0, mpiio.OpRead, 100*kb, kb, 1, 0, 52, 53))
+	phases := tr.Phases(0)
+	if len(phases) != 3 {
+		t.Fatalf("phases = %d: %+v", len(phases), phases)
+	}
+	if phases[0].Mode != Sequential {
+		t.Fatalf("phase 0 mode = %v", phases[0].Mode)
+	}
+	if phases[1].Mode != Strided {
+		t.Fatalf("phase 1 mode = %v", phases[1].Mode)
+	}
+	if phases[2].Mode != Strided {
+		t.Fatalf("phase 2 mode = %v", phases[2].Mode)
+	}
+}
+
+func TestSignatureWeights(t *testing.T) {
+	tr := New()
+	// 40 repetitions of the same write phase + 1 read phase — the NAS
+	// BT-IO full structure.
+	tm := sim.Time(0)
+	for i := 0; i < 40; i++ {
+		tr.Record(mk(0, mpiio.OpCompute, -1, 0, 0, 0, tm, tm+100))
+		tm += 100
+		tr.Record(mk(0, mpiio.OpWrite, int64(i)*10*mb, 10*mb, 1, 0, tm, tm+50))
+		tm += 50
+	}
+	for i := 0; i < 40; i++ {
+		tr.Record(mk(0, mpiio.OpRead, int64(i)*10*mb, 10*mb, 1, 0, tm, tm+30))
+		tm += 30
+	}
+	sig := tr.Signature(0)
+	if len(sig) != 2 {
+		t.Fatalf("signature entries = %d, want 2: %+v", len(sig), sig)
+	}
+	if sig[0].Phase.Kind != mpiio.OpWrite || sig[0].Weight != 40 {
+		t.Fatalf("write entry = %+v", sig[0])
+	}
+	if sig[1].Phase.Kind != mpiio.OpRead || sig[1].Weight != 1 {
+		t.Fatalf("read entry = %+v", sig[1])
+	}
+	if sig[1].Phase.Ops != 40 {
+		t.Fatalf("read phase ops = %d, want 40", sig[1].Phase.Ops)
+	}
+}
+
+func TestPhaseTransferRate(t *testing.T) {
+	ph := Phase{Bytes: 100 * mb, Start: 0, End: sim.Time(sim.Second)}
+	if r := ph.TransferRate(); r < 104e6 || r > 105e6 {
+		t.Fatalf("rate = %f", r)
+	}
+	zero := Phase{Bytes: mb}
+	if zero.TransferRate() != 0 {
+		t.Fatal("zero-duration phase must have rate 0")
+	}
+}
+
+func TestTimelineRender(t *testing.T) {
+	tr := New()
+	tr.Record(mk(0, mpiio.OpCompute, -1, 0, 0, 0, 0, 50))
+	tr.Record(mk(0, mpiio.OpWrite, 0, mb, 1, 0, 50, 100))
+	tr.Record(mk(1, mpiio.OpRead, 0, mb, 1, 0, 0, 100))
+	out := Timeline{Width: 20}.Render(tr.Events())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "C") || !strings.Contains(lines[1], "W") {
+		t.Fatalf("rank 0 lane missing C/W: %q", lines[1])
+	}
+	if strings.Count(lines[2], "R") != 20 {
+		t.Fatalf("rank 1 lane should be all R: %q", lines[2])
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	out := Timeline{}.Render(nil)
+	if !strings.Contains(out, "no events") {
+		t.Fatalf("empty render = %q", out)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New()
+	tr.Record(mk(0, mpiio.OpWrite, 0, mb, 1, 0, 0, 10))
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("reset did not clear events")
+	}
+}

@@ -1,0 +1,278 @@
+// Package btio implements the NAS BT-IO benchmark (NPB 2.4 I/O
+// version) on the simulated cluster: the Block-Tridiagonal solver's
+// diagonal multi-partitioning decomposition, a solution-field dump
+// every WriteInterval time steps, and the two I/O subtypes the paper
+// contrasts:
+//
+//   - full:   MPI-IO with collective buffering — data is rearranged
+//     across processes and written as few large contiguous chunks.
+//   - simple: MPI-IO without collective buffering — every process
+//     writes each of its cell lines with an individual seek+write,
+//     producing millions of ~1.6 KB strided operations.
+//
+// The decomposition reproduces the paper's characterization tables
+// exactly in structure: class C on 16 processes yields 6561 records
+// per process per dump of 1600 and 1640 bytes (Table II); on 64
+// processes, 800- and 840-byte records (Table V).
+package btio
+
+import (
+	"fmt"
+	"math"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/workload"
+)
+
+// Subtype selects the BT-IO I/O implementation.
+type Subtype int
+
+// The paper's two evaluated subtypes.
+const (
+	Full Subtype = iota
+	Simple
+)
+
+func (s Subtype) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "simple"
+}
+
+// Class is an NPB problem class.
+type Class struct {
+	Name          string
+	N             int // grid points per dimension
+	Steps         int // time steps
+	WriteInterval int // dump the solution every this many steps
+	// ComputeTotal approximates the aggregate computation time of the
+	// whole run on the reference hardware; it is divided over ranks
+	// and steps.
+	ComputeTotal sim.Duration
+}
+
+// NPB classes with I/O (per the NPB 2.4 specification).
+var (
+	ClassA = Class{Name: "A", N: 64, Steps: 200, WriteInterval: 5, ComputeTotal: 120 * sim.Second}
+	ClassB = Class{Name: "B", N: 102, Steps: 200, WriteInterval: 5, ComputeTotal: 500 * sim.Second}
+	ClassC = Class{Name: "C", N: 162, Steps: 200, WriteInterval: 5, ComputeTotal: 2000 * sim.Second}
+)
+
+const bytesPerPoint = 5 * 8 // five double-precision words per mesh point
+
+// Config parameterizes a BT-IO run.
+type Config struct {
+	Class   Class
+	Procs   int // must be a perfect square (BT requirement)
+	Subtype Subtype
+	// Path of the shared solution file on the cluster's NFS storage.
+	Path string
+	// ComputeScale scales the modeled computation time (1.0 = class
+	// default; 0 = I/O only). Tests use small values.
+	ComputeScale float64
+	// UsePFS runs against the cluster's parallel filesystem instead
+	// of NFS (the cluster must be built with Config.PFSIONodes > 0).
+	UsePFS bool
+	// Hints overrides the MPI-IO hints; zero value uses subtype
+	// defaults (full: collective buffering on; simple: off).
+	Hints *mpiio.Hints
+}
+
+// App is a configured BT-IO instance.
+type App struct {
+	cfg Config
+	q   int   // process grid side (procs = q²)
+	xs  []int // split of N into q chunks (larger chunks first)
+	pfx []int // prefix sums of xs
+}
+
+var _ workload.App = (*App)(nil)
+
+// New validates the configuration and returns the workload.
+func New(cfg Config) *App {
+	q := int(math.Sqrt(float64(cfg.Procs)))
+	if q*q != cfg.Procs || cfg.Procs == 0 {
+		panic(fmt.Sprintf("btio: %d processes is not a square", cfg.Procs))
+	}
+	if cfg.Path == "" {
+		cfg.Path = "/btio.out"
+	}
+	if cfg.ComputeScale == 0 {
+		cfg.ComputeScale = 0 // explicit: I/O-only unless caller sets it
+	}
+	a := &App{cfg: cfg, q: q}
+	a.xs = split(cfg.Class.N, q)
+	a.pfx = make([]int, q+1)
+	for i, s := range a.xs {
+		a.pfx[i+1] = a.pfx[i] + s
+	}
+	return a
+}
+
+// split divides n into q near-equal parts, larger parts first
+// (162 into 4 → 41,41,40,40 — exactly NPB's cell sizing).
+func split(n, q int) []int {
+	out := make([]int, q)
+	base, rem := n/q, n%q
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// Name implements workload.App.
+func (a *App) Name() string {
+	return fmt.Sprintf("NAS BT-IO class %s %s (%d procs)", a.cfg.Class.Name, a.cfg.Subtype, a.cfg.Procs)
+}
+
+// Procs implements workload.App.
+func (a *App) Procs() int { return a.cfg.Procs }
+
+// Dumps returns the number of solution dumps in the run.
+func (a *App) Dumps() int { return a.cfg.Class.Steps / a.cfg.Class.WriteInterval }
+
+// DumpBytes returns the size of one solution dump.
+func (a *App) DumpBytes() int64 {
+	n := int64(a.cfg.Class.N)
+	return n * n * n * bytesPerPoint
+}
+
+// cell is one Cartesian sub-block.
+type cell struct{ cx, cy, cz int }
+
+// cells returns the q cells of a rank under diagonal
+// multi-partitioning: rank (r,c) owns, on each z-layer d, the cell
+// shifted diagonally so every layer is fully covered and each rank's
+// cells sit on a space diagonal.
+func (a *App) cells(rank int) []cell {
+	r, c := rank/a.q, rank%a.q
+	out := make([]cell, a.q)
+	for d := 0; d < a.q; d++ {
+		out[d] = cell{cx: (c + d) % a.q, cy: (r + d) % a.q, cz: d}
+	}
+	return out
+}
+
+// dumpVecs builds the rank's records for the dump based at byte
+// offset base: one vector element per (z, y) line of each owned cell.
+func (a *App) dumpVecs(rank int, base int64) []fs.IOVec {
+	n := int64(a.cfg.Class.N)
+	var vecs []fs.IOVec
+	for _, cl := range a.cells(rank) {
+		x0, nx := int64(a.pfx[cl.cx]), int64(a.xs[cl.cx])
+		y0, ny := a.pfx[cl.cy], a.xs[cl.cy]
+		z0, nz := a.pfx[cl.cz], a.xs[cl.cz]
+		for z := z0; z < z0+nz; z++ {
+			for y := y0; y < y0+ny; y++ {
+				off := base + ((int64(z)*n+int64(y))*n+x0)*bytesPerPoint
+				vecs = append(vecs, fs.IOVec{Off: off, Len: nx * bytesPerPoint})
+			}
+		}
+	}
+	return vecs
+}
+
+// RecordsPerDump returns the per-rank record count for one dump
+// (6561 for class C on 16 procs — Table II).
+func (a *App) RecordsPerDump(rank int) int { return len(a.dumpVecs(rank, 0)) }
+
+// Run implements workload.App.
+func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
+	np := a.cfg.Procs
+	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w.SetTracer(tr)
+
+	hints := mpiio.Hints{CollectiveBuffering: a.cfg.Subtype == Full}
+	if a.cfg.Hints != nil {
+		hints = *a.cfg.Hints
+	}
+	mounts := c.NFSMounts(np)
+	if a.cfg.UsePFS {
+		mounts = c.PFSMounts(np)
+	}
+	f := mpiio.OpenFile(w, a.cfg.Path, fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
+		mounts, hints)
+
+	dumps := a.Dumps()
+	computePerDump := sim.Duration(0)
+	if a.cfg.ComputeScale > 0 {
+		perRank := float64(a.cfg.Class.ComputeTotal) / float64(np) / float64(dumps)
+		computePerDump = sim.Duration(perRank * a.cfg.ComputeScale)
+	}
+	// Boundary-exchange bytes per dump: each rank exchanges cell faces
+	// with neighbours every step (the paper observes ~120 messages per
+	// write phase at 16 procs: 24 sends per step × 5 steps).
+	faceBytes := int64(a.xs[0]) * int64(a.xs[0]) * bytesPerPoint
+	msgsPerDump := 24 * a.cfg.Class.WriteInterval
+
+	var errs []error
+	readTimes := make([]sim.Duration, np)
+	writeTimes := make([]sim.Duration, np)
+
+	for rank := 0; rank < np; rank++ {
+		rank := rank
+		c.Eng.Spawn(fmt.Sprintf("btio-r%d", rank), func(p *sim.Proc) {
+			if err := f.Open(p, rank); err != nil {
+				errs = append(errs, err)
+				return
+			}
+			right := (rank + 1) % np
+			for d := 0; d < dumps; d++ {
+				if computePerDump > 0 {
+					w.Compute(p, rank, computePerDump)
+				}
+				for m := 0; m < msgsPerDump; m++ {
+					w.Send(p, rank, right, faceBytes)
+				}
+				vecs := a.dumpVecs(rank, int64(d)*a.DumpBytes())
+				t0 := p.Now()
+				if a.cfg.Subtype == Full {
+					f.WriteVecAll(p, rank, vecs)
+				} else {
+					f.WriteVec(p, rank, vecs)
+				}
+				writeTimes[rank] += sim.Duration(p.Now() - t0)
+			}
+			w.Barrier(p, rank)
+			// Verification read-back of the whole solution history.
+			for d := 0; d < dumps; d++ {
+				vecs := a.dumpVecs(rank, int64(d)*a.DumpBytes())
+				t0 := p.Now()
+				if a.cfg.Subtype == Full {
+					f.ReadVecAll(p, rank, vecs)
+				} else {
+					f.ReadVec(p, rank, vecs)
+				}
+				readTimes[rank] += sim.Duration(p.Now() - t0)
+			}
+			f.Close(p, rank)
+		})
+	}
+	end := c.Eng.Run()
+	if len(errs) > 0 {
+		return workload.Result{}, errs[0]
+	}
+
+	res := workload.Result{ExecTime: sim.Duration(end)}
+	for r := 0; r < np; r++ {
+		if readTimes[r] > res.ReadTime {
+			res.ReadTime = readTimes[r]
+		}
+		if writeTimes[r] > res.WriteTime {
+			res.WriteTime = writeTimes[r]
+		}
+		if tot := readTimes[r] + writeTimes[r]; tot > res.IOTime {
+			res.IOTime = tot
+		}
+	}
+	res.BytesWritten = int64(dumps) * a.DumpBytes()
+	res.BytesRead = int64(dumps) * a.DumpBytes()
+	return res, nil
+}

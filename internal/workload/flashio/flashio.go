@@ -1,0 +1,163 @@
+// Package flashio implements the FLASH I/O benchmark — the checkpoint
+// and plotfile writer of the FLASH astrophysics code, one of the
+// standard parallel I/O benchmarks the paper's related work evaluates
+// (Blue Gene studies; "Flash3 I/O"). Each process owns a fixed number
+// of AMR blocks; a checkpoint writes every solution variable as one
+// collectively-written dataset (double precision), and two plotfiles
+// write a subset of variables in single precision — many medium-sized
+// collective writes, a pattern distinct from both BT-IO subtypes and
+// MADbench2.
+package flashio
+
+import (
+	"fmt"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/workload"
+)
+
+// Config parameterizes a FLASH I/O run. Defaults mirror the standard
+// benchmark setup: 80 blocks of 8×8×8 cells per process, 24
+// checkpoint variables, 4 plotfile variables, two plotfiles.
+type Config struct {
+	Procs         int
+	BlocksPerProc int
+	CellsPerBlock int
+	Vars          int
+	PlotVars      int
+	PathPrefix    string
+	// Compute models the solver time preceding each dump.
+	Compute sim.Duration
+}
+
+// App is a configured FLASH I/O instance.
+type App struct {
+	cfg Config
+}
+
+var _ workload.App = (*App)(nil)
+
+// New validates the configuration and returns the workload.
+func New(cfg Config) *App {
+	if cfg.Procs <= 0 {
+		panic("flashio: need at least one process")
+	}
+	if cfg.BlocksPerProc == 0 {
+		cfg.BlocksPerProc = 80
+	}
+	if cfg.CellsPerBlock == 0 {
+		cfg.CellsPerBlock = 8 * 8 * 8
+	}
+	if cfg.Vars == 0 {
+		cfg.Vars = 24
+	}
+	if cfg.PlotVars == 0 {
+		cfg.PlotVars = 4
+	}
+	if cfg.PathPrefix == "" {
+		cfg.PathPrefix = "/flash"
+	}
+	return &App{cfg: cfg}
+}
+
+// Name implements workload.App.
+func (a *App) Name() string {
+	return fmt.Sprintf("FLASH I/O (%d procs, %d blocks/proc, %d vars)",
+		a.cfg.Procs, a.cfg.BlocksPerProc, a.cfg.Vars)
+}
+
+// Procs implements workload.App.
+func (a *App) Procs() int { return a.cfg.Procs }
+
+// VarBytesPerProc returns a rank's contribution to one checkpoint
+// variable dataset (double precision).
+func (a *App) VarBytesPerProc() int64 {
+	return int64(a.cfg.BlocksPerProc) * int64(a.cfg.CellsPerBlock) * 8
+}
+
+// PlotVarBytesPerProc is the single-precision plotfile counterpart.
+func (a *App) PlotVarBytesPerProc() int64 { return a.VarBytesPerProc() / 2 }
+
+// CheckpointBytes returns the total checkpoint size.
+func (a *App) CheckpointBytes() int64 {
+	return a.VarBytesPerProc() * int64(a.cfg.Vars) * int64(a.cfg.Procs)
+}
+
+// Run implements workload.App.
+func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
+	np := a.cfg.Procs
+	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w.SetTracer(tr)
+
+	ckpt := mpiio.OpenFile(w, a.cfg.PathPrefix+"_hdf5_chk_0001",
+		fs.OWrite|fs.OCreate|fs.OTrunc, c.NFSMounts(np), mpiio.DefaultHints())
+	plots := []*mpiio.File{
+		mpiio.OpenFile(w, a.cfg.PathPrefix+"_hdf5_plt_crn_0001",
+			fs.OWrite|fs.OCreate|fs.OTrunc, c.NFSMounts(np), mpiio.DefaultHints()),
+		mpiio.OpenFile(w, a.cfg.PathPrefix+"_hdf5_plt_cnt_0001",
+			fs.OWrite|fs.OCreate|fs.OTrunc, c.NFSMounts(np), mpiio.DefaultHints()),
+	}
+
+	varBytes := a.VarBytesPerProc()
+	plotBytes := a.PlotVarBytesPerProc()
+	var errs []error
+	ioTimes := make([]sim.Duration, np)
+
+	for rank := 0; rank < np; rank++ {
+		rank := rank
+		c.Eng.Spawn(fmt.Sprintf("flash-r%d", rank), func(p *sim.Proc) {
+			if err := ckpt.Open(p, rank); err != nil {
+				errs = append(errs, err)
+				return
+			}
+			for _, f := range plots {
+				if err := f.Open(p, rank); err != nil {
+					errs = append(errs, err)
+					return
+				}
+			}
+			if a.cfg.Compute > 0 {
+				w.Compute(p, rank, a.cfg.Compute)
+			}
+			// Checkpoint: one collectively written dataset per variable;
+			// dataset layout is variable-major with rank blocks contiguous.
+			for v := 0; v < a.cfg.Vars; v++ {
+				base := int64(v)*varBytes*int64(np) + int64(rank)*varBytes
+				t0 := p.Now()
+				ckpt.WriteAtAll(p, rank, base, varBytes)
+				ioTimes[rank] += sim.Duration(p.Now() - t0)
+			}
+			w.Barrier(p, rank)
+			// Plotfiles: PlotVars single-precision datasets each.
+			for _, f := range plots {
+				for v := 0; v < a.cfg.PlotVars; v++ {
+					base := int64(v)*plotBytes*int64(np) + int64(rank)*plotBytes
+					t0 := p.Now()
+					f.WriteAtAll(p, rank, base, plotBytes)
+					ioTimes[rank] += sim.Duration(p.Now() - t0)
+				}
+			}
+			ckpt.Close(p, rank)
+			for _, f := range plots {
+				f.Close(p, rank)
+			}
+		})
+	}
+	end := c.Eng.Run()
+	if len(errs) > 0 {
+		return workload.Result{}, errs[0]
+	}
+	res := workload.Result{ExecTime: sim.Duration(end)}
+	for _, d := range ioTimes {
+		if d > res.IOTime {
+			res.IOTime = d
+		}
+	}
+	res.WriteTime = res.IOTime
+	res.BytesWritten = a.CheckpointBytes() +
+		2*plotBytes*int64(a.cfg.PlotVars)*int64(np)
+	return res, nil
+}

@@ -1,0 +1,48 @@
+// Package workload defines the application-side contract the
+// methodology evaluates: an App runs on a simulated cluster under a
+// tracer, and reports its execution metrics (the paper's "execution
+// time, I/O time, transfer rate" measurements). Subpackages implement
+// the paper's two applications: NAS BT-IO and MadBench2.
+package workload
+
+import (
+	"ioeval/internal/cluster"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+)
+
+// Result is what a run reports (Figs. 12, 15, 17, 18).
+type Result struct {
+	ExecTime sim.Duration // wall time of the whole run
+	IOTime   sim.Duration // max per-rank time spent inside I/O calls
+
+	BytesRead    int64
+	BytesWritten int64
+
+	// ReadTime and WriteTime are the max per-rank cumulative times in
+	// read and write calls respectively.
+	ReadTime, WriteTime sim.Duration
+
+	// PhaseRates holds named per-phase aggregate transfer rates in
+	// bytes/second (MadBench2's S_w, W_w, W_r, C_r).
+	PhaseRates map[string]float64
+}
+
+// Throughput returns the overall I/O rate (bytes moved per second of
+// I/O time).
+func (r Result) Throughput() float64 {
+	d := r.IOTime.Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.BytesRead+r.BytesWritten) / d
+}
+
+// App is a runnable parallel application.
+type App interface {
+	Name() string
+	Procs() int
+	// Run executes the application to completion on the cluster,
+	// reporting events to tr (which may be nil).
+	Run(c *cluster.Cluster, tr mpiio.Tracer) (Result, error)
+}

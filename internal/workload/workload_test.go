@@ -1,0 +1,22 @@
+package workload
+
+import (
+	"testing"
+
+	"ioeval/internal/sim"
+)
+
+func TestThroughput(t *testing.T) {
+	r := Result{BytesRead: 50 << 20, BytesWritten: 50 << 20, IOTime: sim.Second}
+	want := float64(100<<20) / 1.0
+	if got := r.Throughput(); got != want {
+		t.Fatalf("throughput = %f, want %f", got, want)
+	}
+}
+
+func TestThroughputZeroIOTime(t *testing.T) {
+	r := Result{BytesRead: 1 << 20}
+	if got := r.Throughput(); got != 0 {
+		t.Fatalf("throughput with zero I/O time = %f, want 0", got)
+	}
+}
