@@ -27,6 +27,7 @@ func main() {
 	procs := flag.Int("procs", 16, "MPI processes (square)")
 	subtype := flag.String("subtype", "full", "I/O subtype: full or simple")
 	timeline := flag.Bool("timeline", false, "render the Jumpshot-style trace timeline")
+	metrics := flag.String("metrics", "", "write the telemetry report (per-phase component snapshots) to this JSON file")
 	flag.Parse()
 
 	var c *cluster.Cluster
@@ -59,8 +60,9 @@ func main() {
 
 	app := btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1})
 	tr := trace.New()
+	ps := trace.NewPhaseSnapshotter(c.Eng, c.Telemetry, tr, 0)
 	fmt.Printf("running %s on %s ...\n\n", app.Name(), c.Cfg.Name)
-	res, err := app.Run(c, tr)
+	res, err := app.Run(c, ps)
 	if err != nil {
 		fatal(err)
 	}
@@ -85,6 +87,16 @@ func main() {
 	if *timeline {
 		fmt.Println()
 		fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
+	}
+
+	if *metrics != "" {
+		rep := c.TelemetryReport()
+		rep.App = app.Name()
+		rep.Phases = ps.Finish()
+		if err := rep.WriteFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(telemetry report written to %s)\n", *metrics)
 	}
 }
 

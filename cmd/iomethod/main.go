@@ -37,6 +37,7 @@ func main() {
 	pfsNodes := flag.Int("pfs", 0, "deploy a PVFS-like parallel FS over N I/O nodes and run against it")
 	saveChar := flag.String("save-char", "", "write the characterization to this JSON file")
 	loadChar := flag.String("load-char", "", "reuse a characterization from this JSON file (skips phase 1 system side)")
+	metrics := flag.String("metrics", "", "write the telemetry report (per-level rates, per-phase component snapshots) to this JSON file")
 	flag.Parse()
 
 	org, err := parseOrg(*orgName)
@@ -143,6 +144,12 @@ func main() {
 	fmt.Println(core.FormatEvaluation(ev))
 	if *utilization {
 		fmt.Println(evalCluster.UtilizationReport())
+	}
+	if *metrics != "" {
+		if err := ev.TelemetryReport().WriteFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(telemetry report written to %s)\n", *metrics)
 	}
 }
 

@@ -37,7 +37,7 @@ func (a *checkpointer) Name() string {
 func (a *checkpointer) Procs() int { return a.procs }
 
 func (a *checkpointer) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(a.procs))
+	w := c.NewWorld(c.RankNodes(a.procs))
 	w.SetTracer(tr)
 	f := mpiio.OpenFile(w, "/checkpoint.dat", fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
 		c.NFSMounts(a.procs), mpiio.DefaultHints())

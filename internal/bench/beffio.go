@@ -108,7 +108,7 @@ func RunBeffIO(c *cluster.Cluster, cfg BeffIOConfig) (BeffIOSummary, error) {
 func beffOnce(c *cluster.Cluster, cfg BeffIOConfig, pattern BeffPattern, ts int64) (BeffIOResult, error) {
 	np := cfg.Procs
 	perRank := cfg.BytesPerRank / ts * ts // whole ops only
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w := c.NewWorld(c.RankNodes(np))
 
 	path := func(rank int) string {
 		if pattern == BeffSeparate {
@@ -157,7 +157,7 @@ func beffOnce(c *cluster.Cluster, cfg BeffIOConfig, pattern BeffPattern, ts int6
 			f := files[rank]
 			fRank := rank
 			if f == nil {
-				sub := mpiio.NewWorld(c.Eng, c.CommNet, []string{w.Node(rank)})
+				sub := c.NewWorld([]string{w.Node(rank)})
 				f = mpiio.OpenFile(sub, path(rank), fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
 					[]fs.Interface{mounts[rank]}, mpiio.Hints{})
 				fRank = 0

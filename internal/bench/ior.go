@@ -80,7 +80,7 @@ func RunIOR(c *cluster.Cluster, cfg IORConfig) ([]IORResult, error) {
 
 func iorOnce(c *cluster.Cluster, cfg IORConfig, bs int64) (IORResult, error) {
 	np := cfg.Procs
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w := c.NewWorld(c.RankNodes(np))
 	hints := mpiio.Hints{CollectiveBuffering: cfg.Collective}
 	mounts := c.NFSMounts(np)
 	if cfg.UsePFS {

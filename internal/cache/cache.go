@@ -19,6 +19,7 @@ import (
 
 	"ioeval/internal/device"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Policy selects how writes propagate to the underlying device.
@@ -108,6 +109,8 @@ type Cache struct {
 
 	// Stats accumulates hit/miss and write-back counters.
 	Stats Stats
+
+	rec *telemetry.Recorder
 }
 
 var _ device.BlockDev = (*Cache)(nil)
@@ -132,8 +135,12 @@ func New(e *sim.Engine, params Params, under device.BlockDev) *Cache {
 		under:  under,
 		pages:  map[int64]*page{},
 		lru:    list.New(),
+		rec:    telemetry.NewRecorder(e, "cache:"+params.Name, telemetry.LevelCache, 1),
 	}
 }
+
+// Telemetry returns the cache's telemetry probe.
+func (c *Cache) Telemetry() *telemetry.Recorder { return c.rec }
 
 // Name implements device.BlockDev.
 func (c *Cache) Name() string { return c.params.Name }
@@ -204,8 +211,10 @@ func (c *Cache) evictLRU(p *sim.Proc) {
 	}
 	pg := back.Value.(*page)
 	c.Stats.Evictions++
+	c.rec.Add("evictions", 1)
 	if pg.dirty {
 		c.Stats.DirtyEvict++
+		c.rec.Add("dirty_evictions", 1)
 		// Writing back a single page would be pathological on parity
 		// arrays (one read-modify-write per 64 KB). Like the kernel
 		// flusher, cluster the write-back: take the victim's whole
@@ -266,6 +275,7 @@ func (c *Cache) writeOut(p *sim.Proc, idxs []int64) {
 		}
 		c.under.WriteAt(p, off, n)
 		c.Stats.WriteBackBytes += n
+		c.rec.Add("writeback_bytes", n)
 	}
 	for _, idx := range claimed[1:] {
 		if idx == runStart+runLen {
@@ -293,6 +303,12 @@ func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
 		return
 	}
 	c.Stats.ReadOps++
+	c.rec.Enter()
+	start0 := p.Now()
+	defer func() {
+		c.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(p.Now()-start0))
+		c.rec.Exit()
+	}()
 	first, last := c.pageRange(off, n)
 	ps := c.params.PageSize
 	streaming := off == c.lastReadEnd
@@ -347,6 +363,8 @@ func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
 	hitBytes := n - min64(missBytes, n)
 	c.Stats.HitBytes += hitBytes
 	c.Stats.MissBytes += min64(missBytes, n)
+	c.rec.Add("hit_bytes", hitBytes)
+	c.rec.Add("miss_bytes", min64(missBytes, n))
 	c.memCopy(p, n)
 }
 
@@ -356,6 +374,12 @@ func (c *Cache) WriteAt(p *sim.Proc, off, n int64) {
 		return
 	}
 	c.Stats.WriteOps++
+	c.rec.Enter()
+	start0 := p.Now()
+	defer func() {
+		c.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(p.Now()-start0))
+		c.rec.Exit()
+	}()
 	first, last := c.pageRange(off, n)
 	c.memCopy(p, n)
 
@@ -385,6 +409,7 @@ func (c *Cache) throttle(p *sim.Proc) {
 		return
 	}
 	c.Stats.ThrottleStalls++
+	c.rec.Add("throttle_stalls", 1)
 	target := limit / 2
 	// Collect dirty pages from the LRU end (oldest first).
 	var victims []int64
@@ -400,6 +425,10 @@ func (c *Cache) throttle(p *sim.Proc) {
 // Flush implements device.BlockDev: write out every dirty page and
 // flush the device below.
 func (c *Cache) Flush(p *sim.Proc) {
+	start0 := p.Now()
+	defer func() {
+		c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start0))
+	}()
 	var dirtyIdx []int64
 	for idx, pg := range c.pages {
 		if pg.dirty {

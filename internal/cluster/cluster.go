@@ -14,11 +14,13 @@ import (
 	"ioeval/internal/cache"
 	"ioeval/internal/device"
 	"ioeval/internal/fs"
+	"ioeval/internal/mpiio"
 	"ioeval/internal/netsim"
 	"ioeval/internal/nfs"
 	"ioeval/internal/pfs"
 	"ioeval/internal/raid"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Organization is the I/O-node device organization under test: the
@@ -109,6 +111,13 @@ type Cluster struct {
 	PFS        *pfs.System
 	PFSDisks   []*device.Disk
 	PFSClients []*pfs.Client
+
+	// Telemetry holds every instrumented component's probe, in stack
+	// order (library → global FS → local FS → cache → block → device →
+	// network). LibRec is the shared MPI-IO library recorder installed
+	// into worlds built via NewWorld.
+	Telemetry *telemetry.Registry
+	LibRec    *telemetry.Recorder
 }
 
 // New builds a cluster from cfg on a fresh engine.
@@ -123,7 +132,9 @@ func New(cfg Config) *Cluster {
 		cfg.StripeUnit = 256 << 10
 	}
 	e := sim.NewEngine()
-	c := &Cluster{Eng: e, Cfg: cfg, IONodeName: "ionode"}
+	c := &Cluster{Eng: e, Cfg: cfg, IONodeName: "ionode", Telemetry: telemetry.NewRegistry()}
+	c.LibRec = telemetry.NewRecorder(e, "mpiio", telemetry.LevelLibrary, int64(cfg.ComputeNodes))
+	c.Telemetry.Register(c.LibRec)
 
 	c.CommNet = netsim.New(e, netsim.GigabitEthernet(cfg.Name+"-comm"))
 	if cfg.SeparateDataNet {
@@ -162,8 +173,16 @@ func New(cfg Config) *Cluster {
 		ioCacheParams.Policy = cache.WriteThrough
 	}
 	c.IOCache = cache.New(e, ioCacheParams, c.Array)
-	c.ServerFS = fs.NewMount(e, fs.DefaultMountParams("ext4"), c.IOCache)
+	c.ServerFS = fs.NewMount(e, fs.DefaultMountParams("io-ext4"), c.IOCache)
 	c.Server = nfs.NewServer(e, cfg.NFSServer, c.IONodeName, c.DataNet, c.ServerFS)
+
+	c.Telemetry.Register(c.Server.Telemetry(), c.ServerFS.Telemetry(), c.IOCache.Telemetry())
+	if a, ok := c.Array.(*raid.Array); ok {
+		c.Telemetry.Register(a.Telemetry())
+	}
+	for _, d := range c.IODisks {
+		c.Telemetry.Register(d.Telemetry())
+	}
 
 	// Optional PVFS-like deployment over dedicated I/O nodes.
 	if cfg.PFSIONodes > 0 {
@@ -183,9 +202,13 @@ func New(cfg Config) *Cluster {
 				pcParams.Policy = cache.WriteThrough
 			}
 			pc := cache.New(e, pcParams, d)
-			backends[i] = fs.NewMount(e, fs.DefaultMountParams("ext4"), pc)
+			backends[i] = fs.NewMount(e, fs.DefaultMountParams(node+"-ext4"), pc)
+			c.Telemetry.Register(backends[i].(*fs.Mount).Telemetry(), pc.Telemetry(), d.Telemetry())
 		}
 		c.PFS = pfs.NewSystem(e, cfg.PFS, nodes, c.DataNet, backends)
+		for _, srv := range c.PFS.Servers() {
+			c.Telemetry.Register(srv.Telemetry())
+		}
 	}
 
 	for i := 0; i < cfg.ComputeNodes; i++ {
@@ -200,7 +223,7 @@ func New(cfg Config) *Cluster {
 			pcParams.Policy = cache.WriteThrough
 		}
 		pc := cache.New(e, pcParams, d)
-		local := fs.NewMount(e, fs.DefaultMountParams("ext4"), pc)
+		local := fs.NewMount(e, fs.DefaultMountParams(name+"-ext4"), pc)
 		clientParams := cfg.NFSClient
 		if clientParams.CacheBytes == 0 {
 			// The node's page cache is shared between local files and
@@ -209,13 +232,44 @@ func New(cfg Config) *Cluster {
 		}
 		client := nfs.NewClient(e, clientParams, name, c.DataNet, c.Server)
 		node := &Node{Name: name, Disk: d, Cache: pc, Local: local, NFS: client}
+		c.Telemetry.Register(client.Telemetry(), local.Telemetry(), pc.Telemetry(), d.Telemetry())
 		if c.PFS != nil {
 			node.PFS = pfs.NewClient(e, name, c.DataNet, c.PFS)
 			c.PFSClients = append(c.PFSClients, node.PFS)
+			c.Telemetry.Register(node.PFS.Telemetry())
 		}
 		c.Nodes = append(c.Nodes, node)
 	}
+
+	// Networks last: their aggregates summarize the whole run, and the
+	// I/O node NIC is the classic NFS bottleneck worth its own probe.
+	c.Telemetry.Register(c.DataNet.Telemetry(), c.DataNet.NIC(c.IONodeName).Telemetry())
+	if c.CommNet != c.DataNet {
+		c.Telemetry.Register(c.CommNet.Telemetry())
+	}
 	return c
+}
+
+// NewWorld creates an MPI-IO world on this cluster wired to the
+// cluster's registered library-level telemetry recorder. rankNodes is
+// typically RankNodes(n).
+func (c *Cluster) NewWorld(rankNodes []string) *mpiio.World {
+	w := mpiio.NewWorld(c.Eng, c.CommNet, rankNodes)
+	w.SetTelemetry(c.LibRec)
+	return w
+}
+
+// TelemetryReport snapshots every registered probe into an exportable
+// report.
+func (c *Cluster) TelemetryReport() *telemetry.Report {
+	r := &telemetry.Report{
+		Config:     c.Cfg.Name,
+		Components: c.Telemetry.Snapshots(),
+	}
+	if c.Eng != nil {
+		r.At = c.Eng.Now()
+	}
+	return r
 }
 
 // pageCacheSize models the fraction of RAM the kernel will use as

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"ioeval/internal/stats"
+	"ioeval/internal/telemetry"
 )
 
 // UtilizationReport summarizes where simulated time went in the I/O
@@ -12,23 +13,31 @@ import (
 // of inefficiency" aid: a saturated component (utilization near 1)
 // is the binding constraint; idle components confirm the application
 // or an upstream level is the limit.
+//
+// The report is built from telemetry snapshots (the same structured
+// data exported by TelemetryReport), not from per-package stats
+// fields, so every row is backed by a Probe. Missing components
+// (hand-assembled clusters, zero compute nodes) produce guarded rows
+// instead of NaNs.
 func (c *Cluster) UtilizationReport() string {
 	var tb stats.Table
 	tb.AddRow("component", "utilization / counters")
 
 	// I/O node disks.
 	for _, d := range c.IODisks {
+		s := d.Telemetry().Snapshot()
 		tb.AddRow("I/O node disk "+d.Name(),
 			fmt.Sprintf("%.0f%% busy, %s read, %s written, %d random ops",
-				d.Utilization()*100,
-				stats.IBytes(d.Stats.BytesRead), stats.IBytes(d.Stats.BytesWritten),
-				d.Stats.RandomOps))
+				s.Utilization()*100,
+				stats.IBytes(s.Counters.Read.Bytes), stats.IBytes(s.Counters.Write.Bytes),
+				s.Counters.Aux["random_ops"]))
 	}
 	for _, d := range c.PFSDisks {
+		s := d.Telemetry().Snapshot()
 		tb.AddRow("PFS node disk "+d.Name(),
 			fmt.Sprintf("%.0f%% busy, %s read, %s written",
-				d.Utilization()*100,
-				stats.IBytes(d.Stats.BytesRead), stats.IBytes(d.Stats.BytesWritten)))
+				s.Utilization()*100,
+				stats.IBytes(s.Counters.Read.Bytes), stats.IBytes(s.Counters.Write.Bytes)))
 	}
 
 	// I/O node page cache.
@@ -39,38 +48,53 @@ func (c *Cluster) UtilizationReport() string {
 		}
 		return fmt.Sprintf("%.0f%% read hit", 100*float64(hitB)/float64(total))
 	}
-	st := c.IOCache.Stats
-	tb.AddRow("I/O node page cache",
-		fmt.Sprintf("%s, %s written back, %d throttle stalls",
-			hit(st.HitBytes, st.MissBytes), stats.IBytes(st.WriteBackBytes), st.ThrottleStalls))
+	if c.IOCache != nil {
+		s := c.IOCache.Telemetry().Snapshot()
+		tb.AddRow("I/O node page cache",
+			fmt.Sprintf("%s, %s written back, %d throttle stalls",
+				hit(s.Counters.Aux["hit_bytes"], s.Counters.Aux["miss_bytes"]),
+				stats.IBytes(s.Counters.Aux["writeback_bytes"]), s.Counters.Aux["throttle_stalls"]))
+	}
 
 	// Server NIC (the classic NFS bottleneck).
-	srvNIC := c.DataNet.NIC(c.IONodeName)
-	tb.AddRow("I/O node NIC (tx)",
-		fmt.Sprintf("%.0f%% busy, %s moved", srvNIC.Utilization()*100, stats.IBytes(srvNIC.Stats.Bytes)))
+	if c.DataNet != nil {
+		srvNIC := c.DataNet.NIC(c.IONodeName)
+		s := srvNIC.Telemetry().Snapshot()
+		tb.AddRow("I/O node NIC (tx)",
+			fmt.Sprintf("%.0f%% busy, %s moved", srvNIC.Utilization()*100,
+				stats.IBytes(s.Counters.TotalBytes())))
 
-	// Networks.
-	tb.AddRow("data network", fmt.Sprintf("%s in %d messages",
-		stats.IBytes(c.DataNet.Stats.Bytes), c.DataNet.Stats.Messages))
-	if c.CommNet != c.DataNet {
-		tb.AddRow("comm network", fmt.Sprintf("%s in %d messages",
-			stats.IBytes(c.CommNet.Stats.Bytes), c.CommNet.Stats.Messages))
+		// Networks.
+		ns := c.DataNet.Telemetry().Snapshot()
+		tb.AddRow("data network", fmt.Sprintf("%s in %d messages",
+			stats.IBytes(ns.Counters.Write.Bytes), ns.Counters.Write.Ops))
+		if c.CommNet != nil && c.CommNet != c.DataNet {
+			cs := c.CommNet.Telemetry().Snapshot()
+			tb.AddRow("comm network", fmt.Sprintf("%s in %d messages",
+				stats.IBytes(cs.Counters.Write.Bytes), cs.Counters.Write.Ops))
+		}
 	}
 
 	// NFS server counters.
-	tb.AddRow("NFS server", fmt.Sprintf("%d read / %d write / %d meta RPCs",
-		c.Server.Stats.ReadRPCs, c.Server.Stats.WriteRPCs, c.Server.Stats.MetaRPCs))
+	if c.Server != nil {
+		s := c.Server.Telemetry().Snapshot()
+		tb.AddRow("NFS server", fmt.Sprintf("%d read / %d write / %d meta RPCs, %.0f%% thread busy, queue peak %d",
+			s.Counters.Read.Ops, s.Counters.Write.Ops, s.Counters.Meta.Ops,
+			s.Utilization()*100, s.Counters.MaxQueueDepth))
+	}
 
-	// Compute-node aggregates.
-	var nodeDiskBusy float64
+	// Compute-node aggregates. MeanUtilization guards the empty-node
+	// case (a hand-built cluster with no compute nodes must not NaN).
+	diskSnaps := make([]telemetry.Snapshot, 0, len(c.Nodes))
 	var nodeHit, nodeMiss int64
 	for _, n := range c.Nodes {
-		nodeDiskBusy += n.Disk.Utilization()
-		nodeHit += n.Cache.Stats.HitBytes
-		nodeMiss += n.Cache.Stats.MissBytes
+		diskSnaps = append(diskSnaps, n.Disk.Telemetry().Snapshot())
+		cs := n.Cache.Telemetry().Snapshot()
+		nodeHit += cs.Counters.Aux["hit_bytes"]
+		nodeMiss += cs.Counters.Aux["miss_bytes"]
 	}
 	tb.AddRow("compute-node disks (mean)",
-		fmt.Sprintf("%.0f%% busy", 100*nodeDiskBusy/float64(len(c.Nodes))))
+		fmt.Sprintf("%.0f%% busy", 100*telemetry.MeanUtilization(diskSnaps)))
 	tb.AddRow("compute-node page caches", hit(nodeHit, nodeMiss))
 
 	var b strings.Builder

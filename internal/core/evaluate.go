@@ -6,6 +6,7 @@ import (
 	"ioeval/internal/cluster"
 	"ioeval/internal/mpiio"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 	"ioeval/internal/trace"
 	"ioeval/internal/workload"
 )
@@ -177,6 +178,11 @@ type Evaluation struct {
 	Meas    []Measurement
 	Used    []UsedRow
 	Trace   *trace.Tracer // the captured trace (timelines, phases)
+
+	// Telemetry plane: final per-component snapshots and per-phase
+	// interval deltas (nil on clusters without a telemetry registry).
+	Components []telemetry.Snapshot
+	Phases     []telemetry.PhaseInterval
 }
 
 // Evaluate runs the application on the cluster under a tracer and
@@ -184,7 +190,16 @@ type Evaluation struct {
 // characterization. The cluster must be fresh (unused engine).
 func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Evaluation, error) {
 	tr := trace.New()
-	res, err := app.Run(c, tr)
+	var runTracer mpiio.Tracer = tr
+	var ps *trace.PhaseSnapshotter
+	if c.Telemetry != nil {
+		// Rank 0's phase boundaries drive the per-phase snapshots —
+		// BT-IO and MadBench phases are globally synchronized, so one
+		// observer rank suffices.
+		ps = trace.NewPhaseSnapshotter(c.Eng, c.Telemetry, tr, 0)
+		runTracer = ps
+	}
+	res, err := app.Run(c, runTracer)
 	if err != nil {
 		return nil, fmt.Errorf("evaluate %s: %w", app.Name(), err)
 	}
@@ -198,7 +213,39 @@ func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Eval
 		Used:    UsedTable(ms, ch),
 		Trace:   tr,
 	}
+	if ps != nil {
+		ev.Phases = ps.Finish()
+		ev.Components = c.Telemetry.Snapshots()
+	}
 	return ev, nil
+}
+
+// TelemetryReport packages the evaluation as a structured, exportable
+// report: the final per-component counters, one LevelRate row per
+// used-table entry (MeasuredRate/CharRate/UsedPct copied verbatim, so
+// the JSON export and the used-percentage analysis cannot diverge),
+// and the per-phase interval snapshots.
+func (e *Evaluation) TelemetryReport() *telemetry.Report {
+	r := &telemetry.Report{
+		App:        e.AppName,
+		Config:     e.Config,
+		At:         sim.Time(e.Result.ExecTime),
+		Components: e.Components,
+		Phases:     e.Phases,
+	}
+	for _, u := range e.Used {
+		r.Levels = append(r.Levels, telemetry.LevelRate{
+			Level:         u.Level.TelemetryLevel(),
+			Op:            u.Op.String(),
+			BlockSize:     u.BlockSize,
+			Mode:          u.Mode.String(),
+			MeasuredRate:  u.MeasuredRate,
+			CharRate:      u.CharRate,
+			UsedPct:       u.UsedPct,
+			CharAvailable: u.CharAvailable,
+		})
+	}
+	return r
 }
 
 // IOPS returns the application-level I/O operations per second of

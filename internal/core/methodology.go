@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"ioeval/internal/cluster"
 	"ioeval/internal/workload"
@@ -23,6 +24,7 @@ type Methodology struct {
 	// evaluation.
 	Requirements *Requirements
 
+	mu   sync.Mutex
 	char *Characterization
 }
 
@@ -36,11 +38,15 @@ type Report struct {
 }
 
 // Characterization returns (computing once) the configuration's
-// performance tables.
+// performance tables. Safe for concurrent use: parallel studies may
+// evaluate many applications against one Methodology, and the first
+// callers must not race to characterize.
 func (m *Methodology) Characterization() (*Characterization, error) {
 	if m.Build == nil {
 		return nil, fmt.Errorf("core: Methodology needs a Build function")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.char == nil {
 		ch, err := Characterize(m.Build, m.CharConfig)
 		if err != nil {

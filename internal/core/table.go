@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 	"ioeval/internal/trace"
 )
 
@@ -71,6 +72,20 @@ func (l Level) String() string {
 
 // Levels lists all levels in I/O-path order (application side first).
 func Levels() []Level { return []Level{LevelIOLib, LevelNFS, LevelLocalFS} }
+
+// TelemetryLevel maps a characterized level onto the telemetry
+// plane's finer-grained level tags (the telemetry package cannot
+// import core, so the mapping lives here).
+func (l Level) TelemetryLevel() telemetry.Level {
+	switch l {
+	case LevelIOLib:
+		return telemetry.LevelLibrary
+	case LevelNFS:
+		return telemetry.LevelGlobalFS
+	default:
+		return telemetry.LevelLocalFS
+	}
+}
 
 // Row is one entry of a performance table (the paper's Table I data
 // structure: OperationType, Blocksize, AccessType, AccessesMode,

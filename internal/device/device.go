@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // BlockDev is a byte-addressable block storage target. Offsets and
@@ -71,6 +72,7 @@ func DefaultSATA(name string, capacity int64, rate float64) DiskParams {
 type Disk struct {
 	params DiskParams
 	res    *sim.Resource
+	rec    *telemetry.Recorder
 
 	nextSeq int64 // offset that would continue the current sequential run
 	dirty   int64 // bytes in the volatile write cache
@@ -95,9 +97,13 @@ func NewDisk(e *sim.Engine, params DiskParams) *Disk {
 	return &Disk{
 		params:  params,
 		res:     sim.NewResource(e, "disk:"+params.Name, 1),
+		rec:     telemetry.NewRecorder(e, "disk:"+params.Name, telemetry.LevelDevice, 1),
 		nextSeq: -1, // first access always pays positioning
 	}
 }
+
+// Telemetry returns the disk's telemetry probe.
+func (d *Disk) Telemetry() *telemetry.Recorder { return d.rec }
 
 // Name returns the disk's name.
 func (d *Disk) Name() string { return d.params.Name }
@@ -154,6 +160,8 @@ func (d *Disk) checkRange(off, n int64, op string) {
 // ReadAt services a read of n bytes at off.
 func (d *Disk) ReadAt(p *sim.Proc, off, n int64) {
 	d.checkRange(off, n, "read")
+	d.rec.Enter()
+	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
 	pos, seq := d.positioning(off, false)
 	t := d.params.CmdOverhead + pos + d.xfer(n)
@@ -165,6 +173,8 @@ func (d *Disk) ReadAt(p *sim.Proc, off, n int64) {
 // WriteAt services a write of n bytes at off.
 func (d *Disk) WriteAt(p *sim.Proc, off, n int64) {
 	d.checkRange(off, n, "write")
+	d.rec.Enter()
+	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
 	pos, seq := d.positioning(off, true)
 	t := d.params.CmdOverhead + pos + d.xfer(n)
@@ -180,15 +190,19 @@ func (d *Disk) afterOp(off, n int64, seq, write bool, t sim.Duration) {
 	d.nextSeq = off + n
 	if seq {
 		d.Stats.SeqHits++
+		d.rec.Add("seq_ops", 1)
 	} else {
 		d.Stats.RandomOps++
+		d.rec.Add("random_ops", 1)
 	}
 	if write {
 		d.Stats.Writes++
 		d.Stats.BytesWritten += n
+		d.rec.Observe(telemetry.ClassWrite, 1, n, t)
 	} else {
 		d.Stats.Reads++
 		d.Stats.BytesRead += n
+		d.rec.Observe(telemetry.ClassRead, 1, n, t)
 	}
 	d.Stats.BusyTime += t
 }
@@ -202,10 +216,13 @@ func (d *Disk) Flush(p *sim.Proc) {
 	if d.dirty == 0 {
 		return
 	}
+	d.rec.Enter()
+	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
 	t := d.rotLatency()
 	p.Sleep(t)
 	d.Stats.BusyTime += t
+	d.rec.Observe(telemetry.ClassMeta, 1, 0, t)
 	d.dirty = 0
 	d.res.Release(1)
 }

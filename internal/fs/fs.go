@@ -13,6 +13,7 @@ import (
 
 	"ioeval/internal/device"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Open flags.
@@ -128,6 +129,8 @@ type Mount struct {
 
 	// Stats accumulates operation counters.
 	Stats Stats
+
+	rec *telemetry.Recorder
 }
 
 var _ Interface = (*Mount)(nil)
@@ -142,8 +145,12 @@ func NewMount(e *sim.Engine, params MountParams, dev device.BlockDev) *Mount {
 		params: params,
 		dev:    dev,
 		files:  map[string]*fileData{},
+		rec:    telemetry.NewRecorder(e, "fs:"+params.Name, telemetry.LevelLocalFS, 1),
 	}
 }
+
+// Telemetry returns the mount's telemetry probe.
+func (m *Mount) Telemetry() *telemetry.Recorder { return m.rec }
 
 // Name implements Interface.
 func (m *Mount) Name() string { return m.params.Name }
@@ -183,6 +190,8 @@ func (m *Mount) allocate(n int64) extent {
 
 // Open implements Interface.
 func (m *Mount) Open(p *sim.Proc, path string, flags int) (Handle, error) {
+	start := p.Now()
+	defer func() { m.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start)) }()
 	p.Sleep(m.params.MetaOpCost)
 	f, ok := m.files[path]
 	if !ok {
@@ -211,6 +220,7 @@ func (m *Mount) truncate(f *fileData) {
 
 // Remove implements Interface.
 func (m *Mount) Remove(p *sim.Proc, path string) error {
+	m.rec.Observe(telemetry.ClassMeta, 1, 0, m.params.MetaOpCost)
 	p.Sleep(m.params.MetaOpCost)
 	f, ok := m.files[path]
 	if !ok {
@@ -224,6 +234,7 @@ func (m *Mount) Remove(p *sim.Proc, path string) error {
 
 // Stat implements Interface.
 func (m *Mount) Stat(p *sim.Proc, path string) (FileInfo, error) {
+	m.rec.Observe(telemetry.ClassMeta, 1, 0, m.params.MetaOpCost)
 	p.Sleep(m.params.MetaOpCost)
 	m.Stats.Stats++
 	f, ok := m.files[path]
@@ -305,9 +316,13 @@ func (h *localHandle) check() {
 
 func (h *localHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
 	h.check()
+	h.m.rec.Enter()
+	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost)
 	h.m.Stats.ReadCalls++
 	if off >= h.f.size {
+		h.m.rec.Observe(telemetry.ClassRead, 1, 0, sim.Duration(p.Now()-start))
+		h.m.rec.Exit()
 		return 0
 	}
 	if off+n > h.f.size {
@@ -317,14 +332,20 @@ func (h *localHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
 		h.m.dev.ReadAt(p, piece[0], piece[1])
 	}
 	h.m.Stats.BytesRead += n
+	h.m.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(p.Now()-start))
+	h.m.rec.Exit()
 	return n
 }
 
 func (h *localHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 	h.check()
+	h.m.rec.Enter()
+	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost)
 	h.m.Stats.WriteCalls++
 	if n == 0 {
+		h.m.rec.Observe(telemetry.ClassWrite, 1, 0, sim.Duration(p.Now()-start))
+		h.m.rec.Exit()
 		return 0
 	}
 	h.m.ensureAllocated(h.f, off+n)
@@ -335,6 +356,8 @@ func (h *localHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 		h.f.size = off + n
 	}
 	h.m.Stats.BytesWritten += n
+	h.m.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(p.Now()-start))
+	h.m.rec.Exit()
 	return n
 }
 
@@ -347,6 +370,9 @@ func (h *localHandle) ReadVec(p *sim.Proc, vecs []IOVec) int64 {
 	if len(vecs) == 0 {
 		return 0
 	}
+	h.m.rec.Enter()
+	start := p.Now()
+	defer h.m.rec.Exit()
 	p.Sleep(h.m.params.SyscallCost * sim.Duration(len(vecs)))
 	h.m.Stats.ReadCalls += int64(len(vecs))
 	var runs []device.Run
@@ -366,6 +392,7 @@ func (h *localHandle) ReadVec(p *sim.Proc, vecs []IOVec) int64 {
 	}
 	device.ReadRuns(p, h.m.dev, runs)
 	h.m.Stats.BytesRead += total
+	h.m.rec.Observe(telemetry.ClassRead, int64(len(vecs)), total, sim.Duration(p.Now()-start))
 	return total
 }
 
@@ -375,6 +402,9 @@ func (h *localHandle) WriteVec(p *sim.Proc, vecs []IOVec) int64 {
 	if len(vecs) == 0 {
 		return 0
 	}
+	h.m.rec.Enter()
+	start := p.Now()
+	defer h.m.rec.Exit()
 	p.Sleep(h.m.params.SyscallCost * sim.Duration(len(vecs)))
 	h.m.Stats.WriteCalls += int64(len(vecs))
 	maxEnd := h.f.size
@@ -402,6 +432,7 @@ func (h *localHandle) WriteVec(p *sim.Proc, vecs []IOVec) int64 {
 		h.f.size = maxEnd
 	}
 	h.m.Stats.BytesWritten += total
+	h.m.rec.Observe(telemetry.ClassWrite, int64(len(vecs)), total, sim.Duration(p.Now()-start))
 	return total
 }
 
@@ -415,5 +446,6 @@ func (h *localHandle) Close(p *sim.Proc) {
 	h.closed = true
 	h.f.opens--
 	h.m.Stats.Closes++
+	h.m.rec.Observe(telemetry.ClassMeta, 1, 0, h.m.params.MetaOpCost/2)
 	p.Sleep(h.m.params.MetaOpCost / 2)
 }

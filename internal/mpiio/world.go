@@ -17,6 +17,7 @@ import (
 
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Op identifies a traced operation kind.
@@ -92,6 +93,7 @@ type World struct {
 	net    *netsim.Network
 	nodes  []string // node name per rank
 	tracer Tracer
+	rec    *telemetry.Recorder
 
 	barrier genBarrier
 }
@@ -104,8 +106,20 @@ func NewWorld(e *sim.Engine, net *netsim.Network, rankNodes []string) *World {
 	}
 	w := &World{eng: e, net: net, nodes: append([]string{}, rankNodes...)}
 	w.barrier.n = len(rankNodes)
+	w.rec = telemetry.NewRecorder(e, "mpiio", telemetry.LevelLibrary, int64(len(rankNodes)))
 	return w
 }
+
+// SetTelemetry replaces the world's recorder (the cluster installs a
+// registered one; standalone worlds keep the default).
+func (w *World) SetTelemetry(r *telemetry.Recorder) {
+	if r != nil {
+		w.rec = r
+	}
+}
+
+// Telemetry returns the library-level telemetry probe.
+func (w *World) Telemetry() *telemetry.Recorder { return w.rec }
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.nodes) }
@@ -126,8 +140,38 @@ func (w *World) SetTracer(tr Tracer) { w.tracer = tr }
 func (w *World) Tracer() Tracer { return w.tracer }
 
 func (w *World) trace(ev Event) {
+	w.record(ev)
 	if w.tracer != nil {
 		w.tracer.Record(ev)
+	}
+}
+
+// record maps a library event onto the telemetry plane: data ops by
+// direction, open/close/sync as metadata, compute/comm/barrier as
+// auxiliary time counters (they are application time, not I/O time).
+func (w *World) record(ev Event) {
+	busy := sim.Duration(ev.T1 - ev.T0)
+	ops := int64(ev.Count)
+	if ops <= 0 {
+		ops = 1
+	}
+	switch ev.Op {
+	case OpRead, OpReadAll:
+		w.rec.Observe(telemetry.ClassRead, ops, ev.Bytes, busy)
+	case OpWrite, OpWriteAll:
+		w.rec.Observe(telemetry.ClassWrite, ops, ev.Bytes, busy)
+	case OpOpen, OpClose, OpSync:
+		w.rec.Observe(telemetry.ClassMeta, ops, 0, busy)
+	case OpCompute:
+		w.rec.Add("compute_ns", int64(busy))
+	case OpComm:
+		w.rec.Add("comm_ns", int64(busy))
+		w.rec.Add("comm_bytes", ev.Bytes)
+	case OpBarrier:
+		w.rec.Add("barrier_ns", int64(busy))
+	}
+	if ev.Op == OpWriteAll || ev.Op == OpReadAll {
+		w.rec.Add("collective_ops", ops)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Params describes one network.
@@ -58,6 +59,8 @@ type Network struct {
 
 	// Stats accumulates global traffic counters.
 	Stats Stats
+
+	rec *telemetry.Recorder
 }
 
 // NIC is one node's attachment: independent TX and RX channels.
@@ -68,6 +71,8 @@ type NIC struct {
 
 	// Stats accumulates per-NIC counters.
 	Stats Stats
+
+	rec *telemetry.Recorder
 }
 
 // New creates a network.
@@ -81,8 +86,16 @@ func New(e *sim.Engine, params Params) *Network {
 	if params.Quantum < 0 {
 		panic(fmt.Sprintf("netsim %q: negative quantum", params.Name))
 	}
-	return &Network{eng: e, params: params, nics: map[string]*NIC{}}
+	return &Network{
+		eng:    e,
+		params: params,
+		nics:   map[string]*NIC{},
+		rec:    telemetry.NewRecorder(e, "net:"+params.Name, telemetry.LevelNetwork, 1),
+	}
 }
+
+// Telemetry returns the network's aggregate telemetry probe.
+func (n *Network) Telemetry() *telemetry.Recorder { return n.rec }
 
 // Params returns the network parameters.
 func (n *Network) Params() Params { return n.params }
@@ -97,6 +110,8 @@ func (n *Network) Attach(node string) *NIC {
 		node: node,
 		tx:   sim.NewResource(n.eng, n.params.Name+":"+node+":tx", 1),
 		rx:   sim.NewResource(n.eng, n.params.Name+":"+node+":rx", 1),
+		// Two units: independent full-duplex TX and RX channels.
+		rec: telemetry.NewRecorder(n.eng, "nic:"+n.params.Name+":"+node, telemetry.LevelNetwork, 2),
 	}
 	n.nics[node] = nic
 	return nic
@@ -130,6 +145,27 @@ func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
 	src.Stats.Bytes += nb
 	dst.Stats.Messages++
 	dst.Stats.Bytes += nb
+
+	// Telemetry convention: a message is a write on the sender's NIC
+	// and a read on the receiver's; the network aggregate records it
+	// once, as a write. Busy time is the full message span including
+	// NIC contention — the receiver-observed transfer latency.
+	start := p.Now()
+	n.rec.Enter()
+	src.rec.Enter()
+	dst.rec.Enter()
+	defer func() {
+		el := sim.Duration(p.Now() - start)
+		n.rec.Observe(telemetry.ClassWrite, 1, nb, el)
+		src.rec.Observe(telemetry.ClassWrite, 1, nb, el)
+		dst.rec.Observe(telemetry.ClassRead, 1, nb, el)
+		dst.rec.Exit()
+		src.rec.Exit()
+		n.rec.Exit()
+	}()
+	if from == to {
+		n.rec.Add("loopback_msgs", 1)
+	}
 
 	p.Sleep(n.params.PerMessage)
 	if from == to {
@@ -172,6 +208,9 @@ func (n *Network) RoundTrip(p *sim.Proc, from, to string, reqBytes, respBytes in
 
 // Utilization returns the TX-side utilization of a node's NIC.
 func (nic *NIC) Utilization() float64 { return nic.tx.Utilization() }
+
+// Telemetry returns the NIC's telemetry probe.
+func (nic *NIC) Telemetry() *telemetry.Recorder { return nic.rec }
 
 // Node returns the NIC's node name.
 func (nic *NIC) Node() string { return nic.node }

@@ -20,6 +20,7 @@ import (
 	"ioeval/internal/fs"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // rpcHeaderBytes approximates the on-wire size of an NFS RPC header.
@@ -76,6 +77,8 @@ type Server struct {
 
 	// Stats counts RPCs served by kind.
 	Stats ServerStats
+
+	rec *telemetry.Recorder
 }
 
 // ServerStats counts server-side RPC activity.
@@ -98,8 +101,12 @@ func NewServer(e *sim.Engine, params ServerParams, node string, net *netsim.Netw
 		threads: sim.NewResource(e, "nfsd:"+params.Name, params.Threads),
 		handles: map[string]fs.Handle{},
 		gen:     map[string]int64{},
+		rec:     telemetry.NewRecorder(e, "nfs-server:"+params.Name, telemetry.LevelGlobalFS, params.Threads),
 	}
 }
+
+// Telemetry returns the server's telemetry probe.
+func (s *Server) Telemetry() *telemetry.Recorder { return s.rec }
 
 // Node returns the server's network node name.
 func (s *Server) Node() string { return s.node }
@@ -123,12 +130,14 @@ func (s *Server) handle(p *sim.Proc, path string, flags int) (fs.Handle, error) 
 // serve charges server-side RPC processing: a server thread is held
 // for the CPU cost of nRPCs plus the backend work done inside fn.
 func (s *Server) serve(p *sim.Proc, nRPCs int64, fn func()) {
+	s.rec.Enter()
 	s.threads.Acquire(p, 1)
 	p.Sleep(s.params.RPCCost * sim.Duration(nRPCs))
 	if fn != nil {
 		fn()
 	}
 	s.threads.Release(1)
+	s.rec.Exit()
 }
 
 // commit charges the stable-storage commit cost for n application
@@ -137,9 +146,14 @@ func (s *Server) commit(p *sim.Proc, n int64) {
 	if !s.params.SyncExport || n == 0 {
 		return
 	}
+	start := p.Now()
+	s.rec.Enter()
 	s.threads.Acquire(p, 1)
 	p.Sleep(s.params.CommitCost * sim.Duration(n))
 	s.threads.Release(1)
+	s.rec.Exit()
+	s.rec.Observe(telemetry.ClassMeta, n, 0, sim.Duration(p.Now()-start))
+	s.rec.Add("commits", n)
 }
 
 // ClientParams configures an NFS client mount.
@@ -178,6 +192,8 @@ type Client struct {
 
 	// Stats counts client-side RPC activity.
 	Stats ClientStats
+
+	rec *telemetry.Recorder
 }
 
 // ClientStats counts client-side traffic.
@@ -205,6 +221,7 @@ func NewClient(e *sim.Engine, params ClientParams, node string, net *netsim.Netw
 		slotPaths: map[int64]string{},
 		validGen:  map[string]int64{},
 		sizes:     map[string]int64{},
+		rec:       telemetry.NewRecorder(e, "nfs-client:"+params.Name+":"+node, telemetry.LevelGlobalFS, 1),
 	}
 	if params.CacheBytes > 0 {
 		cp := cache.DefaultParams(params.Name+":"+node+":datacache", params.CacheBytes)
@@ -216,6 +233,9 @@ func NewClient(e *sim.Engine, params ClientParams, node string, net *netsim.Netw
 // Name implements fs.Interface.
 func (c *Client) Name() string { return c.params.Name }
 
+// Telemetry returns the client's telemetry probe.
+func (c *Client) Telemetry() *telemetry.Recorder { return c.rec }
+
 // Node returns the client's network node.
 func (c *Client) Node() string { return c.node }
 
@@ -226,9 +246,13 @@ func (c *Client) Server() *Server { return c.srv }
 func (c *Client) metaRPC(p *sim.Proc, fn func()) {
 	c.Stats.MetaRPCs++
 	c.srv.Stats.MetaRPCs++
+	start := p.Now()
 	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
+	srvStart := p.Now()
 	c.srv.serve(p, 1, fn)
+	c.srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-srvStart))
 	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
+	c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
 }
 
 // Open implements fs.Interface.
@@ -298,11 +322,16 @@ func (c *Client) LockUnlock(p *sim.Proc, count int64) {
 	}
 	c.Stats.MetaRPCs += 2 * count
 	c.srv.Stats.MetaRPCs += 2 * count
+	c.rec.Add("lock_pairs", count)
+	start := p.Now()
 	// Two round trips per pair plus the lockd (NLM) processing cost,
 	// pipelined with the op stream: charged serially on the client,
 	// plus server CPU on a thread.
 	p.Sleep(sim.Duration(count) * (4*c.net.Params().Latency + c.srv.params.LockCost))
+	srvStart := p.Now()
 	c.srv.serve(p, 2*count, nil)
+	c.srv.rec.Observe(telemetry.ClassMeta, 2*count, 0, sim.Duration(p.Now()-srvStart))
+	c.rec.Observe(telemetry.ClassMeta, 2*count, 0, sim.Duration(p.Now()-start))
 }
 
 type remoteHandle struct {
@@ -342,7 +371,9 @@ func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
 		c.srv.Stats.ReadRPCs++
 		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
 		var r int64
+		srvStart := p.Now()
 		c.srv.serve(p, 1, func() { r = srvHandle.ReadAt(p, off, chunk) })
+		c.srv.rec.Observe(telemetry.ClassRead, 1, r, sim.Duration(p.Now()-srvStart))
 		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes+r)
 		got += r
 		off += chunk
@@ -359,11 +390,18 @@ func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
 // close-to-open validity allows, otherwise in RSize RPC chunks.
 func (h *remoteHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
 	h.check()
+	c := h.c
+	c.rec.Enter()
+	start := p.Now()
+	defer c.rec.Exit()
 	if got, ok := h.cachedRead(p, off, n); ok {
+		c.rec.Add("cache_read_bytes", got)
+		c.rec.Observe(telemetry.ClassRead, 1, got, sim.Duration(p.Now()-start))
 		return got
 	}
-	got := h.c.rpcRead(p, h.srvHandle, off, n)
-	h.c.Stats.BytesRead += got
+	got := c.rpcRead(p, h.srvHandle, off, n)
+	c.Stats.BytesRead += got
+	c.rec.Observe(telemetry.ClassRead, 1, got, sim.Duration(p.Now()-start))
 	return got
 }
 
@@ -379,7 +417,9 @@ func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64
 		c.Stats.WriteRPCs++
 		c.srv.Stats.WriteRPCs++
 		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes+chunk)
+		srvStart := p.Now()
 		c.srv.serve(p, 1, func() { srvHandle.WriteAt(p, off, chunk) })
+		c.srv.rec.Observe(telemetry.ClassWrite, 1, chunk, sim.Duration(p.Now()-srvStart))
 		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
 		put += chunk
 		off += chunk
@@ -396,7 +436,12 @@ func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64
 func (h *remoteHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 	h.check()
 	c := h.c
+	c.rec.Enter()
+	start := p.Now()
+	defer c.rec.Exit()
 	if put, ok := h.cachedWrite(p, off, n); ok {
+		c.rec.Add("cache_write_bytes", put)
+		c.rec.Observe(telemetry.ClassWrite, 1, put, sim.Duration(p.Now()-start))
 		return put
 	}
 	put := c.rpcWriteUnstable(p, h.srvHandle, off, n)
@@ -404,6 +449,7 @@ func (h *remoteHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 	c.srv.gen[h.path]++
 	c.Stats.BytesWritten += put
 	delete(c.attrCache, h.path)
+	c.rec.Observe(telemetry.ClassWrite, 1, put, sim.Duration(p.Now()-start))
 	return put
 }
 
@@ -418,6 +464,9 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 		return 0
 	}
 	c := h.c
+	c.rec.Enter()
+	start := p.Now()
+	defer c.rec.Exit()
 	if c.dataCache != nil && !h.direct {
 		var got int64
 		for _, v := range vecs {
@@ -428,6 +477,7 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 			}
 			got += n
 		}
+		c.rec.Observe(telemetry.ClassRead, int64(len(vecs)), got, sim.Duration(p.Now()-start))
 		return got
 	}
 	count := int64(len(vecs))
@@ -440,10 +490,13 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 	extra := count - 1
 	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
 	var got int64
+	srvStart := p.Now()
 	c.srv.serve(p, count, func() { got = h.srvHandle.ReadVec(p, vecs) })
+	c.srv.rec.Observe(telemetry.ClassRead, count, got, sim.Duration(p.Now()-srvStart))
 	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count+got)
 	c.Stats.BytesRead += got
 	c.srv.Stats.BytesRead += got
+	c.rec.Observe(telemetry.ClassRead, count, got, sim.Duration(p.Now()-start))
 	return got
 }
 
@@ -454,6 +507,9 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 		return 0
 	}
 	c := h.c
+	c.rec.Enter()
+	start := p.Now()
+	defer c.rec.Exit()
 	if c.dataCache != nil && !h.direct {
 		var put int64
 		for _, v := range vecs {
@@ -466,6 +522,7 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 			}
 			put += n
 		}
+		c.rec.Observe(telemetry.ClassWrite, int64(len(vecs)), put, sim.Duration(p.Now()-start))
 		return put
 	}
 	count := int64(len(vecs))
@@ -479,13 +536,16 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 	extra := count - 1
 	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
 	var put int64
+	srvStart := p.Now()
 	c.srv.serve(p, count, func() { put = h.srvHandle.WriteVec(p, vecs) })
+	c.srv.rec.Observe(telemetry.ClassWrite, count, put, sim.Duration(p.Now()-srvStart))
 	c.srv.commit(p, count)
 	c.srv.gen[h.path]++
 	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count)
 	c.Stats.BytesWritten += put
 	c.srv.Stats.BytesWritten += put
 	delete(c.attrCache, h.path)
+	c.rec.Observe(telemetry.ClassWrite, count, put, sim.Duration(p.Now()-start))
 	return put
 }
 

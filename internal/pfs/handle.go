@@ -6,6 +6,7 @@ import (
 
 	"ioeval/internal/fs"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // pfsHandle is an open parallel file.
@@ -86,6 +87,13 @@ func (h *pfsHandle) stripeMap(vecs []fs.IOVec) []serverOp {
 func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 	c := h.c
 	sys := c.sys
+	class := telemetry.ClassRead
+	if write {
+		class = telemetry.ClassWrite
+	}
+	start := p.Now()
+	c.rec.Enter()
+	defer c.rec.Exit()
 	var fns []func(*sim.Proc)
 	var total int64
 	var errs []error
@@ -105,12 +113,15 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 				req += op.bytes
 			}
 			c.net.Send(child, c.node, srv.node, req)
+			srvStart := child.Now()
+			srv.rec.Enter()
 			srv.threads.Acquire(child, 1)
 			child.Sleep(sys.params.RPCCost * sim.Duration(op.ops))
 			sh, err := sys.subfile(child, i, h.path)
 			if err != nil {
 				errs = append(errs, err)
 				srv.threads.Release(1)
+				srv.rec.Exit()
 				return
 			}
 			if write {
@@ -121,6 +132,8 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 				srv.Stats.BytesRead += op.bytes
 			}
 			srv.threads.Release(1)
+			srv.rec.Exit()
+			srv.rec.Observe(class, op.ops, op.bytes, sim.Duration(child.Now()-srvStart))
 			resp := rpcHeaderBytes * op.ops
 			if !write {
 				resp += op.bytes
@@ -137,6 +150,7 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 	} else {
 		c.Stats.BytesRead += total
 	}
+	c.rec.Observe(class, 1, total, sim.Duration(p.Now()-start))
 	return total
 }
 

@@ -18,6 +18,7 @@ import (
 	"ioeval/internal/fs"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // rpcHeaderBytes approximates a PVFS request/response envelope.
@@ -55,6 +56,8 @@ type Server struct {
 
 	// Stats counts server traffic.
 	Stats ServerStats
+
+	rec *telemetry.Recorder
 }
 
 // ServerStats counts per-server activity.
@@ -93,6 +96,8 @@ func NewSystem(e *sim.Engine, params Params, nodes []string, net *netsim.Network
 			backend: backends[i],
 			threads: sim.NewResource(e, fmt.Sprintf("pfsd:%s:%d", params.Name, i), params.Threads),
 			handles: map[string]fs.Handle{},
+			rec: telemetry.NewRecorder(e, fmt.Sprintf("pfs-server:%s:%s", params.Name, node),
+				telemetry.LevelGlobalFS, params.Threads),
 		})
 	}
 	return sys
@@ -104,6 +109,9 @@ func (sys *System) Servers() []*Server { return sys.servers }
 // Backend returns the server's node-local filesystem (the methodology
 // characterizes it as the "local FS" level of a PFS deployment).
 func (s *Server) Backend() fs.Interface { return s.backend }
+
+// Telemetry returns the server's telemetry probe.
+func (s *Server) Telemetry() *telemetry.Recorder { return s.rec }
 
 // Params returns the deployment parameters.
 func (sys *System) Params() Params { return sys.params }
@@ -134,6 +142,8 @@ type Client struct {
 
 	// Stats counts client traffic.
 	Stats ClientStats
+
+	rec *telemetry.Recorder
 }
 
 // ClientStats counts client-side activity.
@@ -146,8 +156,18 @@ var _ fs.Interface = (*Client)(nil)
 
 // NewClient attaches a compute node to the filesystem.
 func NewClient(e *sim.Engine, node string, net *netsim.Network, sys *System) *Client {
-	return &Client{eng: e, node: node, net: net, sys: sys}
+	return &Client{
+		eng:  e,
+		node: node,
+		net:  net,
+		sys:  sys,
+		rec: telemetry.NewRecorder(e, fmt.Sprintf("pfs-client:%s:%s", sys.params.Name, node),
+			telemetry.LevelGlobalFS, 1),
+	}
 }
+
+// Telemetry returns the client's telemetry probe.
+func (c *Client) Telemetry() *telemetry.Recorder { return c.rec }
 
 // Name implements fs.Interface.
 func (c *Client) Name() string { return c.sys.params.Name }
@@ -163,7 +183,10 @@ func (c *Client) metaRPC(p *sim.Proc, fn func() error) error {
 	srv := c.metaServer()
 	c.Stats.Requests++
 	srv.Stats.Requests++
+	start := p.Now()
 	c.net.Send(p, c.node, srv.node, rpcHeaderBytes)
+	srvStart := p.Now()
+	srv.rec.Enter()
 	srv.threads.Acquire(p, 1)
 	p.Sleep(c.sys.params.RPCCost)
 	var err error
@@ -171,7 +194,10 @@ func (c *Client) metaRPC(p *sim.Proc, fn func() error) error {
 		err = fn()
 	}
 	srv.threads.Release(1)
+	srv.rec.Exit()
+	srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-srvStart))
 	c.net.Send(p, srv.node, c.node, rpcHeaderBytes)
+	c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
 	return err
 }
 
@@ -235,9 +261,13 @@ func (c *Client) Sync(p *sim.Proc) {
 		srv := c.sys.servers[i]
 		fns[i] = func(child *sim.Proc) {
 			c.net.Send(child, c.node, srv.node, rpcHeaderBytes)
+			srvStart := child.Now()
+			srv.rec.Enter()
 			srv.threads.Acquire(child, 1)
 			srv.backend.Sync(child)
 			srv.threads.Release(1)
+			srv.rec.Exit()
+			srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(child.Now()-srvStart))
 			c.net.Send(child, srv.node, c.node, rpcHeaderBytes)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 
 	"ioeval/internal/device"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Level identifies the array organization.
@@ -50,6 +51,7 @@ type Array struct {
 	capacity   int64
 	rrNext     int          // RAID 1 read round-robin cursor
 	failed     map[int]bool // degraded-mode members (see degraded.go)
+	rec        *telemetry.Recorder
 }
 
 var _ device.BlockDev = (*Array)(nil)
@@ -63,6 +65,7 @@ func NewJBOD(e *sim.Engine, name string, members ...device.BlockDev) *Array {
 	for _, m := range members {
 		a.capacity += m.Capacity()
 	}
+	a.initTelemetry()
 	return a
 }
 
@@ -74,6 +77,7 @@ func NewRAID0(e *sim.Engine, name string, stripeUnit int64, members ...device.Bl
 	checkStripe(stripeUnit)
 	a := &Array{eng: e, name: name, level: RAID0, members: members, stripeUnit: stripeUnit}
 	a.capacity = minCap(members) * int64(len(members))
+	a.initTelemetry()
 	return a
 }
 
@@ -86,6 +90,7 @@ func NewRAID1(e *sim.Engine, name string, members ...device.BlockDev) *Array {
 	}
 	a := &Array{eng: e, name: name, level: RAID1, members: members}
 	a.capacity = minCap(members)
+	a.initTelemetry()
 	return a
 }
 
@@ -98,8 +103,18 @@ func NewRAID5(e *sim.Engine, name string, stripeUnit int64, members ...device.Bl
 	checkStripe(stripeUnit)
 	a := &Array{eng: e, name: name, level: RAID5, members: members, stripeUnit: stripeUnit}
 	a.capacity = minCap(members) * int64(len(members)-1)
+	a.initTelemetry()
 	return a
 }
+
+// initTelemetry attaches the array's recorder; capacity units are the
+// member spindles, since that is the array's service parallelism.
+func (a *Array) initTelemetry() {
+	a.rec = telemetry.NewRecorder(a.eng, "array:"+a.name, telemetry.LevelBlock, int64(len(a.members)))
+}
+
+// Telemetry returns the array's telemetry probe.
+func (a *Array) Telemetry() *telemetry.Recorder { return a.rec }
 
 func checkStripe(u int64) {
 	if u <= 0 || u&(u-1) != 0 {
@@ -188,6 +203,7 @@ func (a *Array) runPerDisk(p *sim.Proc, perDisk [][]segment, write bool) {
 func (a *Array) runSegs(p *sim.Proc, segs []segment, write bool) {
 	for _, s := range segs {
 		if a.failed[s.disk] {
+			a.rec.Add("degraded_segs", 1)
 			if write {
 				a.degradedWrite(p, s)
 			} else {
@@ -209,6 +225,12 @@ func (a *Array) ReadAt(p *sim.Proc, off, n int64) {
 	if n == 0 {
 		return
 	}
+	a.rec.Enter()
+	start := p.Now()
+	defer func() {
+		a.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(p.Now()-start))
+		a.rec.Exit()
+	}()
 	switch a.level {
 	case JBOD:
 		a.runPerDisk(p, mergeSegments(a.mapConcat(off, n)), false)
@@ -229,6 +251,12 @@ func (a *Array) WriteAt(p *sim.Proc, off, n int64) {
 	if n == 0 {
 		return
 	}
+	a.rec.Enter()
+	start := p.Now()
+	defer func() {
+		a.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(p.Now()-start))
+		a.rec.Exit()
+	}()
 	switch a.level {
 	case JBOD:
 		a.runPerDisk(p, mergeSegments(a.mapConcat(off, n)), true)
@@ -253,6 +281,10 @@ func (a *Array) WriteAt(p *sim.Proc, off, n int64) {
 // Flush implements device.BlockDev: all healthy members flush in
 // parallel.
 func (a *Array) Flush(p *sim.Proc) {
+	start := p.Now()
+	defer func() {
+		a.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
+	}()
 	fns := make([]func(*sim.Proc), 0, len(a.members))
 	for i := range a.members {
 		if a.failed[i] {

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"testing"
+
+	"ioeval/internal/mpiio"
+	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
+)
+
+// Drive a PhaseSnapshotter with a synthetic write→compute→read run and
+// check that the intervals tile the timeline and their deltas sum to
+// the run totals.
+func TestPhaseSnapshotterIntervals(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(eng, "disk:x", telemetry.LevelDevice, 1)
+	reg.Register(rec)
+
+	inner := New()
+	ps := NewPhaseSnapshotter(eng, reg, inner, 0)
+
+	ev := func(p *sim.Proc, op mpiio.Op, bytes int64, d sim.Duration) {
+		t0 := p.Now()
+		p.Sleep(d)
+		if op.IsIO() {
+			class := telemetry.ClassWrite
+			if op == mpiio.OpRead || op == mpiio.OpReadAll {
+				class = telemetry.ClassRead
+			}
+			rec.Observe(class, 1, bytes, d)
+		}
+		ps.Record(mpiio.Event{Rank: 0, Op: op, Bytes: bytes, Count: 1, T0: t0, T1: p.Now()})
+	}
+
+	eng.Spawn("driver", func(p *sim.Proc) {
+		ev(p, mpiio.OpWrite, 100, 10*sim.Millisecond)
+		ev(p, mpiio.OpWrite, 200, 10*sim.Millisecond)
+		ev(p, mpiio.OpCompute, 0, 5*sim.Millisecond) // boundary: closes write phase
+		ev(p, mpiio.OpRead, 300, 20*sim.Millisecond)
+		ev(p, mpiio.OpCompute, 0, 5*sim.Millisecond) // boundary: closes read phase
+		ev(p, mpiio.OpWrite, 50, 10*sim.Millisecond) // closed by Finish
+	})
+	end := eng.Run()
+	ivs := ps.Finish()
+
+	if len(ivs) != 3 {
+		t.Fatalf("intervals = %d: %+v", len(ivs), ivs)
+	}
+	if ivs[0].Kind != "write" || ivs[1].Kind != "read" || ivs[2].Kind != "write" {
+		t.Fatalf("kinds = %q %q %q", ivs[0].Kind, ivs[1].Kind, ivs[2].Kind)
+	}
+
+	// Intervals must tile [0, end] with no gaps.
+	if ivs[0].Start != 0 {
+		t.Fatalf("first interval starts at %v", ivs[0].Start)
+	}
+	for i := 1; i < len(ivs); i++ {
+		if ivs[i].Start != ivs[i-1].End {
+			t.Fatalf("gap between interval %d and %d: %v != %v", i-1, i, ivs[i-1].End, ivs[i].Start)
+		}
+	}
+	if ivs[len(ivs)-1].End != end {
+		t.Fatalf("last interval ends at %v, run ended at %v", ivs[len(ivs)-1].End, end)
+	}
+
+	// Per-component deltas must sum to the run totals, with no
+	// negative counters anywhere.
+	var sum telemetry.Counters
+	for _, iv := range ivs {
+		for _, s := range iv.Snaps {
+			c := s.Counters
+			for _, o := range []telemetry.OpCounters{c.Read, c.Write, c.Meta} {
+				if o.Ops < 0 || o.Bytes < 0 || o.Busy < 0 {
+					t.Fatalf("negative counters in interval %q: %+v", iv.Label, c)
+				}
+			}
+			sum.Read.Ops += c.Read.Ops
+			sum.Read.Bytes += c.Read.Bytes
+			sum.Read.Busy += c.Read.Busy
+			sum.Write.Ops += c.Write.Ops
+			sum.Write.Bytes += c.Write.Bytes
+			sum.Write.Busy += c.Write.Busy
+		}
+	}
+	total := rec.Snapshot().Counters
+	if sum.Write.Ops != total.Write.Ops || sum.Write.Bytes != total.Write.Bytes || sum.Write.Busy != total.Write.Busy {
+		t.Fatalf("write deltas sum %+v != totals %+v", sum.Write, total.Write)
+	}
+	if sum.Read.Ops != total.Read.Ops || sum.Read.Bytes != total.Read.Bytes {
+		t.Fatalf("read deltas sum %+v != totals %+v", sum.Read, total.Read)
+	}
+
+	// The inner tracer still received every event.
+	if got := len(inner.Events()); got != 6 {
+		t.Fatalf("inner tracer saw %d events", got)
+	}
+}
+
+// Events from other ranks are forwarded but never trigger snapshots.
+func TestPhaseSnapshotterFiltersRank(t *testing.T) {
+	eng := sim.NewEngine()
+	reg := telemetry.NewRegistry()
+	ps := NewPhaseSnapshotter(eng, reg, nil, 0)
+	eng.Spawn("driver", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		ps.Record(mpiio.Event{Rank: 1, Op: mpiio.OpWrite, Bytes: 10, Count: 1})
+		p.Sleep(sim.Millisecond)
+		ps.Record(mpiio.Event{Rank: 1, Op: mpiio.OpCompute})
+	})
+	eng.Run()
+	if n := len(ps.Intervals()); n != 0 {
+		t.Fatalf("rank-filtered snapshotter emitted %d intervals", n)
+	}
+	// Finish with no time elapsed since the last boundary at t=0 would
+	// be a zero interval; here time passed, so the tail is emitted.
+	ivs := ps.Finish()
+	if len(ivs) != 1 || ivs[0].Label != "tail" {
+		t.Fatalf("tail = %+v", ivs)
+	}
+}

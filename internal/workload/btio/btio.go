@@ -186,7 +186,7 @@ func (a *App) RecordsPerDump(rank int) int { return len(a.dumpVecs(rank, 0)) }
 // Run implements workload.App.
 func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
 	np := a.cfg.Procs
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w := c.NewWorld(c.RankNodes(np))
 	w.SetTracer(tr)
 
 	hints := mpiio.Hints{CollectiveBuffering: a.cfg.Subtype == Full}

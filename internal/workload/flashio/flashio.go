@@ -89,7 +89,7 @@ func (a *App) CheckpointBytes() int64 {
 // Run implements workload.App.
 func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
 	np := a.cfg.Procs
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w := c.NewWorld(c.RankNodes(np))
 	w.SetTracer(tr)
 
 	ckpt := mpiio.OpenFile(w, a.cfg.PathPrefix+"_hdf5_chk_0001",

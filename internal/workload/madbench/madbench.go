@@ -129,7 +129,7 @@ func (a *App) offset(rank, b int) int64 {
 // Run implements workload.App.
 func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
 	np := a.cfg.Procs
-	w := mpiio.NewWorld(c.Eng, c.CommNet, c.RankNodes(np))
+	w := c.NewWorld(c.RankNodes(np))
 	w.SetTracer(tr)
 
 	mounts := c.NFSMounts(np)
@@ -168,7 +168,7 @@ func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) 
 			f := files[rank]
 			if f == nil {
 				// UNIQUE: a per-rank world/file pair.
-				sub := mpiio.NewWorld(c.Eng, c.CommNet, []string{w.Node(rank)})
+				sub := c.NewWorld([]string{w.Node(rank)})
 				sub.SetTracer(&rankShift{tr: w.Tracer(), rank: rank})
 				f = mpiio.OpenFile(sub, a.path(rank), fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc,
 					[]fs.Interface{mounts[rank]}, hints)
