@@ -85,6 +85,16 @@ func BenchmarkTable10and11_MadBenchUsedPercentClusterA(b *testing.B) {
 	report(b, experiments.Table11())
 }
 
+// --- configuration sweep ----------------------------------------------
+
+// BenchmarkSweepBTIOAohyper runs the ranked configuration sweep over
+// the Aohyper organizations through the shared engine (same caches as
+// the Table 3/4 and Fig. 12 generators). Engine-level speedup benches
+// live in internal/sweep.
+func BenchmarkSweepBTIOAohyper(b *testing.B) {
+	report(b, experiments.SweepBTIOAohyper())
+}
+
 // --- ablations (design-choice sensitivity) -----------------------------
 
 func BenchmarkAblationCollectiveBuffering(b *testing.B) {

@@ -1,0 +1,184 @@
+// Command iosweep fans the paper's three-phase methodology out over a
+// grid of candidate I/O configurations and ranks the results: every
+// (platform × device organization × I/O-node count) cell is
+// characterized once, every workload is evaluated on every cell on a
+// bounded worker pool, and the ranked report recommends the best
+// configuration per application.
+//
+// Usage:
+//
+//	iosweep [-platforms aohyper,clusterA] [-orgs jbod,raid1,raid5]
+//	        [-pfs 0,2,4] [-apps btio-full,btio-simple,madbench-shared,madbench-unique,flashio]
+//	        [-procs N] [-workers N] [-rank io-time|used-pct|throughput]
+//	        [-quick] [-json FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/sim"
+	"ioeval/internal/sweep"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/flashio"
+	"ioeval/internal/workload/madbench"
+)
+
+func main() {
+	platforms := flag.String("platforms", "aohyper", "comma-separated platforms: aohyper, clusterA")
+	orgs := flag.String("orgs", "jbod,raid1,raid5", "comma-separated device organizations")
+	pfs := flag.String("pfs", "0", "comma-separated I/O-node counts (0 = NFS path, n > 0 = parallel FS over n I/O nodes)")
+	apps := flag.String("apps", "btio-full,btio-simple", "comma-separated workloads: btio-full, btio-simple, madbench-shared, madbench-unique, flashio")
+	procs := flag.Int("procs", 16, "MPI processes per workload (btio needs a square)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	rankName := flag.String("rank", "io-time", "ranking metric: io-time, used-pct or throughput")
+	quick := flag.Bool("quick", false, "reduced characterization and class A BT-IO (fast demo)")
+	jsonOut := flag.String("json", "", "write the ranked report to this JSON file")
+	flag.Parse()
+
+	rank, err := sweep.ParseMetric(*rankName)
+	if err != nil {
+		fatal(err)
+	}
+	spec := sweep.GridSpec{Char: charConfig(*quick)}
+	for _, p := range split(*platforms) {
+		cfg, err := platformConfig(p)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Platforms = append(spec.Platforms, cfg)
+	}
+	for _, o := range split(*orgs) {
+		org, err := parseOrg(o)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Orgs = append(spec.Orgs, org)
+	}
+	for _, s := range split(*pfs) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			fatal(fmt.Errorf("bad -pfs entry %q", s))
+		}
+		spec.PFSIONodes = append(spec.PFSIONodes, n)
+	}
+	for _, a := range split(*apps) {
+		app, err := appSpec(a, *procs, *quick)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Apps = append(spec.Apps, app)
+	}
+
+	grid := spec.Grid()
+	eng := sweep.NewEngine(*workers)
+	fmt.Printf("sweeping %d configurations × %d workloads on %d workers ...\n",
+		len(grid.Configs), len(spec.Apps), eng.Workers())
+	rep, err := eng.Run(grid, rank)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep)
+	snap := eng.Snapshot()
+	fmt.Printf("engine: %d characterizations (%d cache hits), %d evaluations (%d cache hits)\n",
+		snap.Counters.Aux["characterizations"], snap.Counters.Aux["char_cache_hits"],
+		snap.Counters.Aux["evaluations"], snap.Counters.Aux["eval_cache_hits"])
+	if *jsonOut != "" {
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(report written to %s)\n", *jsonOut)
+	}
+}
+
+func split(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func platformConfig(name string) (cluster.Config, error) {
+	switch name {
+	case "aohyper":
+		return cluster.Aohyper(cluster.JBOD).Cfg, nil
+	case "clusterA":
+		return cluster.ClusterA().Cfg, nil
+	}
+	return cluster.Config{}, fmt.Errorf("unknown platform %q", name)
+}
+
+func parseOrg(s string) (cluster.Organization, error) {
+	switch s {
+	case "jbod":
+		return cluster.JBOD, nil
+	case "raid1":
+		return cluster.RAID1, nil
+	case "raid5":
+		return cluster.RAID5, nil
+	}
+	return 0, fmt.Errorf("unknown organization %q", s)
+}
+
+func charConfig(quick bool) core.CharacterizeConfig {
+	cfg := core.DefaultCharacterizeConfig()
+	if quick {
+		cfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
+		cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
+		cfg.LocalFileSize = 512 << 20
+		cfg.GlobalFileSize = 512 << 20
+		cfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
+		cfg.LibFileSize = 256 << 20
+		cfg.LibProcs = 4
+	}
+	return cfg
+}
+
+func appSpec(name string, procs int, quick bool) (sweep.AppSpec, error) {
+	class := btio.ClassC
+	if quick {
+		class = btio.ClassA
+	}
+	kpix := 18
+	if quick {
+		kpix = 4
+	}
+	switch name {
+	case "btio-full", "btio-simple":
+		st := btio.Full
+		if name == "btio-simple" {
+			st = btio.Simple
+		}
+		return sweep.AppSpec{Name: name, New: func() workload.App {
+			return btio.New(btio.Config{Class: class, Procs: procs, Subtype: st, ComputeScale: 1})
+		}}, nil
+	case "madbench-shared", "madbench-unique":
+		ft := madbench.Shared
+		if name == "madbench-unique" {
+			ft = madbench.Unique
+		}
+		return sweep.AppSpec{Name: name, New: func() workload.App {
+			return madbench.New(madbench.Config{Procs: procs, KPix: kpix, FileType: ft, BusyWork: sim.Second})
+		}}, nil
+	case "flashio":
+		return sweep.AppSpec{Name: name, New: func() workload.App {
+			return flashio.New(flashio.Config{Procs: procs, Compute: 5 * sim.Second})
+		}}, nil
+	}
+	return sweep.AppSpec{}, fmt.Errorf("unknown app %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iosweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/nfs"
+	"ioeval/internal/workload/btio"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCluster is deliberately tiny (two compute nodes) so the
+// committed fixture stays small.
+func goldenCluster() *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Name:         "golden",
+		ComputeNodes: 2,
+		NodeRAM:      256 * mb,
+		NodeDiskCap:  10 * gb,
+		NodeDiskRate: 90e6,
+		IONodeRAM:    256 * mb,
+		IODiskCap:    20 * gb,
+		IODiskRate:   100e6,
+		Org:          cluster.RAID5,
+		StripeUnit:   256 * kb,
+		RAID5Disks:   5,
+		NFSServer:    nfs.DefaultServerParams("golden-nfs"),
+		NFSClient:    nfs.DefaultClientParams("golden-nfs"),
+	})
+}
+
+// TestTelemetryReportGolden pins the exported telemetry-report format
+// on a fixed cluster and workload. The simulation is deterministic, so
+// any diff is a real format or model change: inspect it, then rerun
+// with -update to accept.
+func TestTelemetryReportGolden(t *testing.T) {
+	charCfg := CharacterizeConfig{
+		FSBlockSizes:   []int64{64 * kb, mb},
+		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
+		LocalFileSize:  64 * mb,
+		GlobalFileSize: 64 * mb,
+		LibProcs:       2,
+		LibBlockSizes:  []int64{4 * mb},
+		LibTransfer:    256 * kb,
+		LibFileSize:    16 * mb,
+		RandomOps:      128,
+	}
+	ch, err := Characterize(goldenCluster, charCfg)
+	if err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	quick := btio.Class{Name: "Q", N: 64, Steps: 5, WriteInterval: 5}
+	ev, err := Evaluate(goldenCluster(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}), ch)
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ev.TelemetryReport().WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	compareGolden(t, filepath.Join("testdata", "telemetry_report.golden.json"), buf.Bytes())
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output; diff the file and rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			path, clip(got), clip(want))
+	}
+}
+
+func clip(b []byte) []byte {
+	const max = 4096
+	if len(b) <= max {
+		return b
+	}
+	return append(append([]byte{}, b[:max]...), []byte("... (truncated)")...)
+}

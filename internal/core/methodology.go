@@ -24,8 +24,9 @@ type Methodology struct {
 	// evaluation.
 	Requirements *Requirements
 
-	mu   sync.Mutex
-	char *Characterization
+	charOnce sync.Once
+	char     *Characterization
+	charErr  error
 }
 
 // Report is the output of one methodology run for one application.
@@ -40,21 +41,20 @@ type Report struct {
 // Characterization returns (computing once) the configuration's
 // performance tables. Safe for concurrent use: parallel studies may
 // evaluate many applications against one Methodology, and the first
-// callers must not race to characterize.
+// callers must not race to characterize. Single-flight via sync.Once
+// rather than a mutex held across Characterize, so concurrent sweeps
+// over distinct Methodology values never serialize on each other and
+// late callers on the same value block only until the first
+// computation lands. The first outcome — including an error — is
+// cached for the lifetime of the Methodology.
 func (m *Methodology) Characterization() (*Characterization, error) {
 	if m.Build == nil {
 		return nil, fmt.Errorf("core: Methodology needs a Build function")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.char == nil {
-		ch, err := Characterize(m.Build, m.CharConfig)
-		if err != nil {
-			return nil, err
-		}
-		m.char = ch
-	}
-	return m.char, nil
+	m.charOnce.Do(func() {
+		m.char, m.charErr = Characterize(m.Build, m.CharConfig)
+	})
+	return m.char, m.charErr
 }
 
 // Run executes all three phases for the application.

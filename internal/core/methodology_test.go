@@ -279,3 +279,52 @@ func TestMethodologyNeedsBuilder(t *testing.T) {
 		t.Fatal("expected error without Build")
 	}
 }
+
+// Distinct methodologies must characterize in parallel: each Build
+// function below waits until the other methodology's Build has also
+// started, so the test deadlocks (and times out) if first-time
+// characterizations serialize behind a lock held across Characterize.
+func TestMethodologiesCharacterizeInParallel(t *testing.T) {
+	cfg := quickCharCfg()
+	cfg.FSBlockSizes = cfg.FSBlockSizes[:1]
+	cfg.FSModes = cfg.FSModes[:2]
+	cfg.LibBlockSizes = cfg.LibBlockSizes[:1]
+
+	started := make(chan int, 2)
+	release := make(chan struct{})
+	mk := func(id int) *Methodology {
+		first := true
+		return &Methodology{
+			CharConfig: cfg,
+			Build: func() *cluster.Cluster {
+				if first { // Characterize builds several clusters; gate only the first
+					first = false
+					started <- id
+					<-release
+				}
+				return cluster.Aohyper(cluster.JBOD)
+			},
+		}
+	}
+	ms := []*Methodology{mk(0), mk(1)}
+	done := make(chan error, len(ms))
+	for _, m := range ms {
+		go func(m *Methodology) {
+			_, err := m.Characterization()
+			done <- err
+		}(m)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < len(ms); i++ {
+		seen[<-started] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatalf("both characterizations should be in flight, got %v", seen)
+	}
+	close(release)
+	for range ms {
+		if err := <-done; err != nil {
+			t.Fatalf("characterize: %v", err)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ioeval/internal/trace"
+)
+
+// Property-style coverage of the paper's table-search algorithm
+// (Figs. 10–11): for randomized performance tables, the selected row
+// must always match the requested operation type and access type, be
+// the nearest block size per the paper's rules (clamp below the
+// minimum, clamp above the maximum, closest upper entry in between),
+// and honor the documented access-mode fallback order. Used-% rows
+// derived from the table may exceed 100 only when the measured rate
+// exceeds the characterized row's.
+
+var allModes = []trace.AccessMode{trace.Sequential, trace.Strided, trace.Random}
+
+// randTable builds a table with unique block sizes per (op, access,
+// mode) group so the expected lookup result is unambiguous.
+func randTable(rng *rand.Rand) *PerfTable {
+	t := &PerfTable{Level: LevelNFS, Config: "prop"}
+	for _, op := range []OpType{Read, Write} {
+		for _, access := range []AccessType{Local, Global} {
+			for _, mode := range allModes {
+				if rng.Intn(3) == 0 {
+					continue // leave some groups uncharacterized
+				}
+				n := 1 + rng.Intn(6)
+				sizes := map[int64]bool{}
+				for len(sizes) < n {
+					sizes[(1+int64(rng.Intn(1<<14)))*1024] = true
+				}
+				for bs := range sizes {
+					t.Add(Row{Op: op, BlockSize: bs, Access: access, Mode: mode,
+						Rate: 1e6 + rng.Float64()*200e6})
+				}
+			}
+		}
+	}
+	return t
+}
+
+// refLookup is the independent reference implementation of Fig. 11.
+func refLookup(t *PerfTable, op OpType, bs int64, access AccessType, mode trace.AccessMode) (float64, trace.AccessMode, bool) {
+	var order []trace.AccessMode
+	switch mode {
+	case trace.Strided:
+		order = []trace.AccessMode{trace.Strided, trace.Sequential, trace.Random}
+	case trace.Random:
+		order = []trace.AccessMode{trace.Random, trace.Strided, trace.Sequential}
+	default:
+		order = []trace.AccessMode{trace.Sequential, trace.Strided, trace.Random}
+	}
+	for _, m := range order {
+		var rows []Row
+		for _, r := range t.Rows {
+			if r.Op == op && r.Access == access && r.Mode == m {
+				rows = append(rows, r)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].BlockSize < rows[j].BlockSize })
+		best := rows[len(rows)-1]
+		for _, r := range rows {
+			if r.BlockSize >= bs {
+				best = r
+				break
+			}
+		}
+		return best.Rate, m, true
+	}
+	return 0, mode, false
+}
+
+func TestLookupProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20110926)) // the paper's conference date
+	for iter := 0; iter < 300; iter++ {
+		tab := randTable(rng)
+		for q := 0; q < 40; q++ {
+			op := []OpType{Read, Write}[rng.Intn(2)]
+			access := []AccessType{Local, Global}[rng.Intn(2)]
+			mode := allModes[rng.Intn(3)]
+			bs := int64(rng.Intn(1 << 25))
+			rate, usedMode, ok := tab.Lookup(op, bs, access, mode)
+			wantRate, wantMode, wantOK := refLookup(tab, op, bs, access, mode)
+			if ok != wantOK || rate != wantRate || usedMode != wantMode {
+				t.Fatalf("iter %d: Lookup(%v, %d, %v, %v) = (%.0f, %v, %v), want (%.0f, %v, %v)",
+					iter, op, bs, access, mode, rate, usedMode, ok, wantRate, wantMode, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			// The selected rate must belong to a row of the requested
+			// operation and access type with the reported mode.
+			found := false
+			for _, r := range tab.Rows {
+				if r.Op == op && r.Access == access && r.Mode == usedMode && r.Rate == rate {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d: rate %.0f not from any (%v, %v, %v) row", iter, rate, op, access, usedMode)
+			}
+		}
+	}
+}
+
+// TestLookupNearestUpperRule pins the in-between rule on a hand-built
+// table: exact match wins, otherwise the closest upper block size.
+func TestLookupNearestUpperRule(t *testing.T) {
+	tab := &PerfTable{Level: LevelNFS}
+	for i, bs := range []int64{32 * kb, mb, 16 * mb} {
+		tab.Add(Row{Op: Write, BlockSize: bs, Access: Global, Mode: trace.Sequential,
+			Rate: float64(i+1) * 10e6})
+	}
+	cases := []struct {
+		bs   int64
+		want float64
+	}{
+		{kb, 10e6},      // below min: clamp to smallest
+		{32 * kb, 10e6}, // exact
+		{33 * kb, 20e6}, // between: closest upper (1 MB)
+		{mb, 20e6},      // exact
+		{mb + 1, 30e6},  // between: closest upper (16 MB)
+		{16 * mb, 30e6}, // exact
+		{1 << 30, 30e6}, // above max: clamp to largest
+	}
+	for _, c := range cases {
+		rate, _, ok := tab.Lookup(Write, c.bs, Global, trace.Sequential)
+		if !ok || rate != c.want {
+			t.Errorf("Lookup(bs=%d) = (%.0f, %v), want %.0f", c.bs, rate, ok, c.want)
+		}
+	}
+}
+
+// TestUsedTableOver100Property: used-% exceeds 100 exactly when the
+// measured rate exceeds the characterized row the search selected.
+func TestUsedTableOver100Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 200; iter++ {
+		ch := &Characterization{Config: "prop", Tables: map[Level]*PerfTable{}}
+		for _, level := range Levels() {
+			tab := randTable(rng)
+			tab.Level = level
+			ch.Tables[level] = tab
+		}
+		var ms []Measurement
+		for i := 0; i < 10; i++ {
+			ms = append(ms, Measurement{
+				Op:        []OpType{Read, Write}[rng.Intn(2)],
+				BlockSize: int64(rng.Intn(1 << 25)),
+				Access:    Global,
+				Mode:      allModes[rng.Intn(3)],
+				Rate:      rng.Float64() * 400e6,
+				Ops:       1, Bytes: 1,
+			})
+		}
+		for _, u := range UsedTable(ms, ch) {
+			if !u.CharAvailable {
+				if u.UsedPct != 0 {
+					t.Fatalf("uncharacterized row has used%% %.1f: %+v", u.UsedPct, u)
+				}
+				continue
+			}
+			if u.CharRate <= 0 {
+				t.Fatalf("characterized row without rate: %+v", u)
+			}
+			if (u.UsedPct > 100) != (u.MeasuredRate > u.CharRate) {
+				t.Fatalf("used%%=%.1f with measured=%.0f char=%.0f: %+v",
+					u.UsedPct, u.MeasuredRate, u.CharRate, u)
+			}
+			// The access type searched is fixed per level; the rate must
+			// come from the level's table via the reference search.
+			access := Global
+			if u.Level == LevelLocalFS {
+				access = Local
+			}
+			wantRate, wantMode, wantOK := refLookup(ch.Tables[u.Level], u.Op, u.BlockSize, access, u.Mode)
+			if !wantOK || wantRate != u.CharRate || wantMode != u.LookupMode {
+				t.Fatalf("used row lookup mismatch: got (%.0f, %v), want (%.0f, %v, %v)",
+					u.CharRate, u.LookupMode, wantRate, wantMode, wantOK)
+			}
+		}
+	}
+}

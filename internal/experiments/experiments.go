@@ -12,11 +12,11 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/sweep"
 	"ioeval/internal/workload"
 	"ioeval/internal/workload/btio"
 	"ioeval/internal/workload/madbench"
@@ -83,71 +83,113 @@ func charConfig(pl Platform) core.CharacterizeConfig {
 	return cfg
 }
 
-// --- memoization ------------------------------------------------------
+// --- sweep-engine backing --------------------------------------------
+//
+// All table/figure experiments run through one shared sweep.Engine:
+// characterizations are single-flight per configuration, evaluations
+// memoized per (configuration, application) cell, and the bench
+// harness and shape tests share one execution per process — the same
+// machinery cmd/iosweep exposes for what-if studies.
 
-var (
-	charMu    sync.Mutex
-	charCache = map[string]*core.Characterization{}
+var engine = sweep.NewEngine(0)
 
-	evalMu    sync.Mutex
-	evalCache = map[string]*core.Evaluation{}
-)
+// Engine returns the process-wide sweep engine backing the
+// experiments (its telemetry snapshot counts characterizations and
+// evaluations actually computed vs. served from cache).
+func Engine() *sweep.Engine { return engine }
+
+// sweepConfig is the sweep-engine cell key for a platform/organization.
+func sweepConfig(pl Platform, org cluster.Organization) sweep.Config {
+	if pl == ClusterA {
+		org = cluster.RAID5 // Cluster A has a single configuration
+	}
+	return sweep.Config{
+		Name:  fmt.Sprintf("%v/%v", pl, org),
+		Build: func() *cluster.Cluster { return BuildCluster(pl, org) },
+		Char:  charConfig(pl),
+	}
+}
+
+// BTIOSpec returns the sweep workload spec of a BT-IO run.
+func BTIOSpec(procs int, st btio.Subtype) sweep.AppSpec {
+	return sweep.AppSpec{
+		Name: fmt.Sprintf("btio/%d/%v", procs, st),
+		New: func() workload.App {
+			return btio.New(btio.Config{
+				Class:        btio.ClassC,
+				Procs:        procs,
+				Subtype:      st,
+				ComputeScale: 1.0,
+			})
+		},
+	}
+}
+
+// MadBenchSpec returns the sweep workload spec of a MADbench2 run.
+func MadBenchSpec(procs int, ft madbench.FileType) sweep.AppSpec {
+	return sweep.AppSpec{
+		Name: fmt.Sprintf("madbench/%d/%v", procs, ft),
+		New: func() workload.App {
+			return madbench.New(madbench.Config{
+				Procs:    procs,
+				KPix:     18,
+				Bins:     8,
+				FileType: ft,
+				BusyWork: 1e9, // 1 s busy-work per bin (IO mode)
+			})
+		},
+	}
+}
 
 // Characterization returns (computing once) the three-level
 // characterization of a platform/organization.
 func Characterization(pl Platform, org cluster.Organization) *core.Characterization {
-	if pl == ClusterA {
-		org = cluster.RAID5 // Cluster A has a single configuration
-	}
-	key := fmt.Sprintf("%v/%v", pl, org)
-	charMu.Lock()
-	defer charMu.Unlock()
-	if ch, ok := charCache[key]; ok {
-		return ch
-	}
-	ch, err := core.Characterize(func() *cluster.Cluster { return BuildCluster(pl, org) }, charConfig(pl))
+	cfg := sweepConfig(pl, org)
+	ch, err := engine.Characterization(cfg)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: characterize %s: %v", key, err))
+		panic(fmt.Sprintf("experiments: characterize %s: %v", cfg.Name, err))
 	}
-	charCache[key] = ch
 	return ch
 }
 
 // EvalBTIO returns (computing once) the evaluation of NAS BT-IO on a
 // platform/organization.
 func EvalBTIO(pl Platform, org cluster.Organization, procs int, st btio.Subtype) *core.Evaluation {
-	key := fmt.Sprintf("btio/%v/%v/%d/%v", pl, org, procs, st)
-	return memoEval(key, pl, org, btio.New(btio.Config{
-		Class:        btio.ClassC,
-		Procs:        procs,
-		Subtype:      st,
-		ComputeScale: 1.0,
-	}))
+	return eval(sweepConfig(pl, org), BTIOSpec(procs, st))
 }
 
 // EvalMadBench returns (computing once) the evaluation of MADbench2.
 func EvalMadBench(pl Platform, org cluster.Organization, procs int, ft madbench.FileType) *core.Evaluation {
-	key := fmt.Sprintf("madbench/%v/%v/%d/%v", pl, org, procs, ft)
-	return memoEval(key, pl, org, madbench.New(madbench.Config{
-		Procs:    procs,
-		KPix:     18,
-		Bins:     8,
-		FileType: ft,
-		BusyWork: 1e9, // 1 s busy-work per bin (IO mode)
-	}))
+	return eval(sweepConfig(pl, org), MadBenchSpec(procs, ft))
 }
 
-func memoEval(key string, pl Platform, org cluster.Organization, app workload.App) *core.Evaluation {
-	evalMu.Lock()
-	defer evalMu.Unlock()
-	if ev, ok := evalCache[key]; ok {
-		return ev
-	}
-	ch := Characterization(pl, org)
-	ev, err := core.Evaluate(BuildCluster(pl, org), app, ch)
+func eval(cfg sweep.Config, app sweep.AppSpec) *core.Evaluation {
+	ev, err := engine.Evaluate(cfg, app)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: evaluate %s: %v", key, err))
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	evalCache[key] = ev
 	return ev
+}
+
+// SweepBTIOAohyper ranks Aohyper's three device organizations for the
+// two BT-IO subtypes through the sweep engine — the methodology's
+// configuration-recommendation loop as one artifact. It shares the
+// engine's evaluation cache with the Table III/IV and Fig. 12
+// generators, so the ranked view costs no extra runs.
+func SweepBTIOAohyper() Artifact {
+	grid := sweep.Grid{
+		Apps: []sweep.AppSpec{BTIOSpec(16, btio.Full), BTIOSpec(16, btio.Simple)},
+	}
+	for _, org := range AohyperOrgs {
+		grid.Configs = append(grid.Configs, sweepConfig(Aohyper, org))
+	}
+	rep, err := engine.Run(grid, sweep.ByIOTime)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: sweep: %v", err))
+	}
+	return Artifact{
+		ID:    "sweep-btio",
+		Title: "Configuration sweep — NAS BT-IO class C, 16 processes, Aohyper organizations",
+		Text:  rep.String(),
+	}
 }

@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ioeval/internal/cluster"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestSweepReportGolden pins the sweep report formats — ranked JSON
+// document and rendered table — on a fixed four-configuration grid.
+// Any diff is a real format or model change: inspect it, then rerun
+// with -update to accept.
+func TestSweepReportGolden(t *testing.T) {
+	grid := GridSpec{
+		Platforms:  []cluster.Config{tinyBase("golden", 2)},
+		Orgs:       []cluster.Organization{cluster.JBOD, cluster.RAID5},
+		PFSIONodes: []int{0, 2},
+		Char:       quickChar(),
+		Apps:       testApps(),
+	}.Grid()
+	rep, err := NewEngine(4).Run(grid, ByIOTime)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var js bytes.Buffer
+	if err := rep.WriteJSON(&js); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	compareGolden(t, filepath.Join("testdata", "sweep_report.golden.json"), js.Bytes())
+	compareGolden(t, filepath.Join("testdata", "sweep_report.golden.txt"), []byte(rep.String()))
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output; diff the file and rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

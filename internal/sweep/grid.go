@@ -1,0 +1,76 @@
+package sweep
+
+import (
+	"fmt"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+)
+
+// Grid is the cross-product a sweep evaluates: every configuration ×
+// every workload. Configs may come from a GridSpec expansion, from
+// hand-built entries with custom Build functions, or both.
+type Grid struct {
+	Configs []Config
+	Apps    []AppSpec
+}
+
+// GridSpec declares a sweep grid along the methodology's
+// configuration-analysis axes: base platforms, device organizations
+// on the I/O node, and parallel-filesystem I/O-node counts. The
+// expansion is the full cross-product.
+type GridSpec struct {
+	// Platforms are the base cluster configurations (the platform
+	// axis). Each must have a unique Name.
+	Platforms []cluster.Config
+	// Orgs is the device-organization axis; empty keeps each
+	// platform's own organization.
+	Orgs []cluster.Organization
+	// PFSIONodes is the I/O-node-count axis: 0 evaluates the
+	// platform's NFS path, n > 0 deploys a PVFS-like parallel FS over
+	// n dedicated I/O nodes and characterizes/evaluates against it.
+	// Empty keeps each platform's own setting.
+	PFSIONodes []int
+	// Char parameterizes characterization for every expanded config
+	// (UsePFS is set per cell from the I/O-node axis).
+	Char core.CharacterizeConfig
+	// Apps is the workload axis.
+	Apps []AppSpec
+}
+
+// Grid expands the spec into the explicit configuration × workload
+// grid. Config names are "<platform>/<org>" plus "/pfs-<n>" on
+// parallel-FS cells, so rankings read as the paper's configuration
+// labels.
+func (s GridSpec) Grid() Grid {
+	g := Grid{Apps: s.Apps}
+	for _, base := range s.Platforms {
+		orgs := s.Orgs
+		if len(orgs) == 0 {
+			orgs = []cluster.Organization{base.Org}
+		}
+		ioNodes := s.PFSIONodes
+		if len(ioNodes) == 0 {
+			ioNodes = []int{base.PFSIONodes}
+		}
+		for _, org := range orgs {
+			for _, n := range ioNodes {
+				cfg := base
+				cfg.Org = org
+				cfg.PFSIONodes = n
+				name := fmt.Sprintf("%s/%s", cfg.Name, org)
+				if n > 0 {
+					name = fmt.Sprintf("%s/pfs-%d", name, n)
+				}
+				char := s.Char
+				char.UsePFS = n > 0
+				g.Configs = append(g.Configs, Config{
+					Name:  name,
+					Build: func() *cluster.Cluster { return cluster.New(cfg) },
+					Char:  char,
+				})
+			}
+		}
+	}
+	return g
+}

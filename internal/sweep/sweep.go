@@ -1,0 +1,248 @@
+// Package sweep is a concurrent configuration-sweep engine for the
+// paper's three-phase methodology: it takes a declarative grid of
+// candidate I/O configurations (platform × device organization ×
+// I/O-node count, plus user-supplied Build functions) and a set of
+// workloads, evaluates every (configuration, workload) cell on a
+// bounded worker pool, and aggregates the results deterministically
+// into a ranked report — the Phase 2/3 "what-if" loop of the
+// methodology, scaled out.
+//
+// Characterization (the expensive, per-configuration phase) is
+// memoized per unique cluster fingerprint with single-flight
+// semantics: distinct configurations characterize in parallel, the
+// same configuration is characterized exactly once no matter how many
+// workloads are evaluated against it. Evaluations are memoized the
+// same way, so table/figure generators sharing an Engine (see
+// internal/experiments) pay for each cell once per process.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/telemetry"
+	"ioeval/internal/workload"
+)
+
+// Config is one candidate I/O configuration of a sweep.
+type Config struct {
+	// Name identifies the configuration in reports; it must be unique
+	// within a grid (it is the ranking tie-break key).
+	Name string
+	// Fingerprint keys the shared characterization cache. Configs with
+	// equal fingerprints share one characterization; empty defaults to
+	// Name.
+	Fingerprint string
+	// Build returns a fresh cluster of this configuration. It must be
+	// safe to call from multiple goroutines (each call builds an
+	// independent simulation).
+	Build func() *cluster.Cluster
+	// Char parameterizes the characterization phase.
+	Char core.CharacterizeConfig
+}
+
+func (c Config) fingerprint() string {
+	if c.Fingerprint != "" {
+		return c.Fingerprint
+	}
+	return c.Name
+}
+
+// AppSpec is one workload of a sweep. New must return a fresh App per
+// call: evaluations run concurrently and an App instance must not be
+// shared across cells.
+type AppSpec struct {
+	Name string
+	New  func() workload.App
+}
+
+// Engine evaluates sweep cells on a bounded worker pool, sharing
+// memoized characterizations and evaluations across calls.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	chars map[string]*charEntry
+	evals map[string]*evalEntry
+
+	nChar    atomic.Int64
+	nCharHit atomic.Int64
+	nEval    atomic.Int64
+	nEvalHit atomic.Int64
+}
+
+type charEntry struct {
+	once sync.Once
+	ch   *core.Characterization
+	err  error
+}
+
+type evalEntry struct {
+	once sync.Once
+	ev   *core.Evaluation
+	err  error
+}
+
+// NewEngine returns an engine with the given worker-pool size;
+// workers <= 0 sizes the pool to runtime.GOMAXPROCS(0).
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		chars:   map[string]*charEntry{},
+		evals:   map[string]*evalEntry{},
+	}
+}
+
+// Workers returns the worker-pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Characterization returns the memoized characterization of cfg.
+// Single-flight per fingerprint: concurrent callers with the same
+// fingerprint block on one computation; distinct fingerprints proceed
+// in parallel (the engine holds no lock across Characterize).
+func (e *Engine) Characterization(cfg Config) (*core.Characterization, error) {
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("sweep: config %q needs a Build function", cfg.Name)
+	}
+	e.mu.Lock()
+	ent, ok := e.chars[cfg.fingerprint()]
+	if !ok {
+		ent = &charEntry{}
+		e.chars[cfg.fingerprint()] = ent
+	}
+	e.mu.Unlock()
+	hit := true
+	ent.once.Do(func() {
+		hit = false
+		e.nChar.Add(1)
+		ent.ch, ent.err = core.Characterize(cfg.Build, cfg.Char)
+	})
+	if hit {
+		e.nCharHit.Add(1)
+	}
+	if ent.err != nil {
+		return nil, fmt.Errorf("sweep: characterize %s: %w", cfg.Name, ent.err)
+	}
+	return ent.ch, nil
+}
+
+// Evaluate returns the memoized evaluation of one (config, app) cell,
+// characterizing the configuration first if no cached table set
+// exists. Single-flight per cell key.
+func (e *Engine) Evaluate(cfg Config, app AppSpec) (*core.Evaluation, error) {
+	if app.New == nil {
+		return nil, fmt.Errorf("sweep: app %q needs a New function", app.Name)
+	}
+	key := cfg.Name + "\x00" + app.Name
+	e.mu.Lock()
+	ent, ok := e.evals[key]
+	if !ok {
+		ent = &evalEntry{}
+		e.evals[key] = ent
+	}
+	e.mu.Unlock()
+	hit := true
+	ent.once.Do(func() {
+		hit = false
+		e.nEval.Add(1)
+		ch, err := e.Characterization(cfg)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.ev, ent.err = core.Evaluate(cfg.Build(), app.New(), ch)
+	})
+	if hit {
+		e.nEvalHit.Add(1)
+	}
+	if ent.err != nil {
+		return nil, fmt.Errorf("sweep: evaluate %s on %s: %w", app.Name, cfg.Name, ent.err)
+	}
+	return ent.ev, nil
+}
+
+var _ telemetry.Probe = (*Engine)(nil)
+
+// Snapshot implements telemetry.Probe: the engine's own counters —
+// characterizations and evaluations actually computed vs. served from
+// cache — as auxiliary counters, so sweeps can assert (and reports can
+// show) that each unique configuration was characterized exactly once.
+func (e *Engine) Snapshot() telemetry.Snapshot {
+	return telemetry.Snapshot{
+		Component: "sweep-engine",
+		Level:     telemetry.LevelLibrary,
+		Units:     int64(e.workers),
+		Counters: telemetry.Counters{
+			Aux: map[string]int64{
+				"characterizations": e.nChar.Load(),
+				"char_cache_hits":   e.nCharHit.Load(),
+				"evaluations":       e.nEval.Load(),
+				"eval_cache_hits":   e.nEvalHit.Load(),
+			},
+		},
+	}
+}
+
+// Run evaluates every (config, app) cell of the grid on the worker
+// pool and aggregates the results into a ranked report. The report is
+// deterministic: identical grids produce byte-identical reports
+// regardless of worker count or completion order. Any cell failure
+// fails the run with all cell errors joined.
+func (e *Engine) Run(grid Grid, rank Metric) (*Report, error) {
+	if len(grid.Configs) == 0 {
+		return nil, errors.New("sweep: grid has no configurations")
+	}
+	if len(grid.Apps) == 0 {
+		return nil, errors.New("sweep: grid has no workloads")
+	}
+	seen := map[string]bool{}
+	for _, cfg := range grid.Configs {
+		if seen[cfg.Name] {
+			return nil, fmt.Errorf("sweep: duplicate configuration name %q", cfg.Name)
+		}
+		seen[cfg.Name] = true
+	}
+
+	nApps := len(grid.Apps)
+	cells := make([]*Cell, len(grid.Configs)*nApps)
+	errs := make([]error, len(cells))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				cfg, app := grid.Configs[idx/nApps], grid.Apps[idx%nApps]
+				ev, err := e.Evaluate(cfg, app)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				cells[idx] = newCell(cfg.Name, app.Name, ev)
+			}
+		}()
+	}
+	for idx := range cells {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return newReport(grid, rank, cells), nil
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSV drives the event-log parser with arbitrary bytes:
+// malformed input must return an error — never panic — and input that
+// parses must survive a write/re-read round trip and derive a profile
+// without panicking. Seed corpus under testdata/fuzz/FuzzReadCSV;
+// run the fuzzer with
+//
+//	go test -fuzz=FuzzReadCSV ./internal/trace
+func FuzzReadCSV(f *testing.F) {
+	head := "rank,op,file,offset,bytes,count,t0_ns,t1_ns\n"
+	f.Add([]byte(""))
+	f.Add([]byte(head))
+	f.Add([]byte(head + "0,write,/f,0,1048576,1,0,1000\n1,read_all,/f,0,2097152,4,1000,2000\n"))
+	f.Add([]byte(head + "0,compute,,-1,0,0,0,10\n"))
+	f.Add([]byte(head + "0,wrote,/f,0,1,1,0,1\n"))
+	f.Add([]byte(head + "0,write,/f,0,1,1,5,4\n"))
+	f.Add([]byte(head + "9223372036854775807,write,/f,0,1,1,0,1\n"))
+	f.Add([]byte("rank,op\n0,write\n"))
+	f.Add([]byte("\"unterminated"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected cleanly
+		}
+		// Accepted input must be well-formed enough for every consumer.
+		_ = tr.Profile()
+		for rank := 0; rank < 4; rank++ {
+			_ = tr.Phases(rank)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("re-serialize accepted trace: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse own output: %v", err)
+		}
+		if len(again.Events()) != len(tr.Events()) {
+			t.Fatalf("round trip lost events: %d -> %d", len(tr.Events()), len(again.Events()))
+		}
+	})
+}
