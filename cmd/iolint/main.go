@@ -1,0 +1,150 @@
+// Command iolint runs the repo-native static-analysis suite
+// (internal/lint) over the module: determinism, lock discipline,
+// unchecked errors, unit-suffix safety and telemetry-probe
+// conformance — the invariants behind the methodology's byte-identical
+// reports.
+//
+// Usage:
+//
+//	go run ./cmd/iolint ./...          # whole module
+//	go run ./cmd/iolint internal/core  # specific package directories
+//	go run ./cmd/iolint -list          # describe the analyzers
+//
+// iolint exits 0 on a clean tree, 1 when findings are reported, and
+// 2 on usage or load errors. Findings can be suppressed at the site
+// with `//lint:ignore <check> <reason>`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ioeval/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI against args, writing findings to out and
+// errors to errw, and returns the process exit code.
+func run(args []string, out, errw io.Writer) int {
+	flags := flag.NewFlagSet("iolint", flag.ContinueOnError)
+	flags.SetOutput(errw)
+	list := flags.Bool("list", false, "list the analyzers and the invariants they enforce")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, az := range analyzers {
+			report(out, "%s\n\t%s\n", az.Name, az.Doc)
+		}
+		return 0
+	}
+
+	modDir, err := findModuleRoot()
+	if err != nil {
+		report(errw, "iolint: %v\n", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(modDir)
+	if err != nil {
+		report(errw, "iolint: %v\n", err)
+		return 2
+	}
+	pkgs, err := loadPatterns(loader, flags.Args())
+	if err != nil {
+		report(errw, "iolint: %v\n", err)
+		return 2
+	}
+
+	runner := &lint.Runner{Analyzers: analyzers}
+	diags := runner.Run(pkgs)
+	for _, d := range diags {
+		report(out, "%s\n", relativize(d, modDir))
+	}
+	if len(diags) > 0 {
+		report(out, "iolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// report writes user-facing output, explicitly discarding the
+// writer error: the process exit code is the tool's contract, and a
+// broken stdout pipe must not mask it.
+func report(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+// loadPatterns resolves the command-line package patterns: no
+// arguments or "./..." loads the whole module; anything else is a
+// package directory relative to the module root.
+func loadPatterns(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." {
+			all, err := loader.LoadAll()
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, all...)
+			continue
+		}
+		p, err := loader.Load(filepath.Clean(strings.TrimPrefix(pat, "./")))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return dedupe(pkgs), nil
+}
+
+// dedupe drops packages already seen (patterns may overlap).
+func dedupe(pkgs []*lint.Package) []*lint.Package {
+	seen := map[string]bool{}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// relativize renders a diagnostic with its file path relative to the
+// module root, for stable, clickable output.
+func relativize(d lint.Diagnostic, modDir string) string {
+	if rel, err := filepath.Rel(modDir, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

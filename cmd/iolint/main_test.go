@@ -1,0 +1,56 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestListExitsZero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, name := range []string{"determinism", "lockdiscipline", "errcheck", "unitsafety", "probeconform"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output lacks analyzer %q", name)
+		}
+	}
+}
+
+// TestFixtureFindingsExitOne runs the CLI against a fixture package:
+// it must exit 1 and print position-accurate file:line:col findings.
+func TestFixtureFindingsExitOne(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"internal/lint/testdata/src/determinism"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s, stdout: %s)", code, errw.String(), out.String())
+	}
+	posRe := regexp.MustCompile(`determinism\.go:\d+:\d+: determinism: call to time\.Now`)
+	if !posRe.MatchString(out.String()) {
+		t.Errorf("output lacks a position-accurate time.Now finding:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "finding(s)") {
+		t.Errorf("output lacks the findings summary:\n%s", out.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"internal/stats"}, &out, &errw); code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errw.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package should print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"no/such/package"}, &out, &errw); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "iolint:") {
+		t.Errorf("load errors must be reported on stderr, got: %s", errw.String())
+	}
+}

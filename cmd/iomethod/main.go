@@ -67,7 +67,7 @@ func main() {
 			fatal(err)
 		}
 		ch, err = core.ReadCharacterizationJSON(f)
-		f.Close()
+		_ = f.Close() // read-only; a close error cannot lose data
 		if err != nil {
 			fatal(err)
 		}
@@ -98,7 +98,9 @@ func main() {
 		if err := ch.WriteJSON(f); err != nil {
 			fatal(err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 		fmt.Printf("(characterization saved to %s)\n", *saveChar)
 	}
 	for _, level := range core.Levels() {

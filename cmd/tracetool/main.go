@@ -136,7 +136,7 @@ func writeFile(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

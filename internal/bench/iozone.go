@@ -72,6 +72,34 @@ type IOzoneConfig struct {
 	BetweenRuns func(p *sim.Proc)
 	// Seed for the random-mode offset sequence.
 	Seed int64
+	// NewRand, when set, supplies the RNG for one measurement's
+	// offset shuffle; the seed passed in is derived deterministically
+	// from Seed, the block size and the mode. When nil, a math/rand
+	// source seeded with exactly that value is used, so sweeps are
+	// reproducible either way (the determinism invariant iolint
+	// enforces: no draws from the global source).
+	NewRand func(seed int64) *rand.Rand
+	// Clock, when set, overrides the timestamp source for the timed
+	// pass; the default reads the process's simulated clock. Tests
+	// use it to make measurement timing itself injectable — wall
+	// clocks never enter the benchmark.
+	Clock func(p *sim.Proc) sim.Time
+}
+
+// rng returns the measurement RNG for a derived seed.
+func (cfg IOzoneConfig) rng(seed int64) *rand.Rand {
+	if cfg.NewRand != nil {
+		return cfg.NewRand(seed)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// now reads the measurement clock.
+func (cfg IOzoneConfig) now(p *sim.Proc) sim.Time {
+	if cfg.Clock != nil {
+		return cfg.Clock(p)
+	}
+	return p.Now()
 }
 
 // DefaultBlockSizes is the paper's 32 KB … 16 MB sweep.
@@ -173,7 +201,7 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 		}
 	}
 	if !mode.IsSequential() && !mode.IsStrided() {
-		rng := rand.New(rand.NewSource(cfg.Seed + bs + int64(mode)))
+		rng := cfg.rng(cfg.Seed + bs + int64(mode))
 		rng.Shuffle(len(offsets), func(i, j int) { offsets[i], offsets[j] = offsets[j], offsets[i] })
 		if cfg.RandomOps > 0 && len(offsets) > cfg.RandomOps {
 			offsets = offsets[:cfg.RandomOps]
@@ -184,7 +212,7 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 	// per-operation costs are charged identically to a syscall loop,
 	// but the simulation stays event-efficient for large sweeps.
 	const batch = 64
-	t0 := p.Now()
+	t0 := cfg.now(p)
 	var moved int64
 	for i := 0; i < len(offsets); i += batch {
 		end := i + batch
@@ -204,7 +232,7 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 	if mode.IsWrite() {
 		h.Sync(p) // IOzone -e: include fsync in the timing
 	}
-	elapsed := sim.Duration(p.Now() - t0)
+	elapsed := sim.Duration(cfg.now(p) - t0)
 
 	ops := int64(len(offsets))
 	res := IOzoneResult{Mode: mode, BlockSize: bs, Ops: ops}

@@ -435,6 +435,9 @@ func (c *Cache) Flush(p *sim.Proc) {
 			dirtyIdx = append(dirtyIdx, idx)
 		}
 	}
+	// Write back in page order: map iteration order must not reach
+	// the device-level event sequence (run-to-run determinism).
+	sort.Slice(dirtyIdx, func(i, j int) bool { return dirtyIdx[i] < dirtyIdx[j] })
 	c.writeOut(p, dirtyIdx)
 	c.under.Flush(p)
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"ioeval/internal/sim"
 	"ioeval/internal/trace"
@@ -75,7 +76,15 @@ func ReadCharacterizationJSON(r io.Reader) (*Characterization, error) {
 		return nil, fmt.Errorf("core: unsupported version %d", in.Version)
 	}
 	ch := &Characterization{Config: in.Config, Tables: map[Level]*PerfTable{}}
-	for levelName, rows := range in.Tables {
+	// Iterate level names in sorted order so which malformed entry's
+	// error surfaces is deterministic, not a map-order pick.
+	levelNames := make([]string, 0, len(in.Tables))
+	for levelName := range in.Tables {
+		levelNames = append(levelNames, levelName)
+	}
+	sort.Strings(levelNames)
+	for _, levelName := range levelNames {
+		rows := in.Tables[levelName]
 		level, err := parseLevel(levelName)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,227 @@
+// Package lint is a repo-native static-analysis framework built
+// purely on the standard library (go/ast, go/parser, go/types). It
+// exists because the methodology's core promise — byte-identical
+// characterization tables and sweep reports regardless of worker
+// count — rests on invariants (no wall clock or unseeded randomness
+// in the simulated stack, no map-iteration order leaking into
+// reports, no mutex held across exported calls) that ordinary tests
+// can only spot-check. The analyzers in this package machine-check
+// them on every build.
+//
+// A finding can be silenced at the site with a justified directive:
+//
+//	//lint:ignore <check> <reason>
+//
+// placed on the flagged line or the line directly above it. A
+// directive without a reason is itself reported (check "directive"):
+// the suppression policy is that every silenced finding documents why
+// the invariant holds anyway.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, anchored to a source position.
+type Diagnostic struct {
+	// Pos is the resolved file/line/column of the finding.
+	Pos token.Position
+	// Check names the analyzer that produced the finding; ignore
+	// directives match against it.
+	Check string
+	// Message states the violated invariant and, where possible, the
+	// fix.
+	Message string
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: check: message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore
+	// directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant the
+	// analyzer protects.
+	Doc string
+	// AppliesTo, when non-nil, restricts which import paths the
+	// runner feeds to Run; a nil filter means every package.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package. Exactly one of Run and RunModule is
+	// set.
+	Run func(p *Package) []Diagnostic
+	// RunModule inspects the whole package set at once, for checks
+	// that need a cross-package view (e.g. "is this probe registered
+	// anywhere?").
+	RunModule func(pkgs []*Package) []Diagnostic
+}
+
+// DirectiveCheck is the pseudo-check name under which malformed
+// //lint:ignore directives are reported.
+const DirectiveCheck = "directive"
+
+// ignorePrefix starts every suppression directive.
+const ignorePrefix = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	pos    token.Position
+	check  string
+	reason string
+}
+
+// Runner applies a set of analyzers to a set of packages and folds
+// suppression directives into the result.
+type Runner struct {
+	// Analyzers run in order; diagnostics are merged and sorted.
+	Analyzers []*Analyzer
+}
+
+// Run executes every analyzer over the packages, drops findings
+// suppressed by well-formed //lint:ignore directives, reports
+// malformed directives, and returns the remainder sorted by position
+// then check name — a deterministic order, as this tool preaches.
+func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, az := range r.Analyzers {
+		if az.RunModule != nil {
+			diags = append(diags, az.RunModule(pkgs)...)
+			continue
+		}
+		for _, p := range pkgs {
+			if az.AppliesTo != nil && !az.AppliesTo(p.Path) {
+				continue
+			}
+			diags = append(diags, az.Run(p)...)
+		}
+	}
+	diags = applyDirectives(pkgs, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// applyDirectives filters diags through the packages' ignore
+// directives and appends a finding for each malformed directive.
+func applyDirectives(pkgs []*Package, diags []Diagnostic) []Diagnostic {
+	var valid []directive
+	var out []Diagnostic
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := cutDirective(c.Text)
+					if !ok {
+						continue
+					}
+					pos := p.Position(c.Pos())
+					check, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+					reason = strings.TrimSpace(reason)
+					if check == "" || reason == "" {
+						out = append(out, Diagnostic{
+							Pos:     pos,
+							Check:   DirectiveCheck,
+							Message: "malformed ignore directive: want //lint:ignore <check> <reason>",
+						})
+						continue
+					}
+					valid = append(valid, directive{pos: pos, check: check, reason: reason})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if !suppressed(valid, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// cutDirective extracts the payload of an ignore directive from a
+// comment's raw text, reporting whether the comment is one.
+func cutDirective(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	// Require an exact "//lint:ignore" token: "//lint:ignorefoo" is
+	// not a directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false
+	}
+	return rest, true
+}
+
+// suppressed reports whether a directive for the diagnostic's check
+// sits on the same line or the line directly above it, in the same
+// file.
+func suppressed(dirs []directive, d Diagnostic) bool {
+	for _, dir := range dirs {
+		if dir.check != d.Check || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// diag is the shared constructor analyzers use: it resolves the
+// position and formats the message.
+func diag(p *Package, pos token.Pos, check, format string, args ...any) Diagnostic {
+	return Diagnostic{Pos: p.Position(pos), Check: check, Message: fmt.Sprintf(format, args...)}
+}
+
+// funcScopes yields every function body in the file — declarations
+// and literals — exactly once each, calling fn with the enclosing
+// FuncDecl body (or the literal's own body). Nested function
+// literals are visited as their own scopes.
+func funcScopes(f *ast.File, fn func(body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				fn(n.Body)
+			}
+		case *ast.FuncLit:
+			fn(n.Body)
+		}
+		return true
+	})
+}
+
+// walkScope walks the statements of one function body without
+// descending into nested function literals (which run on their own
+// schedule and form their own scopes).
+func walkScope(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(n)
+	})
+}

@@ -1,0 +1,97 @@
+// Package determinism exercises the determinism analyzer: wall-clock
+// reads, global math/rand draws, and order-sensitive map iteration.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want determinism "time.Now"
+}
+
+// Elapsed measures against the wall clock.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism "time.Since"
+}
+
+// Draw pulls from the global, unseeded source.
+func Draw() int {
+	return rand.Intn(6) // want determinism "global, unseeded"
+}
+
+// SeededDraw constructs explicitly seeded state: allowed.
+func SeededDraw(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// Keys leaks map order into the returned slice.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism "never sorted"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: allowed.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump prints in map order.
+func Dump(m map[string]int) {
+	for k, v := range m { // want determinism "writes output"
+		fmt.Println(k, v)
+	}
+}
+
+// Any returns a map-order-dependent pick.
+func Any(m map[string]int) string {
+	for k := range m { // want determinism "nondeterministic pick"
+		return k
+	}
+	return ""
+}
+
+// Sum is a commutative fold: allowed.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Rekey writes into another map: allowed (maps are unordered on both
+// sides).
+func Rekey(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// PerEntry appends to a slice declared inside the loop body, which
+// restarts each iteration: allowed.
+func PerEntry(m map[string][]int) map[string]int {
+	out := map[string]int{}
+	for k, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		out[k] = len(doubled)
+	}
+	return out
+}

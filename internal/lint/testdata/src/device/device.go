@@ -1,0 +1,34 @@
+// Package device exercises the probeconform analyzer: it is one of
+// the layer-package names the check watches.
+package device
+
+import "fixture/internal/telemetry"
+
+// Disk is instrumented and correctly wired: it has the accessor and
+// the wiring package registers it.
+type Disk struct{ rec *telemetry.Recorder }
+
+// Telemetry exposes the disk's probe.
+func (d *Disk) Telemetry() *telemetry.Recorder { return d.rec }
+
+// Orphan holds counters but never exposes them.
+type Orphan struct { // want probeconform "no Telemetry()"
+	rec *telemetry.Recorder
+}
+
+// Mute retains its recorder privately.
+func (o *Orphan) Mute() *telemetry.Recorder { return o.rec }
+
+// Shelf exposes its probe, but nothing ever registers it.
+type Shelf struct { // want probeconform "never passed to a Registry.Register"
+	rec *telemetry.Recorder
+}
+
+// Telemetry exposes the shelf's probe.
+func (s *Shelf) Telemetry() *telemetry.Recorder { return s.rec }
+
+// Plain carries no telemetry and is out of the check's scope.
+type Plain struct{ name string }
+
+// Name returns the plain component's name.
+func (p Plain) Name() string { return p.name }

@@ -1,0 +1,43 @@
+// Package errcheck exercises the errcheck analyzer: silently dropped
+// error results versus handled or explicitly discarded ones.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+// Bad drops error results on the floor.
+func Bad() {
+	fallible() // want errcheck "unchecked error"
+	pair()     // want errcheck "unchecked error"
+}
+
+// ToWriter drops the error of a write to an arbitrary stream.
+func ToWriter(w io.Writer) {
+	fmt.Fprintln(w, "x") // want errcheck "unchecked error"
+}
+
+// Good handles, propagates, or visibly discards every error.
+func Good() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	_ = fallible()
+	_, _ = pair()
+	fmt.Println("ok") // stdout convention: exempt
+	var b strings.Builder
+	b.WriteString("x")       // never-failing builder: exempt
+	fmt.Fprintf(&b, "%d", 1) // builder destination: exempt
+	var buf bytes.Buffer
+	buf.WriteByte('y')              // never-failing buffer: exempt
+	fmt.Fprintln(os.Stderr, "warn") // standard stream: exempt
+	return nil
+}

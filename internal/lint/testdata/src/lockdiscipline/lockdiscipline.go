@@ -1,0 +1,66 @@
+// Package lockdiscipline exercises the lockdiscipline analyzer:
+// defer-scoped releases and exported calls inside critical sections.
+package lockdiscipline
+
+import (
+	"strconv"
+	"sync"
+)
+
+// Store is a mutex-guarded counter.
+type Store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Good locks with a defer-scoped release and calls only unexported
+// leaf code: allowed.
+func (s *Store) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bump()
+}
+
+func (s *Store) bump() int { s.n++; return s.n }
+
+// Reset is public API (it takes the lock itself in real code).
+func (s *Store) Reset() { s.n = 0 }
+
+// Manual releases with a plain call instead of a defer.
+func (s *Store) Manual() int {
+	s.mu.Lock() // want lockdiscipline "plain Unlock"
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// Leak never releases at all.
+func (s *Store) Leak() {
+	s.mu.Lock() // want lockdiscipline "without a same-function defer"
+	s.n++
+}
+
+// Reentrant calls exported API while holding the lock.
+func (s *Store) Reentrant() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Reset() // want lockdiscipline "exported Reset"
+}
+
+// ReadManual mirrors Manual for the read half of an RWMutex.
+func (s *Store) ReadManual() int {
+	s.rw.RLock() // want lockdiscipline "plain RUnlock"
+	n := s.n
+	s.rw.RUnlock()
+	return n
+}
+
+// StdlibWhileLocked calls an exported standard-library function
+// inside the critical section: allowed (the invariant is about this
+// module's API).
+func (s *Store) StdlibWhileLocked() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return strconv.Itoa(s.n)
+}

@@ -1,0 +1,41 @@
+// Package unitsafety exercises the unitsafety analyzer: arithmetic
+// and assignments mixing size-unit name suffixes.
+package unitsafety
+
+func toBytes(vKiB int64) int64 { return vKiB << 10 }
+
+// Good stays within one unit or converts through a helper whose name
+// states the result unit.
+func Good(fileBytes, blockBytes, quotaKiB int64) int64 {
+	total := fileBytes + blockBytes
+	total += toBytes(quotaKiB)
+	if blockBytes > fileBytes {
+		return fileBytes
+	}
+	return total
+}
+
+// Bad mixes suffixes in comparisons and arithmetic.
+func Bad(fileBytes, quotaKiB int64) int64 {
+	if fileBytes > quotaKiB { // want unitsafety "mixes"
+		return fileBytes - quotaKiB // want unitsafety "mixes"
+	}
+	return fileBytes
+}
+
+// BadAssign smuggles a value across units through an assignment.
+func BadAssign(fileBytes int64) int64 {
+	sizeMiB := fileBytes // want unitsafety "mixes"
+	return sizeMiB
+}
+
+// BadDecl does the same through a var declaration.
+func BadDecl(fileBytes int64) int64 {
+	var sizeKiB = fileBytes // want unitsafety "mixes"
+	return sizeKiB
+}
+
+// Scaled multiplies by a unitless factor: allowed.
+func Scaled(fileBytes int64, replicas int) int64 {
+	return fileBytes * int64(replicas)
+}

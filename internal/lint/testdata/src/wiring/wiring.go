@@ -1,0 +1,15 @@
+// Package wiring registers the conforming device probe, giving
+// probeconform its cross-package registration evidence.
+package wiring
+
+import (
+	"fixture/internal/device"
+	"fixture/internal/telemetry"
+)
+
+// Assemble registers the disk's probe with a registry.
+func Assemble(d *device.Disk) *telemetry.Registry {
+	g := &telemetry.Registry{}
+	g.Register(d.Telemetry())
+	return g
+}

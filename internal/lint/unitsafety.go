@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// UnitSafetyCheck is the name of the unitsafety analyzer.
+const UnitSafetyCheck = "unitsafety"
+
+// unitSuffixes are the recognized size-unit name suffixes, longest
+// first so "KiB" wins over "B"-style prefixes of longer names.
+var unitSuffixes = []string{"GiB", "MiB", "KiB", "GB", "MB", "KB", "Bytes"}
+
+// UnitSafety returns the analyzer reporting arithmetic, comparisons
+// and assignments that mix identifiers carrying different size-unit
+// suffixes (Bytes, KiB, MiB, GiB, KB, MB, GB) without an explicit
+// conversion. The characterization tables (internal/core/table.go)
+// key on block sizes in bytes; a KiB value slipping into a Bytes slot
+// shifts every lookup by three orders of magnitude and still
+// type-checks.
+func UnitSafety() *Analyzer {
+	return &Analyzer{
+		Name: UnitSafetyCheck,
+		Doc: "Reports binary expressions and assignments whose operands carry " +
+			"conflicting size-unit name suffixes. Convert through a helper " +
+			"whose name states the result unit (e.g. toBytes) first.",
+		Run: unitSafetyRun,
+	}
+}
+
+func unitSafetyRun(p *Package) []Diagnostic {
+	var out []Diagnostic
+	report := func(pos token.Pos, a, b string) {
+		out = append(out, diag(p, pos, UnitSafetyCheck,
+			"mixes %s and %s operands without an explicit unit conversion", a, b))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !unitSensitiveOp(n.Op) {
+					return true
+				}
+				if a, b := unitOf(n.X), unitOf(n.Y); a != "" && b != "" && a != b {
+					report(n.OpPos, a, b)
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					if a, b := unitOf(n.Lhs[i]), unitOf(n.Rhs[i]); a != "" && b != "" && a != b {
+						report(n.TokPos, a, b)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i := range n.Names {
+					if a, b := suffixUnit(n.Names[i].Name), unitOf(n.Values[i]); a != "" && b != "" && a != b {
+						report(n.Names[i].Pos(), a, b)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// unitSensitiveOp reports whether mixing units across op is an error.
+func unitSensitiveOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// unitOf infers the size unit an expression carries from the name of
+// the identifier, field, or call that produces it ("" = unknown). A
+// call's result takes the unit of the callee's name, which is what
+// makes an explicit conversion helper (toBytes(perNodeKiB)) the
+// sanctioned escape hatch.
+func unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(e.X)
+	case *ast.UnaryExpr:
+		return unitOf(e.X)
+	case *ast.Ident:
+		return suffixUnit(e.Name)
+	case *ast.SelectorExpr:
+		return suffixUnit(e.Sel.Name)
+	case *ast.CallExpr:
+		return unitOf(e.Fun)
+	case *ast.IndexExpr:
+		return unitOf(e.X)
+	case *ast.BinaryExpr:
+		if a, b := unitOf(e.X), unitOf(e.Y); a == b {
+			return a
+		}
+		return ""
+	}
+	return ""
+}
+
+// suffixUnit maps an identifier name to the unit suffix it carries.
+func suffixUnit(name string) string {
+	lower := strings.ToLower(name)
+	for _, u := range unitSuffixes {
+		if strings.HasSuffix(name, u) || lower == strings.ToLower(u) {
+			return u
+		}
+	}
+	return ""
+}

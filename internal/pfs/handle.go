@@ -238,5 +238,7 @@ func (h *pfsHandle) Sync(p *sim.Proc) {
 func (h *pfsHandle) Close(p *sim.Proc) {
 	h.check()
 	h.closed = true
-	h.c.metaRPC(p, nil)
+	// A nil-op metadata RPC cannot fail; fs.Handle.Close has no
+	// error to propagate anyway.
+	_ = h.c.metaRPC(p, nil)
 }

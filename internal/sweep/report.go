@@ -168,13 +168,18 @@ func newReport(grid Grid, rank Metric, cells []*Cell) *Report {
 			bestByApp[c.App] = c.Config
 		}
 	}
-	apps := make([]string, 0, len(bestByApp))
-	for app := range bestByApp {
-		apps = append(apps, app)
-	}
+	// Emit per-app picks by iterating the grid's app list sorted —
+	// never the map — so Best ordering is deterministic by
+	// construction, not by a post-hoc sort of map keys.
+	apps := append([]string(nil), r.Apps...)
 	sort.Strings(apps)
 	for _, app := range apps {
-		r.Best = append(r.Best, BestPick{App: app, Config: bestByApp[app]})
+		if len(r.Best) > 0 && r.Best[len(r.Best)-1].App == app {
+			continue // duplicate app name in the grid
+		}
+		if cfg, ok := bestByApp[app]; ok {
+			r.Best = append(r.Best, BestPick{App: app, Config: cfg})
+		}
 	}
 	return r
 }
@@ -241,7 +246,7 @@ func (r *Report) WriteFile(path string) error {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	if err := r.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error takes precedence
 		return err
 	}
 	return f.Close()

@@ -104,6 +104,35 @@ func NewEngine(workers int) *Engine {
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
+// charEntryFor returns (creating if needed) the single-flight entry
+// for one characterization fingerprint. The lock scopes exactly this
+// map access — the expensive work runs outside it, on the entry's
+// sync.Once.
+func (e *Engine) charEntryFor(fingerprint string) *charEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.chars[fingerprint]
+	if !ok {
+		ent = &charEntry{}
+		e.chars[fingerprint] = ent
+	}
+	return ent
+}
+
+// evalEntryFor returns (creating if needed) the single-flight entry
+// for one (config, app) cell key, under the same locking discipline
+// as charEntryFor.
+func (e *Engine) evalEntryFor(key string) *evalEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.evals[key]
+	if !ok {
+		ent = &evalEntry{}
+		e.evals[key] = ent
+	}
+	return ent
+}
+
 // Characterization returns the memoized characterization of cfg.
 // Single-flight per fingerprint: concurrent callers with the same
 // fingerprint block on one computation; distinct fingerprints proceed
@@ -112,13 +141,7 @@ func (e *Engine) Characterization(cfg Config) (*core.Characterization, error) {
 	if cfg.Build == nil {
 		return nil, fmt.Errorf("sweep: config %q needs a Build function", cfg.Name)
 	}
-	e.mu.Lock()
-	ent, ok := e.chars[cfg.fingerprint()]
-	if !ok {
-		ent = &charEntry{}
-		e.chars[cfg.fingerprint()] = ent
-	}
-	e.mu.Unlock()
+	ent := e.charEntryFor(cfg.fingerprint())
 	hit := true
 	ent.once.Do(func() {
 		hit = false
@@ -141,14 +164,7 @@ func (e *Engine) Evaluate(cfg Config, app AppSpec) (*core.Evaluation, error) {
 	if app.New == nil {
 		return nil, fmt.Errorf("sweep: app %q needs a New function", app.Name)
 	}
-	key := cfg.Name + "\x00" + app.Name
-	e.mu.Lock()
-	ent, ok := e.evals[key]
-	if !ok {
-		ent = &evalEntry{}
-		e.evals[key] = ent
-	}
-	e.mu.Unlock()
+	ent := e.evalEntryFor(cfg.Name + "\x00" + app.Name)
 	hit := true
 	ent.once.Do(func() {
 		hit = false

@@ -59,7 +59,7 @@ func (r *Report) WriteFile(path string) error {
 		return fmt.Errorf("telemetry: %w", err)
 	}
 	if err := r.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error takes precedence
 		return fmt.Errorf("telemetry: encode %s: %w", path, err)
 	}
 	return f.Close()
