@@ -7,17 +7,23 @@
 //
 //	iomethod [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
 //	         [-app btio|madbench] [-procs N] [-subtype full|simple]
-//	         [-filetype unique|shared] [-quick]
+//	         [-filetype unique|shared] [-quick] [-fault scenario]
+//
+// With -fault, the application is evaluated twice — healthy and under
+// the named fault scenario — and the used-% tables are reported side
+// by side.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/fault"
 	"ioeval/internal/sim"
 	"ioeval/internal/workload"
 	"ioeval/internal/workload/btio"
@@ -38,6 +44,7 @@ func main() {
 	saveChar := flag.String("save-char", "", "write the characterization to this JSON file")
 	loadChar := flag.String("load-char", "", "reuse a characterization from this JSON file (skips phase 1 system side)")
 	metrics := flag.String("metrics", "", "write the telemetry report (per-level rates, per-phase component snapshots) to this JSON file")
+	faultName := flag.String("fault", "", "also evaluate under a fault scenario: "+strings.Join(fault.BuiltinNames(), ", "))
 	flag.Parse()
 
 	org, err := parseOrg(*orgName)
@@ -60,18 +67,26 @@ func main() {
 	fmt.Println(core.AnalyzeConfiguration(build()))
 
 	fmt.Println("== Phase 1: characterization (system side) ==")
-	var ch *core.Characterization
+	opts := []core.SessionOption{}
+	if *faultName != "" {
+		plan, err := fault.Builtin(*faultName)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithFaultPlan(plan))
+	}
 	if *loadChar != "" {
 		f, err := os.Open(*loadChar)
 		if err != nil {
 			fatal(err)
 		}
-		ch, err = core.ReadCharacterizationJSON(f)
+		ch, err := core.ReadCharacterizationJSON(f)
 		_ = f.Close() // read-only; a close error cannot lose data
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("(loaded characterization of %s from %s)\n", ch.Config, *loadChar)
+		opts = append(opts, core.WithCharacterization(ch))
 	} else {
 		cfg := core.DefaultCharacterizeConfig()
 		cfg.UsePFS = usePFS
@@ -84,11 +99,12 @@ func main() {
 			cfg.LibFileSize = 256 << 20
 			cfg.LibProcs = 4
 		}
-		var err error
-		ch, err = core.Characterize(build, cfg)
-		if err != nil {
-			fatal(err)
-		}
+		opts = append(opts, core.WithCharacterizeConfig(cfg))
+	}
+	sess := core.NewSession(build, opts...)
+	ch, err := sess.Characterization()
+	if err != nil {
+		fatal(err)
 	}
 	if *saveChar != "" {
 		f, err := os.Create(*saveChar)
@@ -137,15 +153,25 @@ func main() {
 
 	fmt.Printf("== Phase 1: characterization (application side) + Phase 3: evaluation ==\n")
 	fmt.Printf("running %s ...\n\n", app.Name())
-	evalCluster := build()
-	ev, err := core.Evaluate(evalCluster, app, ch)
+	rep, err := sess.Run(app)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	ev := rep.Evaluation
+	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
 	fmt.Println(core.FormatEvaluation(ev))
+	if rep.Degraded != nil {
+		fmt.Printf("== Phase 3 (degraded): evaluation under fault scenario %q ==\n", rep.Scenario)
+		fmt.Println(core.FormatEvaluation(rep.Degraded))
+		fmt.Println("Healthy vs degraded:")
+		fmt.Println(core.FormatUsedComparison(ev.Used(), rep.Degraded.Used()))
+	}
 	if *utilization {
-		fmt.Println(evalCluster.UtilizationReport())
+		fmt.Println(rep.Utilization)
+		if rep.Degraded != nil {
+			fmt.Println("Utilization under fault scenario:")
+			fmt.Println(rep.DegradedUtilization)
+		}
 	}
 	if *metrics != "" {
 		if err := ev.TelemetryReport().WriteFile(*metrics); err != nil {

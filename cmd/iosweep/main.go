@@ -10,7 +10,11 @@
 //	iosweep [-platforms aohyper,clusterA] [-orgs jbod,raid1,raid5]
 //	        [-pfs 0,2,4] [-apps btio-full,btio-simple,madbench-shared,madbench-unique,flashio]
 //	        [-procs N] [-workers N] [-rank io-time|used-pct|throughput]
-//	        [-quick] [-json FILE]
+//	        [-fault none,disk-fail,...] [-quick] [-json FILE]
+//
+// -fault adds a fault-scenario axis: each named scenario adds a
+// degraded variant of every cell ("none" is the healthy run), so the
+// ranking shows how each configuration holds up under failure.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/fault"
 	"ioeval/internal/sim"
 	"ioeval/internal/sweep"
 	"ioeval/internal/workload"
@@ -41,6 +46,7 @@ func main() {
 	rankName := flag.String("rank", "io-time", "ranking metric: io-time, used-pct or throughput")
 	quick := flag.Bool("quick", false, "reduced characterization and class A BT-IO (fast demo)")
 	jsonOut := flag.String("json", "", "write the ranked report to this JSON file")
+	faults := flag.String("fault", "", "comma-separated fault scenarios to sweep (none = healthy run): none, "+strings.Join(fault.BuiltinNames(), ", "))
 	flag.Parse()
 
 	rank, err := sweep.ParseMetric(*rankName)
@@ -75,6 +81,17 @@ func main() {
 			fatal(err)
 		}
 		spec.Apps = append(spec.Apps, app)
+	}
+	for _, f := range split(*faults) {
+		if f == "none" {
+			spec.Scenarios = append(spec.Scenarios, fault.Plan{})
+			continue
+		}
+		plan, err := fault.Builtin(f)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Scenarios = append(spec.Scenarios, plan)
 	}
 
 	grid := spec.Grid()

@@ -40,13 +40,10 @@ func main() {
 
 	for _, org := range []cluster.Organization{cluster.JBOD, cluster.RAID1, cluster.RAID5} {
 		build := func() *cluster.Cluster { return cluster.Aohyper(org) }
-		ch, err := core.Characterize(build, charCfg)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sess := core.NewSession(build, core.WithCharacterizeConfig(charCfg))
 		for _, st := range []btio.Subtype{btio.Full, btio.Simple} {
 			app := btio.New(btio.Config{Class: btio.ClassA, Procs: 16, Subtype: st, ComputeScale: 1})
-			ev, err := core.Evaluate(build(), app, ch)
+			ev, err := sess.Evaluate(app)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -56,10 +53,11 @@ func main() {
 			usedR.AddRow(org.String(), pct(ev.UsedFor(core.LevelIOLib, core.Read)),
 				pct(ev.UsedFor(core.LevelNFS, core.Read)),
 				pct(ev.UsedFor(core.LevelLocalFS, core.Read)), st.String())
+			res := ev.Result()
 			runsTbl.AddRow(org.String(), st.String(),
-				fmt.Sprintf("%.1f s", ev.Result.ExecTime.Seconds()),
-				fmt.Sprintf("%.1f s", ev.Result.IOTime.Seconds()),
-				stats.MBs(ev.Result.Throughput()))
+				fmt.Sprintf("%.1f s", res.ExecTime.Seconds()),
+				fmt.Sprintf("%.1f s", res.IOTime.Seconds()),
+				stats.MBs(res.Throughput()))
 		}
 	}
 

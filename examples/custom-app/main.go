@@ -91,7 +91,7 @@ func (a *checkpointer) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result
 
 func main() {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := core.Characterize(build, core.CharacterizeConfig{
+	sess := core.NewSession(build, core.WithCharacterizeConfig(core.CharacterizeConfig{
 		FSBlockSizes:   []int64{1 << 20, 16 << 20},
 		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
 		LocalFileSize:  512 << 20,
@@ -99,17 +99,14 @@ func main() {
 		LibProcs:       4,
 		LibBlockSizes:  []int64{16 << 20},
 		LibFileSize:    256 << 20,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
+	}))
 
 	app := &checkpointer{procs: 8, stateSize: 64 << 20, rounds: 10, compute: 5 * sim.Second}
-	ev, err := core.Evaluate(build(), app, ch)
+	ev, err := sess.Evaluate(app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
 	fmt.Println(core.FormatEvaluation(ev))
 	fmt.Println(`If the checkpoint used-percentage at the library level is near 100,
 the I/O system is the limit and the fix is architectural (faster

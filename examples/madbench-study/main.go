@@ -40,7 +40,8 @@ func main() {
 
 	for _, org := range []cluster.Organization{cluster.JBOD, cluster.RAID1, cluster.RAID5} {
 		build := func() *cluster.Cluster { return cluster.Aohyper(org) }
-		ch, err := core.Characterize(build, charCfg)
+		sess := core.NewSession(build, core.WithCharacterizeConfig(charCfg))
+		ch, err := sess.Characterization()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,11 +49,11 @@ func main() {
 			app := madbench.New(madbench.Config{
 				Procs: 16, KPix: 6, Bins: 8, FileType: ft, BusyWork: sim.Second / 2,
 			})
-			ev, err := core.Evaluate(build(), app, ch)
+			ev, err := sess.Evaluate(app)
 			if err != nil {
 				log.Fatal(err)
 			}
-			pr := ev.Result.PhaseRates
+			pr := ev.Result().PhaseRates
 			rates.AddRow(org.String(), ft.String(),
 				stats.MBs(pr["S_w"]), stats.MBs(pr["W_w"]), stats.MBs(pr["W_r"]), stats.MBs(pr["C_r"]))
 

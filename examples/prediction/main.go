@@ -52,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	model := core.BuildModel(app.Name(), ev.Trace, app.Procs())
+	model := core.BuildModel(app.Name(), ev.Trace(), app.Procs())
 	fmt.Printf("model built from one traced run on %s (%d phase patterns)\n\n",
 		chs[0].Config, len(model.Phases))
 
@@ -77,9 +77,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ratio := float64(best.IOTime) / float64(actual.Result.IOTime)
+	ratio := float64(best.IOTime) / float64(actual.Result().IOTime)
 	fmt.Printf("\nvalidation on %s: predicted %v vs measured %v (ratio %.2f)\n",
-		best.Config, best.IOTime, actual.Result.IOTime, ratio)
+		best.Config, best.IOTime, actual.Result().IOTime, ratio)
 	fmt.Println(`The model only knows the characterized rate tables, so it cannot see
 cache wins (used% > 100) — predictions are conservative. Its value is
 the *ranking*: selecting the configuration before committing to it,

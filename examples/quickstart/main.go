@@ -33,7 +33,8 @@ func main() {
 		LibBlockSizes:  []int64{4 << 20, 32 << 20},
 		LibFileSize:    256 << 20,
 	}
-	ch, err := core.Characterize(build, cfg)
+	sess := core.NewSession(build, core.WithCharacterizeConfig(cfg))
+	ch, err := sess.Characterization()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,10 +49,10 @@ func main() {
 	// Phases 1 (application) + 3: run NAS BT-IO and evaluate it
 	// against the characterized tables.
 	app := btio.New(btio.Config{Class: btio.ClassA, Procs: 4, Subtype: btio.Full, ComputeScale: 1})
-	ev, err := core.Evaluate(build(), app, ch)
+	ev, err := sess.Evaluate(app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println(core.FormatProfile(ev.AppName, ev.Profile))
+	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
 	fmt.Println(core.FormatEvaluation(ev))
 }

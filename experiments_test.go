@@ -101,21 +101,21 @@ func TestShapeTable2(t *testing.T) {
 	simple := experiments.EvalBTIO(experiments.Aohyper, cluster.RAID5, 16, btio.Simple)
 
 	// full: 640 collective writes and reads (40 dumps × 16 procs).
-	if full.Profile.NumWrites != 640 || full.Profile.NumReads != 640 {
-		t.Errorf("full ops: w=%d r=%d, want 640", full.Profile.NumWrites, full.Profile.NumReads)
+	if full.Profile().NumWrites != 640 || full.Profile().NumReads != 640 {
+		t.Errorf("full ops: w=%d r=%d, want 640", full.Profile().NumWrites, full.Profile().NumReads)
 	}
 	// full block ≈ 10.4 MiB per collective call.
-	fb := full.Profile.WriteBlockSizes[0].Bytes
+	fb := full.Profile().WriteBlockSizes[0].Bytes
 	if fb < 10<<20 || fb > 11<<20 {
 		t.Errorf("full write block = %d, want ~10.4 MiB", fb)
 	}
 	// simple: 4,199,040 operations each way, in 1600- and 1640-byte
 	// records.
-	if simple.Profile.NumWrites != 4199040 || simple.Profile.NumReads != 4199040 {
-		t.Errorf("simple ops: w=%d r=%d, want 4199040", simple.Profile.NumWrites, simple.Profile.NumReads)
+	if simple.Profile().NumWrites != 4199040 || simple.Profile().NumReads != 4199040 {
+		t.Errorf("simple ops: w=%d r=%d, want 4199040", simple.Profile().NumWrites, simple.Profile().NumReads)
 	}
 	sizes := map[int64]bool{}
-	for _, s := range simple.Profile.WriteBlockSizes {
+	for _, s := range simple.Profile().WriteBlockSizes {
 		sizes[s.Bytes] = true
 	}
 	// Vector events report the mean record size, which sits between
@@ -125,7 +125,7 @@ func TestShapeTable2(t *testing.T) {
 			t.Errorf("simple record size %d outside [1600,1640]", b)
 		}
 	}
-	if full.Profile.NumFiles != 1 || simple.Profile.NumFiles != 1 {
+	if full.Profile().NumFiles != 1 || simple.Profile().NumFiles != 1 {
 		t.Error("BT-IO must use a single shared file")
 	}
 }
@@ -134,14 +134,14 @@ func TestShapeTable5(t *testing.T) {
 	skipShort(t)
 	full := experiments.EvalBTIO(experiments.ClusterA, cluster.RAID5, 64, btio.Full)
 	simple := experiments.EvalBTIO(experiments.ClusterA, cluster.RAID5, 64, btio.Simple)
-	if full.Profile.NumWrites != 2560 { // 40 dumps × 64 procs
-		t.Errorf("full 64p writes = %d, want 2560", full.Profile.NumWrites)
+	if full.Profile().NumWrites != 2560 { // 40 dumps × 64 procs
+		t.Errorf("full 64p writes = %d, want 2560", full.Profile().NumWrites)
 	}
-	fb := full.Profile.WriteBlockSizes[0].Bytes
+	fb := full.Profile().WriteBlockSizes[0].Bytes
 	if fb < 2<<20 || fb > 3<<20 {
 		t.Errorf("full 64p block = %d, want ~2.6 MiB", fb)
 	}
-	for _, s := range simple.Profile.WriteBlockSizes {
+	for _, s := range simple.Profile().WriteBlockSizes {
 		if s.Bytes < 800 || s.Bytes > 840 {
 			t.Errorf("simple 64p record size %d outside [800,840]", s.Bytes)
 		}
@@ -235,7 +235,7 @@ func TestShapeTables6and7(t *testing.T) {
 		}
 		// "NAS BT-IO simple ... I/O time is greater than 90% of the run
 		// time" on cluster A.
-		ratio := float64(simple.Result.IOTime) / float64(simple.Result.ExecTime)
+		ratio := float64(simple.Result().IOTime) / float64(simple.Result().ExecTime)
 		if ratio < 0.90 {
 			t.Errorf("%dp: simple I/O fraction = %.2f, paper says >0.90", procs, ratio)
 		}
@@ -272,22 +272,22 @@ func TestShapeTable8(t *testing.T) {
 		for _, ft := range []madbench.FileType{madbench.Unique, madbench.Shared} {
 			ev := experiments.EvalMadBench(experiments.ClusterA, cluster.RAID5, procs, ft)
 			wantOps := int64(16 * procs) // 16 writes + 16 reads per proc
-			if ev.Profile.NumWrites != wantOps || ev.Profile.NumReads != wantOps {
+			if ev.Profile().NumWrites != wantOps || ev.Profile().NumReads != wantOps {
 				t.Errorf("%dp %v: ops w=%d r=%d, want %d",
-					procs, ft, ev.Profile.NumWrites, ev.Profile.NumReads, wantOps)
+					procs, ft, ev.Profile().NumWrites, ev.Profile().NumReads, wantOps)
 			}
 			wantFiles := 1
 			if ft == madbench.Unique {
 				wantFiles = procs
 			}
-			if ev.Profile.NumFiles != wantFiles {
-				t.Errorf("%dp %v: files=%d want %d", procs, ft, ev.Profile.NumFiles, wantFiles)
+			if ev.Profile().NumFiles != wantFiles {
+				t.Errorf("%dp %v: files=%d want %d", procs, ft, ev.Profile().NumFiles, wantFiles)
 			}
 			wantBlock := int64(162 << 20)
 			if procs == 64 {
 				wantBlock = 162 << 20 / 4 // 40.5 MiB
 			}
-			if got := ev.Profile.WriteBlockSizes[0].Bytes; got != wantBlock {
+			if got := ev.Profile().WriteBlockSizes[0].Bytes; got != wantBlock {
 				t.Errorf("%dp %v: block=%d want %d", procs, ft, got, wantBlock)
 			}
 		}
@@ -345,14 +345,14 @@ func TestShapeTables10and11(t *testing.T) {
 	// "the reading operations are done on buffer/cache and not
 	// physically on the disk" for 64p UNIQUE: W reads must run at
 	// least as fast as at 16p (per-proc slices fit server RAM).
-	if ev64.Result.PhaseRates["W_r"] < ev16.Result.PhaseRates["W_r"]*0.9 {
+	if ev64.Result().PhaseRates["W_r"] < ev16.Result().PhaseRates["W_r"]*0.9 {
 		t.Errorf("W_r at 64p (%.1f MB/s) fell below 16p (%.1f MB/s)",
-			ev64.Result.PhaseRates["W_r"]/1e6, ev16.Result.PhaseRates["W_r"]/1e6)
+			ev64.Result().PhaseRates["W_r"]/1e6, ev16.Result().PhaseRates["W_r"]/1e6)
 	}
 	// "the I/O system is used almost to capacity with 64 processes":
 	// NFS-level write rate near the wire.
-	if ev64.Result.PhaseRates["S_w"]/1e6 < 0.5*wireMBs {
-		t.Errorf("64p S_w = %.1f MB/s, want near wire capacity", ev64.Result.PhaseRates["S_w"]/1e6)
+	if ev64.Result().PhaseRates["S_w"]/1e6 < 0.5*wireMBs {
+		t.Errorf("64p S_w = %.1f MB/s, want near wire capacity", ev64.Result().PhaseRates["S_w"]/1e6)
 	}
 }
 

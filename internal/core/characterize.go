@@ -5,6 +5,7 @@ import (
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
+	"ioeval/internal/fault"
 	"ioeval/internal/fs"
 	"ioeval/internal/sim"
 	"ioeval/internal/trace"
@@ -37,6 +38,13 @@ type CharacterizeConfig struct {
 	// PFS server node's filesystem (the cluster must be built with
 	// Config.PFSIONodes > 0).
 	UsePFS bool
+
+	// Fault, when non-nil, arms the plan on every cluster built during
+	// characterization, so the tables measure the degraded path — a
+	// RAID 5 serving reconstructed reads, an NFS server that stalls
+	// mid-benchmark. The resulting Characterization carries the
+	// scenario name.
+	Fault *fault.Plan
 }
 
 // DefaultCharacterizeConfig mirrors the paper's setup.
@@ -60,7 +68,10 @@ func DefaultCharacterizeConfig() CharacterizeConfig {
 // phase: one performance table per I/O-path level.
 type Characterization struct {
 	Config string
-	Tables map[Level]*PerfTable
+	// Scenario names the fault plan the tables were measured under
+	// ("" = healthy system).
+	Scenario string
+	Tables   map[Level]*PerfTable
 }
 
 // Table returns the table of a level.
@@ -99,6 +110,23 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 		name = fmt.Sprintf("%s/pfs-%d", probe.Cfg.Name, probe.Cfg.PFSIONodes)
 	}
 	ch := &Characterization{Config: name, Tables: map[Level]*PerfTable{}}
+
+	if cfg.Fault != nil && !cfg.Fault.Empty() {
+		// Validate once against the probe cluster, then arm the plan on
+		// every benchmark cluster: each level's tables measure the
+		// degraded path.
+		plan := *cfg.Fault
+		if err := plan.Validate(probe); err != nil {
+			return nil, fmt.Errorf("characterize: %w", err)
+		}
+		ch.Scenario = plan.Name
+		inner := build
+		build = func() *cluster.Cluster {
+			c := inner()
+			fault.MustApply(c, plan)
+			return c
+		}
+	}
 
 	// Local filesystem level: IOzone on the I/O node's own mount,
 	// file twice the I/O node RAM, caches dropped between runs.

@@ -169,26 +169,70 @@ func UsedTable(ms []Measurement, ch *Characterization) []UsedRow {
 }
 
 // Evaluation is the output of the methodology's third phase for one
-// application on one configuration.
+// application on one configuration. It is a read-only report surface:
+// every field is reached through an accessor, and an Evaluation never
+// changes once produced — reports built from it cannot drift.
 type Evaluation struct {
-	AppName string
-	Config  string
-	Result  workload.Result
-	Profile trace.Profile
-	Meas    []Measurement
-	Used    []UsedRow
-	Trace   *trace.Tracer // the captured trace (timelines, phases)
+	appName  string
+	config   string
+	scenario string // fault scenario the run was taken under ("" = healthy)
+	result   workload.Result
+	profile  trace.Profile
+	meas     []Measurement
+	used     []UsedRow
+	trace    *trace.Tracer // the captured trace (timelines, phases)
 
 	// Telemetry plane: final per-component snapshots and per-phase
 	// interval deltas (nil on clusters without a telemetry registry).
-	Components []telemetry.Snapshot
-	Phases     []telemetry.PhaseInterval
+	components []telemetry.Snapshot
+	phases     []telemetry.PhaseInterval
 }
+
+// AppName returns the evaluated application's name.
+func (e *Evaluation) AppName() string { return e.appName }
+
+// Config returns the characterized configuration's name.
+func (e *Evaluation) Config() string { return e.config }
+
+// Scenario returns the fault scenario the run was taken under, or ""
+// for a healthy run.
+func (e *Evaluation) Scenario() string { return e.scenario }
+
+// Result returns the workload outcome (times, bytes, phase rates).
+func (e *Evaluation) Result() workload.Result { return e.result }
+
+// Profile returns the application characterization (Tables II/V/VIII).
+func (e *Evaluation) Profile() trace.Profile { return e.profile }
+
+// Measurements returns the application-side rate observations.
+func (e *Evaluation) Measurements() []Measurement { return e.meas }
+
+// Used returns the used-percentage rows (measured vs. characterized
+// per I/O-path level).
+func (e *Evaluation) Used() []UsedRow { return e.used }
+
+// Trace returns the captured trace.
+func (e *Evaluation) Trace() *trace.Tracer { return e.trace }
+
+// Components returns the final per-component telemetry snapshots.
+func (e *Evaluation) Components() []telemetry.Snapshot { return e.components }
+
+// Phases returns the per-phase telemetry interval deltas.
+func (e *Evaluation) Phases() []telemetry.PhaseInterval { return e.phases }
 
 // Evaluate runs the application on the cluster under a tracer and
 // produces the evaluation against the configuration's
 // characterization. The cluster must be fresh (unused engine).
 func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Evaluation, error) {
+	return EvaluateScenario(c, app, ch, "")
+}
+
+// EvaluateScenario is Evaluate for a run taken under a named fault
+// scenario: the caller has already armed a fault plan on the cluster
+// (fault.Apply), and the evaluation is labeled with the scenario so
+// degraded-mode rows are distinguishable from healthy ones in every
+// report.
+func EvaluateScenario(c *cluster.Cluster, app workload.App, ch *Characterization, scenario string) (*Evaluation, error) {
 	tr := trace.New()
 	var runTracer mpiio.Tracer = tr
 	var ps *trace.PhaseSnapshotter
@@ -205,17 +249,18 @@ func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Eval
 	}
 	ms := MeasurementsFromTrace(tr, Global)
 	ev := &Evaluation{
-		AppName: app.Name(),
-		Config:  ch.Config,
-		Result:  res,
-		Profile: tr.Profile(),
-		Meas:    ms,
-		Used:    UsedTable(ms, ch),
-		Trace:   tr,
+		appName:  app.Name(),
+		config:   ch.Config,
+		scenario: scenario,
+		result:   res,
+		profile:  tr.Profile(),
+		meas:     ms,
+		used:     UsedTable(ms, ch),
+		trace:    tr,
 	}
 	if ps != nil {
-		ev.Phases = ps.Finish()
-		ev.Components = c.Telemetry.Snapshots()
+		ev.phases = ps.Finish()
+		ev.components = c.Telemetry.Snapshots()
 	}
 	return ev, nil
 }
@@ -227,13 +272,13 @@ func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Eval
 // and the per-phase interval snapshots.
 func (e *Evaluation) TelemetryReport() *telemetry.Report {
 	r := &telemetry.Report{
-		App:        e.AppName,
-		Config:     e.Config,
-		At:         sim.Time(e.Result.ExecTime),
-		Components: e.Components,
-		Phases:     e.Phases,
+		App:        e.appName,
+		Config:     e.config,
+		At:         sim.Time(e.result.ExecTime),
+		Components: e.components,
+		Phases:     e.phases,
 	}
-	for _, u := range e.Used {
+	for _, u := range e.used {
 		r.Levels = append(r.Levels, telemetry.LevelRate{
 			Level:         u.Level.TelemetryLevel(),
 			Op:            u.Op.String(),
@@ -251,27 +296,27 @@ func (e *Evaluation) TelemetryReport() *telemetry.Report {
 // IOPS returns the application-level I/O operations per second of
 // I/O time (one of the paper's five evaluation metrics).
 func (e *Evaluation) IOPS() float64 {
-	d := e.Result.IOTime.Seconds()
+	d := e.result.IOTime.Seconds()
 	if d <= 0 {
 		return 0
 	}
-	return float64(e.Profile.NumReads+e.Profile.NumWrites) / d
+	return float64(e.profile.NumReads+e.profile.NumWrites) / d
 }
 
 // MeanLatency returns the mean per-operation latency over the run's
 // I/O time.
 func (e *Evaluation) MeanLatency() sim.Duration {
-	ops := e.Profile.NumReads + e.Profile.NumWrites
+	ops := e.profile.NumReads + e.profile.NumWrites
 	if ops == 0 {
 		return 0
 	}
-	return e.Result.IOTime / sim.Duration(ops)
+	return e.result.IOTime / sim.Duration(ops)
 }
 
 // UsedFor returns the used percentage for (level, op), or -1 when the
 // evaluation has no such row.
 func (e *Evaluation) UsedFor(level Level, op OpType) float64 {
-	for _, u := range e.Used {
+	for _, u := range e.used {
 		if u.Level == level && u.Op == op && u.CharAvailable {
 			return u.UsedPct
 		}

@@ -9,7 +9,9 @@ import (
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
+	"ioeval/internal/fault"
 	"ioeval/internal/nfs"
+	"ioeval/internal/sim"
 	"ioeval/internal/workload/btio"
 )
 
@@ -35,12 +37,9 @@ func goldenCluster() *cluster.Cluster {
 	})
 }
 
-// TestTelemetryReportGolden pins the exported telemetry-report format
-// on a fixed cluster and workload. The simulation is deterministic, so
-// any diff is a real format or model change: inspect it, then rerun
-// with -update to accept.
-func TestTelemetryReportGolden(t *testing.T) {
-	charCfg := CharacterizeConfig{
+// goldenCharCfg keeps the fixture characterizations quick.
+func goldenCharCfg() CharacterizeConfig {
+	return CharacterizeConfig{
 		FSBlockSizes:   []int64{64 * kb, mb},
 		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
 		LocalFileSize:  64 * mb,
@@ -51,7 +50,14 @@ func TestTelemetryReportGolden(t *testing.T) {
 		LibFileSize:    16 * mb,
 		RandomOps:      128,
 	}
-	ch, err := Characterize(goldenCluster, charCfg)
+}
+
+// TestTelemetryReportGolden pins the exported telemetry-report format
+// on a fixed cluster and workload. The simulation is deterministic, so
+// any diff is a real format or model change: inspect it, then rerun
+// with -update to accept.
+func TestTelemetryReportGolden(t *testing.T) {
+	ch, err := Characterize(goldenCluster, goldenCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -65,6 +71,42 @@ func TestTelemetryReportGolden(t *testing.T) {
 		t.Fatalf("encode: %v", err)
 	}
 	compareGolden(t, filepath.Join("testdata", "telemetry_report.golden.json"), buf.Bytes())
+}
+
+// TestDegradedReportGolden pins the degraded-mode report surface — the
+// fault-tagged evaluation rendering, the healthy-vs-degraded used-%
+// comparison, and the degraded telemetry report (which carries the
+// fault injector's own probe). Deterministic; rerun with -update to
+// accept intended format changes.
+func TestDegradedReportGolden(t *testing.T) {
+	plan, err := fault.Builtin("nfs-stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Land the stall inside the short fixture run's I/O window so the
+	// degraded half shows real retry traffic and rate deltas.
+	plan.Events[0].At = 100 * sim.Millisecond
+	sess := NewSession(goldenCluster,
+		WithCharacterizeConfig(goldenCharCfg()),
+		WithFaultPlan(plan),
+	)
+	quick := btio.Class{Name: "Q", N: 64, Steps: 5, WriteInterval: 5}
+	rep, err := sess.Run(btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}))
+	if err != nil {
+		t.Fatalf("session run: %v", err)
+	}
+	if rep.Degraded == nil {
+		t.Fatal("no degraded evaluation")
+	}
+	text := FormatEvaluation(rep.Degraded) + "\n" +
+		FormatUsedComparison(rep.Evaluation.Used(), rep.Degraded.Used())
+	compareGolden(t, filepath.Join("testdata", "degraded_report.golden.txt"), []byte(text))
+
+	var buf bytes.Buffer
+	if err := rep.Degraded.TelemetryReport().WriteJSON(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	compareGolden(t, filepath.Join("testdata", "degraded_telemetry.golden.json"), buf.Bytes())
 }
 
 func compareGolden(t *testing.T, path string, got []byte) {

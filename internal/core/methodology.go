@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"strings"
 	"sync"
 
@@ -9,11 +8,11 @@ import (
 	"ioeval/internal/workload"
 )
 
-// Methodology is the one-stop entry point: it strings the paper's
-// three phases together for a configuration and produces a complete
-// report. Characterization is computed on first use and cached, so
-// many applications can be evaluated against one configuration
-// cheaply (the phase structure the paper intends).
+// Methodology is the former one-stop entry point.
+//
+// Deprecated: use NewSession — Session subsumes Methodology (option
+// construction, cached characterization, fault scenarios). Methodology
+// remains as a thin wrapper and will keep working.
 type Methodology struct {
 	// Build returns a fresh cluster of the configuration under study.
 	Build func() *cluster.Cluster
@@ -24,61 +23,55 @@ type Methodology struct {
 	// evaluation.
 	Requirements *Requirements
 
-	charOnce sync.Once
-	char     *Characterization
-	charErr  error
+	sessionOnce sync.Once
+	session     *Session
 }
 
 // Report is the output of one methodology run for one application.
+// When the session carried a fault plan, Degraded holds the
+// under-fault evaluation alongside the healthy one.
 type Report struct {
 	Characterization *Characterization
 	ConfigAnalysis   string
 	Evaluation       *Evaluation
 	Checks           []RequirementCheck
 	Utilization      string
+
+	// Degraded-mode half of the report — set only when a fault
+	// scenario was armed (Session.Run with WithFaultPlan).
+	Scenario            string
+	Degraded            *Evaluation
+	DegradedChecks      []RequirementCheck
+	DegradedUtilization string
+}
+
+// asSession lazily builds the equivalent Session, once — memoized so
+// the cached characterization survives across Run calls, and safe for
+// the concurrent Characterization calls Methodology always allowed.
+func (m *Methodology) asSession() *Session {
+	m.sessionOnce.Do(func() {
+		opts := []SessionOption{WithCharacterizeConfig(m.CharConfig)}
+		if m.Requirements != nil {
+			opts = append(opts, WithRequirements(*m.Requirements))
+		}
+		m.session = NewSession(m.Build, opts...)
+	})
+	return m.session
 }
 
 // Characterization returns (computing once) the configuration's
-// performance tables. Safe for concurrent use: parallel studies may
-// evaluate many applications against one Methodology, and the first
-// callers must not race to characterize. Single-flight via sync.Once
-// rather than a mutex held across Characterize, so concurrent sweeps
-// over distinct Methodology values never serialize on each other and
-// late callers on the same value block only until the first
-// computation lands. The first outcome — including an error — is
-// cached for the lifetime of the Methodology.
+// performance tables.
+//
+// Deprecated: use Session.Characterization.
 func (m *Methodology) Characterization() (*Characterization, error) {
-	if m.Build == nil {
-		return nil, fmt.Errorf("core: Methodology needs a Build function")
-	}
-	m.charOnce.Do(func() {
-		m.char, m.charErr = Characterize(m.Build, m.CharConfig)
-	})
-	return m.char, m.charErr
+	return m.asSession().Characterization()
 }
 
 // Run executes all three phases for the application.
+//
+// Deprecated: use Session.Run.
 func (m *Methodology) Run(app workload.App) (*Report, error) {
-	ch, err := m.Characterization()
-	if err != nil {
-		return nil, err
-	}
-	c := m.Build()
-	analysis := AnalyzeConfiguration(c)
-	ev, err := Evaluate(c, app, ch)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{
-		Characterization: ch,
-		ConfigAnalysis:   analysis,
-		Evaluation:       ev,
-		Utilization:      c.UtilizationReport(),
-	}
-	if m.Requirements != nil {
-		rep.Checks = CheckEvaluation(*m.Requirements, ev)
-	}
-	return rep, nil
+	return m.asSession().Run(app)
 }
 
 // String renders the full report.
@@ -94,14 +87,28 @@ func (r *Report) String() string {
 		}
 	}
 	b.WriteString("== Application characterization ==\n")
-	b.WriteString(FormatProfile(r.Evaluation.AppName, r.Evaluation.Profile))
+	b.WriteString(FormatProfile(r.Evaluation.AppName(), r.Evaluation.Profile()))
 	b.WriteString("\n== Evaluation ==\n")
 	b.WriteString(FormatEvaluation(r.Evaluation))
 	if len(r.Checks) > 0 {
 		b.WriteString("\n== Requirements ==\n")
 		b.WriteString(FormatChecks(r.Checks))
 	}
+	if r.Degraded != nil {
+		b.WriteString("\n== Evaluation under fault scenario: " + r.Scenario + " ==\n")
+		b.WriteString(FormatEvaluation(r.Degraded))
+		b.WriteString("\n== Healthy vs degraded used-% ==\n")
+		b.WriteString(FormatUsedComparison(r.Evaluation.Used(), r.Degraded.Used()))
+		if len(r.DegradedChecks) > 0 {
+			b.WriteString("\n== Requirements (degraded) ==\n")
+			b.WriteString(FormatChecks(r.DegradedChecks))
+		}
+	}
 	b.WriteString("\n== Utilization ==\n")
 	b.WriteString(r.Utilization)
+	if r.Degraded != nil && r.DegradedUtilization != "" {
+		b.WriteString("\n== Utilization (degraded) ==\n")
+		b.WriteString(r.DegradedUtilization)
+	}
 	return b.String()
 }

@@ -140,12 +140,12 @@ func TestEndToEndFullVsSimple(t *testing.T) {
 	if fullW < 2*simpleW {
 		t.Fatalf("full library write used%% (%.1f) not ≫ simple (%.1f)", fullW, simpleW)
 	}
-	if simple.Result.IOTime < full.Result.IOTime {
-		t.Fatalf("simple I/O time (%v) below full (%v)", simple.Result.IOTime, full.Result.IOTime)
+	if simple.Result().IOTime < full.Result().IOTime {
+		t.Fatalf("simple I/O time (%v) below full (%v)", simple.Result().IOTime, full.Result().IOTime)
 	}
 	// Profiles: full has 1 op per rank per dump; simple has thousands.
-	if simple.Profile.NumWrites < 100*full.Profile.NumWrites {
-		t.Fatalf("op counts: full=%d simple=%d", full.Profile.NumWrites, simple.Profile.NumWrites)
+	if simple.Profile().NumWrites < 100*full.Profile().NumWrites {
+		t.Fatalf("op counts: full=%d simple=%d", full.Profile().NumWrites, simple.Profile().NumWrites)
 	}
 }
 
@@ -160,11 +160,11 @@ func TestEvaluateMadBenchReportsPhases(t *testing.T) {
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
-	if ev.Result.PhaseRates["S_w"] <= 0 {
-		t.Fatalf("phase rates missing: %+v", ev.Result.PhaseRates)
+	if ev.Result().PhaseRates["S_w"] <= 0 {
+		t.Fatalf("phase rates missing: %+v", ev.Result().PhaseRates)
 	}
 	if ev.UsedFor(LevelNFS, Write) <= 0 || ev.UsedFor(LevelNFS, Read) <= 0 {
-		t.Fatalf("used table incomplete: %+v", ev.Used)
+		t.Fatalf("used table incomplete: %+v", ev.Used())
 	}
 }
 
@@ -231,9 +231,9 @@ func TestMethodologyOnPFS(t *testing.T) {
 		t.Fatalf("evaluate on NFS: %v", err)
 	}
 
-	if evPFS.Result.IOTime >= evNFS.Result.IOTime {
+	if evPFS.Result().IOTime >= evNFS.Result().IOTime {
 		t.Fatalf("simple on PFS (%v) not faster than on NFS (%v)",
-			evPFS.Result.IOTime, evNFS.Result.IOTime)
+			evPFS.Result().IOTime, evNFS.Result().IOTime)
 	}
 	pfsUsed := evPFS.UsedFor(LevelNFS, Write)
 	nfsUsed := evNFS.UsedFor(LevelNFS, Write)

@@ -128,7 +128,7 @@ func TestModelValidationAgainstRuns(t *testing.T) {
 		if err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
-		m := BuildModel(app.Name(), ev.Trace, 4)
+		m := BuildModel(app.Name(), ev.Trace(), 4)
 		return ev, Predict(m, ch)
 	}
 	evFull, predFull := run(btio.Full)
@@ -146,6 +146,6 @@ func TestModelValidationAgainstRuns(t *testing.T) {
 			t.Errorf("%s: predicted %v vs measured %v (ratio %.2f)", name, predicted, measured, ratio)
 		}
 	}
-	check("full", evFull.Result.IOTime, predFull.IOTime)
-	check("simple", evSimple.Result.IOTime, predSimple.IOTime)
+	check("full", evFull.Result().IOTime, predFull.IOTime)
+	check("simple", evSimple.Result().IOTime, predSimple.IOTime)
 }

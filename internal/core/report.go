@@ -92,16 +92,75 @@ func sizesString(sizes []trace.BlockSizeCount) string {
 // III-C) and the used-percentage table.
 func FormatEvaluation(e *Evaluation) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Evaluation — %s on %s\n", e.AppName, e.Config)
-	fmt.Fprintf(&b, "  execution time: %v\n", e.Result.ExecTime)
+	res := e.Result()
+	if sc := e.Scenario(); sc != "" {
+		fmt.Fprintf(&b, "Evaluation — %s on %s [fault: %s]\n", e.AppName(), e.Config(), sc)
+	} else {
+		fmt.Fprintf(&b, "Evaluation — %s on %s\n", e.AppName(), e.Config())
+	}
+	fmt.Fprintf(&b, "  execution time: %v\n", res.ExecTime)
 	fmt.Fprintf(&b, "  I/O time:       %v (%.1f%% of execution)\n",
-		e.Result.IOTime, 100*float64(e.Result.IOTime)/float64(e.Result.ExecTime))
+		res.IOTime, 100*float64(res.IOTime)/float64(res.ExecTime))
 	if iops := e.IOPS(); iops > 0 {
 		fmt.Fprintf(&b, "  IOPS:           %.0f ops/s (mean latency %v)\n", iops, e.MeanLatency())
 	}
-	fmt.Fprintf(&b, "  throughput:     %s\n", stats.MBs(e.Result.Throughput()))
-	b.WriteString(FormatUsedTable(e.Used))
+	fmt.Fprintf(&b, "  throughput:     %s\n", stats.MBs(res.Throughput()))
+	b.WriteString(FormatUsedTable(e.Used()))
 	return b.String()
+}
+
+// FormatUsedComparison renders healthy and degraded used-% rows side
+// by side, matched by (level, op): the degraded-mode evaluation table
+// the fault plane exists to produce. Rows present on only one side
+// still appear, with the other side marked "-".
+func FormatUsedComparison(healthy, degraded []UsedRow) string {
+	type key struct {
+		level Level
+		op    OpType
+	}
+	hBy := map[key]UsedRow{}
+	var order []key
+	for _, u := range healthy {
+		k := key{u.Level, u.Op}
+		if _, ok := hBy[k]; !ok {
+			hBy[k] = u
+			order = append(order, k)
+		}
+	}
+	dBy := map[key]UsedRow{}
+	for _, u := range degraded {
+		k := key{u.Level, u.Op}
+		if _, ok := dBy[k]; !ok {
+			dBy[k] = u
+			if _, seen := hBy[k]; !seen {
+				order = append(order, k)
+			}
+		}
+	}
+	cell := func(u UsedRow, ok bool) (string, string) {
+		if !ok {
+			return "-", "-"
+		}
+		pct := "n/a"
+		if u.CharAvailable {
+			pct = fmt.Sprintf("%.1f", u.UsedPct)
+		}
+		return stats.MBs(u.MeasuredRate), pct
+	}
+	var tb stats.Table
+	tb.AddRow("Level", "Op", "Healthy", "Used%", "Degraded", "Used%", "ΔRate%")
+	for _, k := range order {
+		h, hOK := hBy[k]
+		d, dOK := dBy[k]
+		hRate, hPct := cell(h, hOK)
+		dRate, dPct := cell(d, dOK)
+		delta := "-"
+		if hOK && dOK && h.MeasuredRate > 0 {
+			delta = fmt.Sprintf("%+.1f", (d.MeasuredRate-h.MeasuredRate)/h.MeasuredRate*100)
+		}
+		tb.AddRow(k.level.String(), k.op.String(), hRate, hPct, dRate, dPct, delta)
+	}
+	return tb.String()
 }
 
 // AnalyzeConfiguration renders the configuration-analysis phase

@@ -33,7 +33,7 @@ type RequirementCheck struct {
 func CheckEvaluation(req Requirements, ev *Evaluation) []RequirementCheck {
 	var out []RequirementCheck
 	rates := map[OpType]float64{}
-	for _, m := range ev.Meas {
+	for _, m := range ev.Measurements() {
 		rates[m.Op] = m.Rate
 	}
 	if req.MinWriteRate > 0 {
@@ -52,8 +52,8 @@ func CheckEvaluation(req Requirements, ev *Evaluation) []RequirementCheck {
 			Satisfied: rates[Read] >= req.MinReadRate,
 		})
 	}
-	if req.MaxIOFraction > 0 && ev.Result.ExecTime > 0 {
-		frac := float64(ev.Result.IOTime) / float64(ev.Result.ExecTime)
+	if res := ev.Result(); req.MaxIOFraction > 0 && res.ExecTime > 0 {
+		frac := float64(res.IOTime) / float64(res.ExecTime)
 		out = append(out, RequirementCheck{
 			Name:      "I/O fraction of runtime",
 			Required:  fmt.Sprintf("≤ %.0f%%", req.MaxIOFraction*100),

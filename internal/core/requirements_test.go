@@ -10,11 +10,11 @@ import (
 
 func evalWithRates(wRate, rRate float64, ioFrac float64) *Evaluation {
 	return &Evaluation{
-		Result: workload.Result{
+		result: workload.Result{
 			ExecTime: 100 * sim.Second,
 			IOTime:   sim.Duration(ioFrac * 100 * float64(sim.Second)),
 		},
-		Meas: []Measurement{
+		meas: []Measurement{
 			{Op: Write, Rate: wRate},
 			{Op: Read, Rate: rRate},
 		},

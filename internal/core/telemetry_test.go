@@ -20,27 +20,27 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
-	if len(ev.Phases) < 2 {
-		t.Fatalf("phases = %d, want several (BT-IO dumps + read-back)", len(ev.Phases))
+	if len(ev.Phases()) < 2 {
+		t.Fatalf("phases = %d, want several (BT-IO dumps + read-back)", len(ev.Phases()))
 	}
-	if len(ev.Components) == 0 {
+	if len(ev.Components()) == 0 {
 		t.Fatal("no component snapshots")
 	}
 
 	// Contiguous tiling from t=0.
-	if ev.Phases[0].Start != 0 {
-		t.Fatalf("first phase starts at %v", ev.Phases[0].Start)
+	if ev.Phases()[0].Start != 0 {
+		t.Fatalf("first phase starts at %v", ev.Phases()[0].Start)
 	}
-	for i := 1; i < len(ev.Phases); i++ {
-		if ev.Phases[i].Start != ev.Phases[i-1].End {
-			t.Fatalf("gap before phase %d: %v != %v", i, ev.Phases[i-1].End, ev.Phases[i].Start)
+	for i := 1; i < len(ev.Phases()); i++ {
+		if ev.Phases()[i].Start != ev.Phases()[i-1].End {
+			t.Fatalf("gap before phase %d: %v != %v", i, ev.Phases()[i-1].End, ev.Phases()[i].Start)
 		}
 	}
 
 	// Sum deltas per component and compare to the final snapshots.
 	type tot struct{ readOps, readBytes, writeOps, writeBytes, metaOps int64 }
 	sums := map[string]*tot{}
-	for _, ph := range ev.Phases {
+	for _, ph := range ev.Phases() {
 		for _, s := range ph.Snaps {
 			c := s.Counters
 			for _, o := range []telemetry.OpCounters{c.Read, c.Write, c.Meta} {
@@ -60,7 +60,7 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 			a.metaOps += c.Meta.Ops
 		}
 	}
-	for _, s := range ev.Components {
+	for _, s := range ev.Components() {
 		a := sums[s.Component]
 		if a == nil {
 			t.Fatalf("component %q missing from phase snapshots", s.Component)
@@ -76,19 +76,19 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 
 	// The library-level snapshot must reflect the application's I/O.
 	var lib *telemetry.Snapshot
-	for i := range ev.Components {
-		if ev.Components[i].Level == telemetry.LevelLibrary {
-			lib = &ev.Components[i]
+	for i := range ev.Components() {
+		if ev.Components()[i].Level == telemetry.LevelLibrary {
+			lib = &ev.Components()[i]
 		}
 	}
 	if lib == nil {
 		t.Fatal("no library-level component")
 	}
-	if lib.Counters.Write.Bytes != ev.Result.BytesWritten {
-		t.Fatalf("library write bytes %d != result %d", lib.Counters.Write.Bytes, ev.Result.BytesWritten)
+	if lib.Counters.Write.Bytes != ev.Result().BytesWritten {
+		t.Fatalf("library write bytes %d != result %d", lib.Counters.Write.Bytes, ev.Result().BytesWritten)
 	}
-	if lib.Counters.Read.Bytes != ev.Result.BytesRead {
-		t.Fatalf("library read bytes %d != result %d", lib.Counters.Read.Bytes, ev.Result.BytesRead)
+	if lib.Counters.Read.Bytes != ev.Result().BytesRead {
+		t.Fatalf("library read bytes %d != result %d", lib.Counters.Read.Bytes, ev.Result().BytesRead)
 	}
 }
 
@@ -107,10 +107,10 @@ func TestTelemetryReportLevelsMatchUsed(t *testing.T) {
 		t.Fatalf("evaluate: %v", err)
 	}
 	rep := ev.TelemetryReport()
-	if len(rep.Levels) != len(ev.Used) {
-		t.Fatalf("levels = %d, used rows = %d", len(rep.Levels), len(ev.Used))
+	if len(rep.Levels) != len(ev.Used()) {
+		t.Fatalf("levels = %d, used rows = %d", len(rep.Levels), len(ev.Used()))
 	}
-	for i, u := range ev.Used {
+	for i, u := range ev.Used() {
 		l := rep.Levels[i]
 		if l.Level != u.Level.TelemetryLevel() || l.Op != u.Op.String() ||
 			l.BlockSize != u.BlockSize || l.Mode != u.Mode.String() ||

@@ -77,6 +77,11 @@ type Disk struct {
 	nextSeq int64 // offset that would continue the current sequential run
 	dirty   int64 // bytes in the volatile write cache
 
+	// slow is a service-time multiplier for fault injection: 0 or 1 is
+	// a healthy drive, >1 models a degraded one (media retries, grown
+	// defects, a failing head). See SetSlowFactor.
+	slow float64
+
 	// Stats accumulates operation counts and byte totals.
 	Stats DevStats
 }
@@ -113,6 +118,37 @@ func (d *Disk) Capacity() int64 { return d.params.Capacity }
 
 // Params returns the disk's parameters.
 func (d *Disk) Params() DiskParams { return d.params }
+
+// SetSlowFactor scales every subsequent operation's service time by
+// factor — the fault plane's "slow disk" model (a drive retrying over
+// media errors serves requests, just slower). Factor 1 restores
+// healthy service; factors below 1 panic, since a fault cannot make
+// hardware faster.
+func (d *Disk) SetSlowFactor(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("device %q: slow factor %v below 1", d.params.Name, factor))
+	}
+	d.slow = factor
+}
+
+// SlowFactor returns the current service-time multiplier (1 when
+// healthy).
+func (d *Disk) SlowFactor() float64 {
+	if d.slow < 1 {
+		return 1
+	}
+	return d.slow
+}
+
+// scaled applies the slow factor to a service time, counting the
+// degraded operations so reports can show how much work ran slow.
+func (d *Disk) scaled(t sim.Duration) sim.Duration {
+	if d.slow <= 1 {
+		return t
+	}
+	d.rec.Add("slowed_ops", 1)
+	return sim.Duration(float64(t) * d.slow)
+}
 
 // rotLatency is the average rotational latency: half a revolution.
 func (d *Disk) rotLatency() sim.Duration {
@@ -164,7 +200,7 @@ func (d *Disk) ReadAt(p *sim.Proc, off, n int64) {
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
 	pos, seq := d.positioning(off, false)
-	t := d.params.CmdOverhead + pos + d.xfer(n)
+	t := d.scaled(d.params.CmdOverhead + pos + d.xfer(n))
 	p.Sleep(t)
 	d.afterOp(off, n, seq, false, t)
 	d.res.Release(1)
@@ -177,7 +213,7 @@ func (d *Disk) WriteAt(p *sim.Proc, off, n int64) {
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
 	pos, seq := d.positioning(off, true)
-	t := d.params.CmdOverhead + pos + d.xfer(n)
+	t := d.scaled(d.params.CmdOverhead + pos + d.xfer(n))
 	p.Sleep(t)
 	if d.params.WriteCache {
 		d.dirty += n
@@ -219,7 +255,7 @@ func (d *Disk) Flush(p *sim.Proc) {
 	d.rec.Enter()
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
-	t := d.rotLatency()
+	t := d.scaled(d.rotLatency())
 	p.Sleep(t)
 	d.Stats.BusyTime += t
 	d.rec.Observe(telemetry.ClassMeta, 1, 0, t)

@@ -1,0 +1,57 @@
+package device
+
+import (
+	"testing"
+
+	"ioeval/internal/sim"
+)
+
+func timeIO(e *sim.Engine, fn func(*sim.Proc)) sim.Duration {
+	var elapsed sim.Duration
+	e.Spawn("io", func(p *sim.Proc) {
+		t0 := p.Now()
+		fn(p)
+		elapsed = sim.Duration(p.Now() - t0)
+	})
+	e.Run()
+	return elapsed
+}
+
+func TestSlowFactorScalesServiceTime(t *testing.T) {
+	healthyEng := sim.NewEngine()
+	healthy := newTestDisk(healthyEng)
+	base := timeIO(healthyEng, func(p *sim.Proc) { healthy.ReadAt(p, 0, 64*mb) })
+
+	slowEng := sim.NewEngine()
+	slow := newTestDisk(slowEng)
+	slow.SetSlowFactor(4)
+	if got := slow.SlowFactor(); got != 4 {
+		t.Fatalf("SlowFactor = %v", got)
+	}
+	degraded := timeIO(slowEng, func(p *sim.Proc) { slow.ReadAt(p, 0, 64*mb) })
+
+	ratio := float64(degraded) / float64(base)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("slow-disk ratio = %.2f (healthy %v, degraded %v), want ~4", ratio, base, degraded)
+	}
+	if got := slow.Telemetry().AuxVal("slowed_ops"); got != 1 {
+		t.Fatalf("slowed_ops = %d, want 1", got)
+	}
+	if healthy.Telemetry().AuxVal("slowed_ops") != 0 {
+		t.Fatal("healthy disk counted slowed_ops")
+	}
+}
+
+func TestSlowFactorValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d := newTestDisk(e)
+	if d.SlowFactor() != 1 {
+		t.Fatalf("default SlowFactor = %v, want 1", d.SlowFactor())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetSlowFactor(<1) did not panic")
+		}
+	}()
+	d.SetSlowFactor(0.5)
+}

@@ -30,7 +30,7 @@ func btioCharacterization(id string, procs int, pl Platform, org cluster.Organiz
 	var b strings.Builder
 	for _, st := range []btio.Subtype{btio.Full, btio.Simple} {
 		ev := EvalBTIO(pl, org, procs, st)
-		fmt.Fprintf(&b, "[%s subtype]\n%s\n", st, core.FormatProfile(ev.AppName, ev.Profile))
+		fmt.Fprintf(&b, "[%s subtype]\n%s\n", st, core.FormatProfile(ev.AppName(), ev.Profile()))
 	}
 	return Artifact{ID: id, Title: title, Text: b.String()}
 }
@@ -41,7 +41,7 @@ func Fig8() Artifact {
 	var b strings.Builder
 	for _, st := range []btio.Subtype{btio.Full, btio.Simple} {
 		ev := EvalBTIO(Aohyper, cluster.RAID5, 16, st)
-		fmt.Fprintf(&b, "[%s subtype]\n%s\n", st, trace.Timeline{Width: 100}.Render(ev.Trace.Events()))
+		fmt.Fprintf(&b, "[%s subtype]\n%s\n", st, trace.Timeline{Width: 100}.Render(ev.Trace().Events()))
 	}
 	return Artifact{ID: "fig8", Title: "NAS BT-IO traces, 16 processes (W write, R read, C compute, M comm)", Text: b.String()}
 }
@@ -141,13 +141,14 @@ func btioRunFig(pl Platform, orgs []cluster.Organization, procsList []int) []Run
 				if len(procsList) > 1 {
 					label = fmt.Sprintf("%d procs", procs)
 				}
+				res := ev.Result()
 				out = append(out, RunFig{
 					Label:     label,
 					Subtype:   strings.ToUpper(st.String()),
-					ExecSec:   ev.Result.ExecTime.Seconds(),
-					IOSec:     ev.Result.IOTime.Seconds(),
-					ThruMBs:   ev.Result.Throughput() / 1e6,
-					IOPctExec: 100 * float64(ev.Result.IOTime) / float64(ev.Result.ExecTime),
+					ExecSec:   res.ExecTime.Seconds(),
+					IOSec:     res.IOTime.Seconds(),
+					ThruMBs:   res.Throughput() / 1e6,
+					IOPctExec: 100 * float64(res.IOTime) / float64(res.ExecTime),
 				})
 			}
 		}

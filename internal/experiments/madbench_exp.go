@@ -22,7 +22,7 @@ func Table8() Artifact {
 		for _, ft := range madFileTypes {
 			ev := EvalMadBench(ClusterA, cluster.RAID5, procs, ft)
 			fmt.Fprintf(&b, "[%d procs, %v]\n%s\n", procs, ft,
-				core.FormatProfile(ev.AppName, ev.Profile))
+				core.FormatProfile(ev.AppName(), ev.Profile()))
 		}
 	}
 	return Artifact{ID: "tab8", Title: "MADbench2 characterization — 16 & 64 processes", Text: b.String()}
@@ -33,7 +33,7 @@ func Fig16() Artifact {
 	var b strings.Builder
 	for _, ft := range madFileTypes {
 		ev := EvalMadBench(Aohyper, cluster.RAID5, 16, ft)
-		fmt.Fprintf(&b, "[%v filetype]\n%s\n", ft, trace.Timeline{Width: 100}.Render(ev.Trace.Events()))
+		fmt.Fprintf(&b, "[%v filetype]\n%s\n", ft, trace.Timeline{Width: 100}.Render(ev.Trace().Events()))
 	}
 	return Artifact{ID: "fig16", Title: "MADbench2 traces, 16 processes (W write, R read, C busy-work)", Text: b.String()}
 }
@@ -61,15 +61,16 @@ func madRunRows(pl Platform, orgs []cluster.Organization, procsList []int) []Mad
 				if len(procsList) > 1 {
 					label = fmt.Sprintf("%d procs", procs)
 				}
+				res := ev.Result()
 				rows = append(rows, MadRunRow{
 					Config:   label,
 					FileType: ft.String(),
-					ExecSec:  ev.Result.ExecTime.Seconds(),
-					IOSec:    ev.Result.IOTime.Seconds(),
-					SwMBs:    ev.Result.PhaseRates["S_w"] / 1e6,
-					WwMBs:    ev.Result.PhaseRates["W_w"] / 1e6,
-					WrMBs:    ev.Result.PhaseRates["W_r"] / 1e6,
-					CrMBs:    ev.Result.PhaseRates["C_r"] / 1e6,
+					ExecSec:  res.ExecTime.Seconds(),
+					IOSec:    res.IOTime.Seconds(),
+					SwMBs:    res.PhaseRates["S_w"] / 1e6,
+					WwMBs:    res.PhaseRates["W_w"] / 1e6,
+					WrMBs:    res.PhaseRates["W_r"] / 1e6,
+					CrMBs:    res.PhaseRates["C_r"] / 1e6,
 				})
 			}
 		}
@@ -136,8 +137,8 @@ func madUsedRows(pl Platform, orgs []cluster.Organization, procsList []int, leve
 					label = fmt.Sprintf("%d procs", procs)
 				}
 				bs := int64(0)
-				if len(ev.Profile.WriteBlockSizes) > 0 {
-					bs = ev.Profile.WriteBlockSizes[0].Bytes
+				if p := ev.Profile(); len(p.WriteBlockSizes) > 0 {
+					bs = p.WriteBlockSizes[0].Bytes
 				}
 				access := core.Global
 				if level == core.LevelLocalFS {
@@ -150,7 +151,7 @@ func madUsedRows(pl Platform, orgs []cluster.Organization, procsList []int, leve
 					}
 					return measured / rate * 100
 				}
-				pr := ev.Result.PhaseRates
+				pr := ev.Result().PhaseRates
 				rows = append(rows, MadUsedRow{
 					Config:   label,
 					FileType: ft.String(),

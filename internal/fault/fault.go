@@ -1,0 +1,224 @@
+// Package fault is the deterministic fault-injection plane of the
+// simulated I/O stack. A Plan is a declarative, replayable schedule of
+// faults on the simulated clock — a disk dying or slowing at time T,
+// the RAID array rebuilding onto a spare, the data network degrading
+// or flapping, the NFS server stalling — that Apply arms on a freshly
+// built cluster before the run starts. Everything is scheduled on the
+// sim clock and any randomness (flap jitter) comes from the plan's
+// seed, so a scenario replays byte-identically: the paper's
+// configuration-analysis question ("which configuration satisfies the
+// application?") can be asked about the degraded path with the same
+// rigor as the healthy one.
+package fault
+
+import (
+	"fmt"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/device"
+	"ioeval/internal/raid"
+	"ioeval/internal/sim"
+)
+
+// Kind is the fault class of one plan event.
+type Kind int
+
+// Fault kinds.
+const (
+	// DiskFail fails one I/O-node array member at At. The array must
+	// be redundant (RAID 1/5); reads reconstruct from the survivors
+	// until the optional Rebuild completes onto a hot spare.
+	DiskFail Kind = iota
+	// DiskSlow multiplies one I/O-node disk's service time by Factor
+	// from At on (media retries, a failing head).
+	DiskSlow
+	// NetDegrade multiplies serialization time through a node's NIC on
+	// the data network by Factor from At on.
+	NetDegrade
+	// NetFlap takes a node's data-network link down for Duration,
+	// Count times, Period apart, each start offset by seeded jitter up
+	// to Jitter.
+	NetFlap
+	// NFSStall makes the NFS server unresponsive for Duration at At;
+	// clients ride it out via their retry/timeout/backoff machinery.
+	// With Restart set, recovery also invalidates every client's
+	// attribute cache and close-to-open tokens (a server restart, not
+	// just a pause).
+	NFSStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DiskFail:
+		return "disk-fail"
+	case DiskSlow:
+		return "disk-slow"
+	case NetDegrade:
+		return "net-degrade"
+	case NetFlap:
+		return "net-flap"
+	case NFSStall:
+		return "nfs-stall"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Rebuild configures reconstruction onto a hot spare after a DiskFail.
+type Rebuild struct {
+	// Delay is how long after the failure the rebuild starts (operator
+	// reaction / spare spin-up); zero starts immediately.
+	Delay sim.Duration
+	// Bytes bounds the reconstructed extent; 0 rebuilds the full
+	// member (which can dominate scenario runtime — builtin scenarios
+	// bound it).
+	Bytes int64
+	// Chunk is the per-step extent (0 = 1 MiB).
+	Chunk int64
+	// Rate throttles reconstruction, bytes/second (0 = unthrottled).
+	Rate float64
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// At is the injection time on the simulated clock (from engine
+	// start; must not be negative).
+	At sim.Duration
+	// Kind selects the fault class; the fields below apply per kind as
+	// documented on the Kind constants.
+	Kind Kind
+
+	Member   int          // DiskFail, DiskSlow: I/O-node disk index
+	Node     string       // NetDegrade, NetFlap: network node ("" = the I/O node)
+	Factor   float64      // DiskSlow, NetDegrade: service-time multiplier (>= 1)
+	Duration sim.Duration // NetFlap: outage span; NFSStall: stall span
+	Count    int          // NetFlap: number of flaps (0 or 1 = one)
+	Period   sim.Duration // NetFlap: spacing between flap starts
+	Jitter   sim.Duration // NetFlap: max seeded jitter added per flap start
+	Rebuild  *Rebuild     // DiskFail: optional rebuild onto a hot spare
+	Restart  bool         // NFSStall: invalidate client caches at recovery
+}
+
+// Plan is a named, seeded schedule of faults. The zero Plan is the
+// healthy baseline: no events, empty name.
+type Plan struct {
+	// Name labels the scenario in reports and sweep-cell names.
+	Name string
+	// Seed drives all plan randomness (flap jitter). Equal seeds
+	// replay identically.
+	Seed int64
+	// Events are the scheduled faults, applied in slice order.
+	Events []Event
+}
+
+// Empty reports whether the plan injects nothing (healthy baseline).
+func (pl Plan) Empty() bool { return len(pl.Events) == 0 }
+
+// RequiresRedundancy reports whether the plan fails a disk — which
+// only a redundant array (RAID 1/5) survives. Grid expansions use it
+// to skip meaningless (plan, JBOD) cells.
+func (pl Plan) RequiresRedundancy() bool {
+	for _, ev := range pl.Events {
+		if ev.Kind == DiskFail {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the plan against a cluster without arming anything:
+// members exist, failures stay within the array's redundancy, net
+// events name attached nodes, durations and factors are sane. Apply
+// validates implicitly; Validate lets callers (grid expansion, CLIs)
+// reject bad plans before paying for a characterization.
+func (pl Plan) Validate(c *cluster.Cluster) error {
+	var failed []int
+	for i, ev := range pl.Events {
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault plan %q event %d (%s): %s", pl.Name, i, ev.Kind, fmt.Sprintf(format, args...))
+		}
+		if ev.At < 0 {
+			return fail("negative injection time %v", ev.At)
+		}
+		switch ev.Kind {
+		case DiskFail:
+			arr, ok := c.Array.(*raid.Array)
+			if !ok {
+				return fail("cluster has no RAID array")
+			}
+			if ev.Member < 0 || ev.Member >= len(arr.Members()) {
+				return fail("no array member %d (array has %d)", ev.Member, len(arr.Members()))
+			}
+			switch arr.Level() {
+			case raid.RAID1:
+				if len(failed)+1 >= len(arr.Members()) {
+					return fail("failing member %d leaves no surviving mirror", ev.Member)
+				}
+			case raid.RAID5:
+				if len(failed) >= 1 {
+					return fail("second RAID 5 failure is data loss")
+				}
+			default:
+				return fail("%v has no redundancy — member failure is data loss", arr.Level())
+			}
+			for _, m := range failed {
+				if m == ev.Member {
+					return fail("member %d already failed by an earlier event", ev.Member)
+				}
+			}
+			failed = append(failed, ev.Member)
+			if ev.Rebuild != nil {
+				if ev.Rebuild.Delay < 0 {
+					return fail("negative rebuild delay")
+				}
+				if ev.Rebuild.Bytes < 0 || ev.Rebuild.Chunk < 0 || ev.Rebuild.Rate < 0 {
+					return fail("negative rebuild bounds")
+				}
+				if _, ok := arr.Members()[ev.Member].(*device.Disk); !ok {
+					return fail("member %d is not a device.Disk; cannot derive spare parameters", ev.Member)
+				}
+			}
+		case DiskSlow:
+			if ev.Member < 0 || ev.Member >= len(c.IODisks) {
+				return fail("no I/O-node disk %d (cluster has %d)", ev.Member, len(c.IODisks))
+			}
+			if ev.Factor < 1 {
+				return fail("slow factor %v below 1", ev.Factor)
+			}
+		case NetDegrade, NetFlap:
+			if c.DataNet == nil {
+				return fail("cluster has no data network")
+			}
+			node := ev.Node
+			if node == "" {
+				node = c.IONodeName
+			}
+			if !c.DataNet.Attached(node) {
+				return fail("node %q not attached to the data network", node)
+			}
+			if ev.Kind == NetDegrade && ev.Factor < 1 {
+				return fail("degrade factor %v below 1", ev.Factor)
+			}
+			if ev.Kind == NetFlap {
+				if ev.Duration <= 0 {
+					return fail("flap needs a positive outage duration")
+				}
+				if ev.Count > 1 && ev.Period <= 0 {
+					return fail("%d flaps need a positive period", ev.Count)
+				}
+				if ev.Jitter < 0 {
+					return fail("negative jitter")
+				}
+			}
+		case NFSStall:
+			if c.Server == nil {
+				return fail("cluster has no NFS server")
+			}
+			if ev.Duration <= 0 {
+				return fail("stall needs a positive duration")
+			}
+		default:
+			return fail("unknown fault kind")
+		}
+	}
+	return nil
+}

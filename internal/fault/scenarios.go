@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ioeval/internal/sim"
+)
+
+// Builtin named scenarios: the degraded-mode what-if axis the CLIs
+// expose by name (-fault disk-fail). Injection times are early (1–3 s
+// into the run) so they land inside every workload's I/O phase, and
+// rebuild extents are bounded so a scenario never dominates the
+// simulated runtime.
+
+// builtins maps scenario names to constructors; constructed fresh per
+// call so callers can mutate their copy safely.
+var builtins = map[string]func() Plan{
+	"disk-fail": func() Plan {
+		return Plan{
+			Name: "disk-fail",
+			Seed: 1,
+			Events: []Event{{
+				At:   2 * sim.Second,
+				Kind: DiskFail,
+				Rebuild: &Rebuild{
+					Delay: 500 * sim.Millisecond,
+					Bytes: 256 << 20,
+					Rate:  80e6,
+				},
+			}},
+		}
+	},
+	"slow-disk": func() Plan {
+		return Plan{
+			Name:   "slow-disk",
+			Seed:   1,
+			Events: []Event{{At: sim.Second, Kind: DiskSlow, Factor: 4}},
+		}
+	},
+	"net-degrade": func() Plan {
+		return Plan{
+			Name:   "net-degrade",
+			Seed:   1,
+			Events: []Event{{At: sim.Second, Kind: NetDegrade, Factor: 3}},
+		}
+	},
+	"net-flap": func() Plan {
+		return Plan{
+			Name: "net-flap",
+			Seed: 7,
+			Events: []Event{{
+				At:       2 * sim.Second,
+				Kind:     NetFlap,
+				Duration: 400 * sim.Millisecond,
+				Count:    3,
+				Period:   2 * sim.Second,
+				Jitter:   150 * sim.Millisecond,
+			}},
+		}
+	},
+	"nfs-stall": func() Plan {
+		return Plan{
+			Name: "nfs-stall",
+			Seed: 1,
+			Events: []Event{{
+				At:       2 * sim.Second,
+				Kind:     NFSStall,
+				Duration: 2500 * sim.Millisecond,
+				Restart:  true,
+			}},
+		}
+	},
+}
+
+// Builtin returns a builtin scenario by name.
+func Builtin(name string) (Plan, error) {
+	mk, ok := builtins[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("fault: unknown scenario %q (have %s)", name, strings.Join(BuiltinNames(), ", "))
+	}
+	return mk(), nil
+}
+
+// BuiltinNames lists the builtin scenario names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -16,6 +16,7 @@ const ProbeConformCheck = "probeconform"
 var layerPackages = map[string]bool{
 	"device": true, "raid": true, "cache": true, "fs": true,
 	"nfs": true, "pfs": true, "netsim": true, "mpiio": true,
+	"fault": true,
 }
 
 // ProbeConform returns the module-wide analyzer enforcing the
@@ -28,7 +29,7 @@ var layerPackages = map[string]bool{
 func ProbeConform() *Analyzer {
 	return &Analyzer{
 		Name: ProbeConformCheck,
-		Doc: "Reports layer types (device/raid/cache/fs/nfs/pfs/netsim/mpiio) " +
+		Doc: "Reports layer types (device/raid/cache/fs/nfs/pfs/netsim/mpiio/fault) " +
 			"that hold telemetry counters without a Telemetry() accessor, or " +
 			"whose accessor is never passed to a Registry.Register call " +
 			"anywhere in the module.",

@@ -69,6 +69,13 @@ type NIC struct {
 	tx   *sim.Resource
 	rx   *sim.Resource
 
+	// Fault-injection state: slow is a serialization-time multiplier
+	// (0 or 1 healthy, >1 a degraded link — autonegotiation fallback,
+	// heavy retransmits); downUntil parks transfers touching this NIC
+	// until the link comes back (a flap).
+	slow      float64
+	downUntil sim.Time
+
 	// Stats accumulates per-NIC counters.
 	Stats Stats
 
@@ -126,6 +133,72 @@ func (n *Network) NIC(node string) *NIC {
 	return nic
 }
 
+// Attached reports whether a node is attached to the network.
+func (n *Network) Attached(node string) bool {
+	_, ok := n.nics[node]
+	return ok
+}
+
+// Degrade scales all subsequent serialization time through a node's
+// NIC by factor (>1 slower; 1 restores full speed). Factors below 1
+// panic: a fault cannot add bandwidth.
+func (n *Network) Degrade(node string, factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("netsim %q: degrade factor %v below 1", n.params.Name, factor))
+	}
+	n.NIC(node).slow = factor
+}
+
+// FailLinkUntil takes a node's link down until the given absolute
+// simulated time (a flap): transfers touching the NIC park until the
+// link returns. Later of the current and new deadline wins, so
+// overlapping flaps extend the outage.
+func (n *Network) FailLinkUntil(node string, until sim.Time) {
+	nic := n.NIC(node)
+	if until > nic.downUntil {
+		nic.downUntil = until
+	}
+	nic.rec.Add("link_flaps", 1)
+}
+
+// awaitLinks parks p until both endpoints' links are up. Re-checks
+// after every wait: a new flap may land while waiting out the first.
+func (n *Network) awaitLinks(p *sim.Proc, src, dst *NIC) {
+	for {
+		until := src.downUntil
+		if dst.downUntil > until {
+			until = dst.downUntil
+		}
+		if p.Now() >= until {
+			return
+		}
+		d := sim.Duration(until - p.Now())
+		for _, nic := range []*NIC{src, dst} {
+			if nic.downUntil > p.Now() {
+				nic.rec.Add("flap_waits", 1)
+				nic.rec.Add("flap_wait_ns", int64(d))
+			}
+			if src == dst {
+				break // loopback: count once
+			}
+		}
+		p.Sleep(d)
+	}
+}
+
+// slowFactor returns the serialization multiplier for a transfer
+// between two NICs: the slower endpoint governs.
+func slowFactor(src, dst *NIC) float64 {
+	f := src.slow
+	if dst.slow > f {
+		f = dst.slow
+	}
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
 // xferTime returns serialization time for nb bytes at link rate.
 func (n *Network) xferTime(nb int64) sim.Duration {
 	return sim.Duration(float64(nb) / n.params.Bandwidth * 1e9)
@@ -173,6 +246,11 @@ func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
 		p.Sleep(sim.Duration(float64(nb) / (4 * n.params.Bandwidth) * 1e9))
 		return
 	}
+	n.awaitLinks(p, src, dst)
+	slow := slowFactor(src, dst)
+	if slow > 1 {
+		n.rec.Add("degraded_msgs", 1)
+	}
 
 	// First quantum carries the one-way latency; the rest pipeline.
 	first := true
@@ -184,7 +262,7 @@ func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
 		}
 		src.tx.Acquire(p, 1)
 		dst.rx.Acquire(p, 1)
-		t := n.xferTime(q)
+		t := sim.Duration(float64(n.xferTime(q)) * slow)
 		if first {
 			t += n.params.Latency
 			first = false

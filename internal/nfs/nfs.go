@@ -75,6 +75,11 @@ type Server struct {
 	handles map[string]fs.Handle
 	gen     map[string]int64 // per-path change generation (attr cache / close-to-open)
 
+	// downUntil marks the server unresponsive until this simulated
+	// time (fault injection: a crashed or stalled nfsd). Clients ride
+	// it out through their retry/timeout machinery (awaitServer).
+	downUntil sim.Time
+
 	// Stats counts RPCs served by kind.
 	Stats ServerStats
 
@@ -113,6 +118,24 @@ func (s *Server) Node() string { return s.node }
 
 // Backend returns the exported filesystem.
 func (s *Server) Backend() fs.Interface { return s.backend }
+
+// Stall makes the server unresponsive for d of simulated time from
+// now: new RPCs park in the clients' retry loops until it returns.
+// Overlapping stalls extend each other (the later deadline wins).
+func (s *Server) Stall(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("nfs %q: negative stall", s.params.Name))
+	}
+	until := s.eng.Now() + sim.Time(d)
+	if until > s.downUntil {
+		s.downUntil = until
+	}
+	s.rec.Add("stalls", 1)
+}
+
+// DownUntil returns the time the server next accepts RPCs (zero when
+// it never stalled).
+func (s *Server) DownUntil() sim.Time { return s.downUntil }
 
 // handle returns (opening if needed) the server-side handle for path.
 func (s *Server) handle(p *sim.Proc, path string, flags int) (fs.Handle, error) {
@@ -165,11 +188,26 @@ type ClientParams struct {
 	// (close-to-open consistency; see clientcache.go). Zero disables
 	// client data caching.
 	CacheBytes int64
+
+	// Retry machinery (the mount's timeo/retrans knobs), exercised
+	// when the server stalls: an RPC attempt times out after
+	// RetryTimeout, then the client backs off — starting at
+	// RetryBackoff and doubling up to RetryBackoffMax — before
+	// retransmitting. Zero values take the defaults (1s timeout,
+	// 100ms initial backoff, 10s cap).
+	RetryTimeout    sim.Duration
+	RetryBackoff    sim.Duration
+	RetryBackoffMax sim.Duration
 }
 
 // DefaultClientParams mirrors a common rsize/wsize=256K mount.
 func DefaultClientParams(name string) ClientParams {
-	return ClientParams{Name: name, RSize: 256 << 10, WSize: 256 << 10}
+	return ClientParams{
+		Name: name, RSize: 256 << 10, WSize: 256 << 10,
+		RetryTimeout:    sim.Second,
+		RetryBackoff:    100 * sim.Millisecond,
+		RetryBackoffMax: 10 * sim.Second,
+	}
 }
 
 // Client is a node's NFS mount of a Server. It implements
@@ -201,6 +239,7 @@ type ClientStats struct {
 	ReadRPCs, WriteRPCs, MetaRPCs int64
 	BytesRead, BytesWritten       int64
 	AttrCacheHits                 int64
+	Timeouts, Retries             int64 // RPC attempts timed out / retransmits sent
 }
 
 var _ fs.Interface = (*Client)(nil)
@@ -209,6 +248,15 @@ var _ fs.Interface = (*Client)(nil)
 func NewClient(e *sim.Engine, params ClientParams, node string, net *netsim.Network, srv *Server) *Client {
 	if params.RSize <= 0 || params.WSize <= 0 {
 		panic(fmt.Sprintf("nfs client %q: rsize/wsize must be positive", params.Name))
+	}
+	if params.RetryTimeout <= 0 {
+		params.RetryTimeout = sim.Second
+	}
+	if params.RetryBackoff <= 0 {
+		params.RetryBackoff = 100 * sim.Millisecond
+	}
+	if params.RetryBackoffMax <= 0 {
+		params.RetryBackoffMax = 10 * sim.Second
 	}
 	c := &Client{
 		eng:       e,
@@ -242,8 +290,39 @@ func (c *Client) Node() string { return c.node }
 // Server returns the mounted server.
 func (c *Client) Server() *Server { return c.srv }
 
+// awaitServer models the client's RPC retransmit machinery while the
+// server is stalled: the in-flight attempt waits out RetryTimeout,
+// then the client backs off — doubling from RetryBackoff up to
+// RetryBackoffMax — and retransmits, until the server is back. Pure
+// sim-clock arithmetic, so recovery timing is fully deterministic.
+func (c *Client) awaitServer(p *sim.Proc) {
+	backoff := c.params.RetryBackoff
+	for p.Now() < c.srv.downUntil {
+		p.Sleep(c.params.RetryTimeout) // in-flight attempt times out
+		c.Stats.Timeouts++
+		c.rec.Add("timeouts", 1)
+		p.Sleep(backoff) // back off before retransmitting
+		backoff *= 2
+		if backoff > c.params.RetryBackoffMax {
+			backoff = c.params.RetryBackoffMax
+		}
+		c.Stats.Retries++
+		c.rec.Add("retries", 1)
+	}
+}
+
+// InvalidateCaches drops the client's attribute cache and
+// close-to-open validity tokens, as remounting after a server restart
+// does: every path revalidates (and re-fetches data) on next open.
+func (c *Client) InvalidateCaches() {
+	c.attrCache = map[string]fs.FileInfo{}
+	c.validGen = map[string]int64{}
+	c.rec.Add("cache_invalidations", 1)
+}
+
 // metaRPC performs a small request/response exchange plus server CPU.
 func (c *Client) metaRPC(p *sim.Proc, fn func()) {
+	c.awaitServer(p)
 	c.Stats.MetaRPCs++
 	c.srv.Stats.MetaRPCs++
 	start := p.Now()
@@ -320,6 +399,7 @@ func (c *Client) LockUnlock(p *sim.Proc, count int64) {
 	if count <= 0 {
 		return
 	}
+	c.awaitServer(p)
 	c.Stats.MetaRPCs += 2 * count
 	c.srv.Stats.MetaRPCs += 2 * count
 	c.rec.Add("lock_pairs", count)
@@ -367,6 +447,7 @@ func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
 		if chunk > c.params.RSize {
 			chunk = c.params.RSize
 		}
+		c.awaitServer(p)
 		c.Stats.ReadRPCs++
 		c.srv.Stats.ReadRPCs++
 		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
@@ -414,6 +495,7 @@ func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64
 		if chunk > c.params.WSize {
 			chunk = c.params.WSize
 		}
+		c.awaitServer(p)
 		c.Stats.WriteRPCs++
 		c.srv.Stats.WriteRPCs++
 		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes+chunk)
@@ -481,6 +563,7 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 		return got
 	}
 	count := int64(len(vecs))
+	c.awaitServer(p)
 	c.Stats.ReadRPCs += count
 	c.srv.Stats.ReadRPCs += count
 	// Request stream: headers only (one per op).
@@ -530,6 +613,7 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 	for _, v := range vecs {
 		total += v.Len
 	}
+	c.awaitServer(p)
 	c.Stats.WriteRPCs += count
 	c.srv.Stats.WriteRPCs += count
 	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes*count+total)

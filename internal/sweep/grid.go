@@ -5,6 +5,7 @@ import (
 
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/fault"
 )
 
 // Grid is the cross-product a sweep evaluates: every configuration ×
@@ -34,6 +35,14 @@ type GridSpec struct {
 	// Char parameterizes characterization for every expanded config
 	// (UsePFS is set per cell from the I/O-node axis).
 	Char core.CharacterizeConfig
+	// Scenarios is the fault-scenario axis: each plan adds a degraded
+	// variant of every cell, evaluated under the plan against the
+	// healthy cell's characterization (shared via fingerprint). An
+	// empty (zero) plan in the list stands for the healthy run; when
+	// the list omits it, the healthy cell is still emitted first.
+	// Plans that require redundancy (disk failures) are skipped on
+	// JBOD configurations, where no degraded mode exists.
+	Scenarios []fault.Plan
 	// Apps is the workload axis.
 	Apps []AppSpec
 }
@@ -64,11 +73,29 @@ func (s GridSpec) Grid() Grid {
 				}
 				char := s.Char
 				char.UsePFS = n > 0
-				g.Configs = append(g.Configs, Config{
+				build := func() *cluster.Cluster { return cluster.New(cfg) }
+				healthy := Config{
 					Name:  name,
-					Build: func() *cluster.Cluster { return cluster.New(cfg) },
+					Build: build,
 					Char:  char,
-				})
+				}
+				g.Configs = append(g.Configs, healthy)
+				for _, sc := range s.Scenarios {
+					if sc.Empty() {
+						continue // the healthy cell above covers it
+					}
+					if sc.RequiresRedundancy() && org == cluster.JBOD {
+						continue // no degraded mode to evaluate
+					}
+					sc := sc
+					g.Configs = append(g.Configs, Config{
+						Name:        fmt.Sprintf("%s/%s", name, sc.Name),
+						Fingerprint: name, // share the healthy characterization
+						Build:       build,
+						Char:        char,
+						Fault:       &sc,
+					})
+				}
 			}
 		}
 	}

@@ -65,6 +65,8 @@ type LevelSummary struct {
 type Cell struct {
 	Config string `json:"config"`
 	App    string `json:"app"`
+	// Scenario names the fault plan the cell ran under ("" = healthy).
+	Scenario string `json:"scenario,omitempty"`
 
 	ExecTime   sim.Duration `json:"exec_time_ns"`
 	IOTime     sim.Duration `json:"io_time_ns"`
@@ -85,18 +87,20 @@ type Cell struct {
 }
 
 func newCell(config, app string, ev *core.Evaluation) *Cell {
+	res := ev.Result()
 	c := &Cell{
 		Config:     config,
 		App:        app,
-		ExecTime:   ev.Result.ExecTime,
-		IOTime:     ev.Result.IOTime,
-		Throughput: ev.Result.Throughput(),
+		Scenario:   ev.Scenario(),
+		ExecTime:   res.ExecTime,
+		IOTime:     res.IOTime,
+		Throughput: res.Throughput(),
 		Eval:       ev,
 	}
-	if ev.Result.ExecTime > 0 {
-		c.IOPct = 100 * float64(ev.Result.IOTime) / float64(ev.Result.ExecTime)
+	if res.ExecTime > 0 {
+		c.IOPct = 100 * float64(res.IOTime) / float64(res.ExecTime)
 	}
-	for _, u := range ev.Used {
+	for _, u := range ev.Used() {
 		if !u.CharAvailable {
 			continue
 		}
@@ -105,7 +109,7 @@ func newCell(config, app string, ev *core.Evaluation) *Cell {
 		}
 	}
 	c.Levels = ev.TelemetryReport().Levels
-	c.Telemetry = summarizeByLevel(ev.Components)
+	c.Telemetry = summarizeByLevel(ev.Components())
 	return c
 }
 
@@ -120,7 +124,7 @@ func summarizeByLevel(snaps []telemetry.Snapshot) []LevelSummary {
 	for _, level := range []telemetry.Level{
 		telemetry.LevelLibrary, telemetry.LevelGlobalFS, telemetry.LevelLocalFS,
 		telemetry.LevelCache, telemetry.LevelBlock, telemetry.LevelDevice,
-		telemetry.LevelNetwork,
+		telemetry.LevelNetwork, telemetry.LevelFault,
 	} {
 		group := byLevel[level]
 		if len(group) == 0 {

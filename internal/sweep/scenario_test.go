@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/fault"
+)
+
+// scenarioGrid expands a spec with a fault-scenario axis: one
+// platform, JBOD and RAID 5, three scenarios (the explicit healthy
+// plan, a slow disk, and a disk failure).
+func scenarioGrid(t *testing.T) Grid {
+	t.Helper()
+	slow, err := fault.Builtin("slow-disk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall, err := fault.Builtin("nfs-stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, err := fault.Builtin("disk-fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return GridSpec{
+		Platforms: []cluster.Config{tinyBase("alpha", 2)},
+		Orgs:      []cluster.Organization{cluster.JBOD, cluster.RAID5},
+		Char:      quickChar(),
+		Scenarios: []fault.Plan{{}, slow, stall, df},
+		Apps:      testApps()[:1],
+	}.Grid()
+}
+
+// TestScenarioGridExpansion pins the fault axis's expansion rules:
+// the healthy cell always comes first, the zero plan adds nothing,
+// scenario cells share the healthy fingerprint, and disk failures are
+// skipped on JBOD.
+func TestScenarioGridExpansion(t *testing.T) {
+	grid := scenarioGrid(t)
+	var names []string
+	for _, c := range grid.Configs {
+		names = append(names, c.Name)
+	}
+	want := []string{
+		"alpha/JBOD",
+		"alpha/JBOD/slow-disk",
+		"alpha/JBOD/nfs-stall",
+		"alpha/RAID5",
+		"alpha/RAID5/slow-disk",
+		"alpha/RAID5/nfs-stall",
+		"alpha/RAID5/disk-fail",
+	}
+	if strings.Join(names, " ") != strings.Join(want, " ") {
+		t.Fatalf("expanded configs = %v, want %v", names, want)
+	}
+	for _, c := range grid.Configs {
+		if c.Fault == nil {
+			if c.Fingerprint != "" {
+				t.Errorf("healthy cell %q has fingerprint %q", c.Name, c.Fingerprint)
+			}
+			continue
+		}
+		if !strings.HasSuffix(c.Name, "/"+c.Fault.Name) {
+			t.Errorf("scenario cell name %q does not end in plan %q", c.Name, c.Fault.Name)
+		}
+		if c.Fingerprint == "" || strings.Contains(c.Fingerprint, c.Fault.Name) {
+			t.Errorf("scenario cell %q fingerprint %q does not point at the healthy cell", c.Name, c.Fingerprint)
+		}
+	}
+}
+
+// TestScenarioSweepDeterminism runs the fault-axis grid on 1 and 8
+// workers: reports must be byte-identical, scenario cells must reuse
+// the healthy characterizations (2, not 7), and degraded cells must
+// rank with their scenario recorded.
+func TestScenarioSweepDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep grid skipped in -short mode")
+	}
+	grid := scenarioGrid(t)
+
+	type run struct {
+		workers int
+		json    []byte
+		text    []byte
+	}
+	runs := []*run{{workers: 1}, {workers: 8}}
+	for _, r := range runs {
+		eng := NewEngine(r.workers)
+		rep, err := eng.Run(grid, ByIOTime)
+		if err != nil {
+			t.Fatalf("run (%d workers): %v", r.workers, err)
+		}
+		r.json, r.text = reportBytes(t, rep)
+
+		aux := eng.Snapshot().Counters.Aux
+		if aux["characterizations"] != 2 {
+			t.Errorf("%d workers: %d characterizations, want 2 (scenario cells share the healthy one)",
+				r.workers, aux["characterizations"])
+		}
+		if aux["evaluations"] != int64(len(grid.Configs)) {
+			t.Errorf("%d workers: %d evaluations, want %d",
+				r.workers, aux["evaluations"], len(grid.Configs))
+		}
+
+		healthy := map[string]*Cell{}
+		for _, cell := range rep.Cells {
+			if cell.Scenario == "" {
+				healthy[cell.Config] = cell
+			}
+		}
+		if len(healthy) != 2 {
+			t.Fatalf("%d workers: %d healthy cells, want 2", r.workers, len(healthy))
+		}
+		for _, cell := range rep.Cells {
+			if cell.Scenario == "" {
+				continue
+			}
+			base := strings.TrimSuffix(cell.Config, "/"+cell.Scenario)
+			h, ok := healthy[base]
+			if !ok {
+				t.Fatalf("no healthy cell for %q", cell.Config)
+			}
+			if cell.IOTime < h.IOTime {
+				t.Errorf("%q I/O time %v below healthy %v", cell.Config, cell.IOTime, h.IOTime)
+			}
+		}
+	}
+	if !bytes.Equal(runs[0].json, runs[1].json) {
+		t.Errorf("JSON reports differ between 1 and 8 workers:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+			runs[0].json, runs[1].json)
+	}
+	if !bytes.Equal(runs[0].text, runs[1].text) {
+		t.Errorf("text reports differ between 1 and 8 workers")
+	}
+}

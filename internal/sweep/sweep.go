@@ -25,6 +25,7 @@ import (
 
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/fault"
 	"ioeval/internal/telemetry"
 	"ioeval/internal/workload"
 )
@@ -44,6 +45,11 @@ type Config struct {
 	Build func() *cluster.Cluster
 	// Char parameterizes the characterization phase.
 	Char core.CharacterizeConfig
+	// Fault, when non-nil, arms the plan on the evaluation cluster: the
+	// cell measures the configuration under failure, against the
+	// healthy characterization (share it across scenarios by setting
+	// Fingerprint to the healthy cell's name).
+	Fault *fault.Plan
 }
 
 func (c Config) fingerprint() string {
@@ -174,7 +180,16 @@ func (e *Engine) Evaluate(cfg Config, app AppSpec) (*core.Evaluation, error) {
 			ent.err = err
 			return
 		}
-		ent.ev, ent.err = core.Evaluate(cfg.Build(), app.New(), ch)
+		c := cfg.Build()
+		if cfg.Fault != nil && !cfg.Fault.Empty() {
+			if _, err := fault.Apply(c, *cfg.Fault); err != nil {
+				ent.err = err
+				return
+			}
+			ent.ev, ent.err = core.EvaluateScenario(c, app.New(), ch, cfg.Fault.Name)
+			return
+		}
+		ent.ev, ent.err = core.Evaluate(c, app.New(), ch)
 	})
 	if hit {
 		e.nEvalHit.Add(1)

@@ -38,6 +38,7 @@ const (
 	LevelBlock                 // device organizations (raid.Array)
 	LevelDevice                // physical disks (device.Disk)
 	LevelNetwork               // interconnect and NICs (netsim)
+	LevelFault                 // fault-injection plane (internal/fault)
 )
 
 func (l Level) String() string {
@@ -56,6 +57,8 @@ func (l Level) String() string {
 		return "device"
 	case LevelNetwork:
 		return "network"
+	case LevelFault:
+		return "fault"
 	}
 	return fmt.Sprintf("Level(%d)", int(l))
 }
@@ -66,7 +69,7 @@ func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
 // UnmarshalText parses a level name.
 func (l *Level) UnmarshalText(b []byte) error {
 	for _, cand := range []Level{LevelLibrary, LevelGlobalFS, LevelLocalFS,
-		LevelCache, LevelBlock, LevelDevice, LevelNetwork} {
+		LevelCache, LevelBlock, LevelDevice, LevelNetwork, LevelFault} {
 		if cand.String() == string(b) {
 			*l = cand
 			return nil
