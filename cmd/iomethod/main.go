@@ -7,7 +7,7 @@
 //
 //	iomethod [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
 //	         [-app btio|madbench] [-procs N] [-subtype full|simple]
-//	         [-filetype unique|shared] [-quick] [-fault scenario]
+//	         [-filetype unique|shared] [-quick] [-fault scenario] [-spans]
 //
 // With -fault, the application is evaluated twice — healthy and under
 // the named fault scenario — and the used-% tables are reported side
@@ -45,6 +45,7 @@ func main() {
 	loadChar := flag.String("load-char", "", "reuse a characterization from this JSON file (skips phase 1 system side)")
 	metrics := flag.String("metrics", "", "write the telemetry report (per-level rates, per-phase component snapshots) to this JSON file")
 	faultName := flag.String("fault", "", "also evaluate under a fault scenario: "+strings.Join(fault.BuiltinNames(), ", "))
+	spans := flag.Bool("spans", false, "print the span-based path report (per-level time attribution cross-checked against the used-% verdict)")
 	flag.Parse()
 
 	org, err := parseOrg(*orgName)
@@ -160,9 +161,15 @@ func main() {
 	ev := rep.Evaluation
 	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
 	fmt.Println(core.FormatEvaluation(ev))
+	if *spans {
+		fmt.Println(core.FormatPathReport(ev.PathReport()))
+	}
 	if rep.Degraded != nil {
 		fmt.Printf("== Phase 3 (degraded): evaluation under fault scenario %q ==\n", rep.Scenario)
 		fmt.Println(core.FormatEvaluation(rep.Degraded))
+		if *spans {
+			fmt.Println(core.FormatPathReport(rep.Degraded.PathReport()))
+		}
 		fmt.Println("Healthy vs degraded:")
 		fmt.Println(core.FormatUsedComparison(ev.Used(), rep.Degraded.Used()))
 	}

@@ -17,6 +17,7 @@ import (
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/stats"
 )
@@ -73,8 +74,9 @@ func main() {
 		Modes:      modes,
 		RandomOps:  4096,
 		BetweenRuns: func(p *sim.Proc) {
-			c.IOCache.DropCaches(p)
-			c.Nodes[0].NFS.DropCaches(p)
+			m := ioreq.Meta(p)
+			c.IOCache.DropCaches(m)
+			c.Nodes[0].NFS.DropCaches(m)
 		},
 	})
 	if err != nil {

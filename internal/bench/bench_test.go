@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ioeval/internal/cluster"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -20,7 +21,7 @@ func TestIOzoneLocalFSSweep(t *testing.T) {
 		BlockSizes: []int64{64 * kb, mb, 16 * mb},
 		Modes:      []Mode{SeqWrite, SeqRead},
 		BetweenRuns: func(p *sim.Proc) {
-			c.IOCache.DropCaches(p)
+			c.IOCache.DropCaches(ioreq.Meta(p))
 		},
 	}
 	results, err := RunIOzone(c.Eng, c.ServerFS, cfg)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -43,8 +44,11 @@ func RunBonnie(eng *sim.Engine, fsi fs.Interface, cfg BonnieConfig) (BonnieResul
 	var runErr error
 	eng.Spawn("bonnie", func(p *sim.Proc) {
 		const chunk = 1 << 20
+		wr := ioreq.Writer(p).SetPattern(ioreq.ModeSequential, chunk)
+		rd := ioreq.Reader(p).SetPattern(ioreq.ModeSequential, chunk)
+		mt := ioreq.Meta(p)
 		path := cfg.Dir + "/big"
-		h, err := fsi.Open(p, path, fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc)
+		h, err := fsi.Open(mt, path, fs.ORead|fs.OWrite|fs.OCreate|fs.OTrunc)
 		if err != nil {
 			runErr = err
 			return
@@ -58,15 +62,15 @@ func RunBonnie(eng *sim.Engine, fsi fs.Interface, cfg BonnieConfig) (BonnieResul
 
 		d := timeIt(func() {
 			for off := int64(0); off < cfg.FileSize; off += chunk {
-				h.WriteAt(p, off, min64(chunk, cfg.FileSize-off))
+				h.WriteAt(wr, off, min64(chunk, cfg.FileSize-off))
 			}
-			h.Sync(p)
+			h.Sync(wr)
 		})
 		res.BlockWrite = float64(cfg.FileSize) / d
 
 		d = timeIt(func() {
 			for off := int64(0); off < cfg.FileSize; off += chunk {
-				h.ReadAt(p, off, min64(chunk, cfg.FileSize-off))
+				h.ReadAt(rd, off, min64(chunk, cfg.FileSize-off))
 			}
 		})
 		res.BlockRead = float64(cfg.FileSize) / d
@@ -75,13 +79,13 @@ func RunBonnie(eng *sim.Engine, fsi fs.Interface, cfg BonnieConfig) (BonnieResul
 		d = timeIt(func() {
 			for off := int64(0); off < cfg.FileSize; off += chunk {
 				n := min64(chunk, cfg.FileSize-off)
-				h.ReadAt(p, off, n)
-				h.WriteAt(p, off, n)
+				h.ReadAt(rd, off, n)
+				h.WriteAt(wr, off, n)
 			}
-			h.Sync(p)
+			h.Sync(wr)
 		})
 		res.Rewrite = float64(cfg.FileSize) / d
-		h.Close(p)
+		h.Close(mt)
 
 		names := make([]string, cfg.MetaFiles)
 		for i := range names {
@@ -89,19 +93,19 @@ func RunBonnie(eng *sim.Engine, fsi fs.Interface, cfg BonnieConfig) (BonnieResul
 		}
 		d = timeIt(func() {
 			for _, name := range names {
-				hh, err := fsi.Open(p, name, fs.OWrite|fs.OCreate)
+				hh, err := fsi.Open(mt, name, fs.OWrite|fs.OCreate)
 				if err != nil {
 					runErr = err
 					return
 				}
-				hh.Close(p)
+				hh.Close(mt)
 			}
 		})
 		res.CreatesPerS = float64(cfg.MetaFiles) / d
 
 		d = timeIt(func() {
 			for _, name := range names {
-				if _, err := fsi.Stat(p, name); err != nil {
+				if _, err := fsi.Stat(mt, name); err != nil {
 					runErr = err
 					return
 				}
@@ -111,7 +115,7 @@ func RunBonnie(eng *sim.Engine, fsi fs.Interface, cfg BonnieConfig) (BonnieResul
 
 		d = timeIt(func() {
 			for _, name := range names {
-				if err := fsi.Remove(p, name); err != nil {
+				if err := fsi.Remove(mt, name); err != nil {
 					runErr = err
 					return
 				}

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -54,6 +55,17 @@ func (m Mode) IsSequential() bool { return m == SeqWrite || m == SeqRead }
 // IsStrided reports whether the mode uses a constant non-unit stride
 // (IOzone -j: the access touches every other block).
 func (m Mode) IsStrided() bool { return m == StrideWrite || m == StrideRead }
+
+// access maps the IOzone mode onto the request-context pattern.
+func (m Mode) access() ioreq.Mode {
+	switch {
+	case m.IsSequential():
+		return ioreq.ModeSequential
+	case m.IsStrided():
+		return ioreq.ModeStrided
+	}
+	return ioreq.ModeRandom
+}
 
 // IOzoneConfig parameterizes a sweep. The paper's rule: FileSize is
 // twice the node's RAM so the page cache cannot satisfy the run, and
@@ -168,20 +180,22 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 	if mode == SeqWrite {
 		flags |= fs.OTrunc
 	}
-	h, err := fsi.Open(p, cfg.Path, flags)
+	mt := ioreq.Meta(p)
+	h, err := fsi.Open(mt, cfg.Path, flags)
 	if err != nil {
 		return IOzoneResult{}, err
 	}
-	defer h.Close(p)
+	defer h.Close(mt)
 
 	// Reads and random modes need the file populated; write it
 	// untimed if the previous mode has not already.
 	if mode != SeqWrite && h.Size() < cfg.FileSize {
+		fill := ioreq.Writer(p).SetPattern(ioreq.ModeSequential, 8<<20)
 		for off := h.Size(); off < cfg.FileSize; off += 8 << 20 {
 			n := min64(8<<20, cfg.FileSize-off)
-			h.WriteAt(p, off, n)
+			h.WriteAt(fill, off, n)
 		}
-		h.Sync(p)
+		h.Sync(fill)
 		if cfg.BetweenRuns != nil {
 			cfg.BetweenRuns(p) // cold cache for the timed pass
 		}
@@ -212,6 +226,11 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 	// per-operation costs are charged identically to a syscall loop,
 	// but the simulation stays event-efficient for large sweeps.
 	const batch = 64
+	op := ioreq.OpRead
+	if mode.IsWrite() {
+		op = ioreq.OpWrite
+	}
+	r := ioreq.New(p, op).SetPattern(mode.access(), bs)
 	t0 := cfg.now(p)
 	var moved int64
 	for i := 0; i < len(offsets); i += batch {
@@ -224,13 +243,13 @@ func iozoneOnce(p *sim.Proc, fsi fs.Interface, cfg IOzoneConfig, mode Mode, bs i
 			vecs = append(vecs, fs.IOVec{Off: off, Len: bs})
 		}
 		if mode.IsWrite() {
-			moved += h.WriteVec(p, vecs)
+			moved += h.WriteVec(r, vecs)
 		} else {
-			moved += h.ReadVec(p, vecs)
+			moved += h.ReadVec(r, vecs)
 		}
 	}
 	if mode.IsWrite() {
-		h.Sync(p) // IOzone -e: include fsync in the timing
+		h.Sync(r) // IOzone -e: include fsync in the timing
 	}
 	elapsed := sim.Duration(cfg.now(p) - t0)
 

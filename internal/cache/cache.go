@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -172,7 +173,7 @@ func (c *Cache) touch(pg *page) { c.lru.MoveToFront(pg.elem) }
 
 // insert adds a page, evicting as needed. Returns the page.
 // Eviction of a dirty page synchronously writes it to the device.
-func (c *Cache) insert(p *sim.Proc, idx int64, dirty bool) *page {
+func (c *Cache) insert(r *ioreq.Request, idx int64, dirty bool) *page {
 	if pg, ok := c.pages[idx]; ok {
 		if dirty && !pg.dirty {
 			pg.dirty = true
@@ -182,7 +183,7 @@ func (c *Cache) insert(p *sim.Proc, idx int64, dirty bool) *page {
 		return pg
 	}
 	for int64(len(c.pages)) >= c.maxPages() {
-		c.evictLRU(p)
+		c.evictLRU(r)
 	}
 	// evictLRU may have slept (dirty write-back), letting another
 	// process insert this very page meanwhile — re-check before
@@ -204,7 +205,7 @@ func (c *Cache) insert(p *sim.Proc, idx int64, dirty bool) *page {
 	return pg
 }
 
-func (c *Cache) evictLRU(p *sim.Proc) {
+func (c *Cache) evictLRU(r *ioreq.Request) {
 	back := c.lru.Back()
 	if back == nil {
 		panic("cache: eviction with empty LRU")
@@ -234,7 +235,7 @@ func (c *Cache) evictLRU(p *sim.Proc) {
 				break
 			}
 		}
-		c.writeOut(p, idxs)
+		c.writeOut(r, idxs)
 	}
 	// Always unlink the popped element (Remove is a no-op if a
 	// concurrent eviction already did); only drop the map entry when
@@ -251,7 +252,7 @@ func (c *Cache) evictLRU(p *sim.Proc) {
 // PG_writeback flag: a concurrent flusher that runs while this one is
 // blocked in the device must not write the same pages again. Pages
 // re-dirtied during the flight simply get written by a later flush.
-func (c *Cache) writeOut(p *sim.Proc, idxs []int64) {
+func (c *Cache) writeOut(r *ioreq.Request, idxs []int64) {
 	claimed := idxs[:0]
 	for _, idx := range idxs {
 		if pg, ok := c.pages[idx]; ok && pg.dirty {
@@ -273,7 +274,7 @@ func (c *Cache) writeOut(p *sim.Proc, idxs []int64) {
 		if off+n > c.under.Capacity() {
 			n = c.under.Capacity() - off
 		}
-		c.under.WriteAt(p, off, n)
+		c.under.WriteAt(r, off, n)
 		c.Stats.WriteBackBytes += n
 		c.rec.Add("writeback_bytes", n)
 	}
@@ -298,10 +299,13 @@ func (c *Cache) pageRange(off, n int64) (int64, int64) {
 // ReadAt implements device.BlockDev. Missing page runs are fetched
 // from the underlying device (with read-ahead when the run is large
 // enough to look sequential); resident pages cost memory-copy time.
-func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
+func (c *Cache) ReadAt(r *ioreq.Request, off, n int64) {
 	if n == 0 {
 		return
 	}
+	r.Push(telemetry.LevelCache, "cache:"+c.params.Name)
+	defer r.Pop()
+	p := r.Proc()
 	c.Stats.ReadOps++
 	c.rec.Enter()
 	start0 := p.Now()
@@ -333,8 +337,8 @@ func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
 	}
 
 	var missBytes int64
-	for _, r := range runs {
-		start, end := r[0], r[1]
+	for _, mr := range runs {
+		start, end := mr[0], mr[1]
 		// Read-ahead: extend the last run if it reaches the end of the
 		// request and the request continues a sequential stream.
 		extra := int64(0)
@@ -353,9 +357,9 @@ func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
 		// Mark pages resident before the device wait so a concurrent
 		// reader does not double-fetch (models per-page I/O locking).
 		for idx := start; idx < end+extra; idx++ {
-			c.insert(p, idx, false)
+			c.insert(r, idx, false)
 		}
-		c.under.ReadAt(p, readOff, readN)
+		c.under.ReadAt(r, readOff, readN)
 		missBytes += (end - start) * ps
 		c.Stats.ReadAheadBytes += extra * ps
 	}
@@ -369,10 +373,13 @@ func (c *Cache) ReadAt(p *sim.Proc, off, n int64) {
 }
 
 // WriteAt implements device.BlockDev.
-func (c *Cache) WriteAt(p *sim.Proc, off, n int64) {
+func (c *Cache) WriteAt(r *ioreq.Request, off, n int64) {
 	if n == 0 {
 		return
 	}
+	r.Push(telemetry.LevelCache, "cache:"+c.params.Name)
+	defer r.Pop()
+	p := r.Proc()
 	c.Stats.WriteOps++
 	c.rec.Enter()
 	start0 := p.Now()
@@ -385,22 +392,22 @@ func (c *Cache) WriteAt(p *sim.Proc, off, n int64) {
 
 	if c.params.Policy == WriteThrough {
 		for idx := first; idx < last; idx++ {
-			c.insert(p, idx, false)
+			c.insert(r, idx, false)
 		}
-		c.under.WriteAt(p, off, n)
+		c.under.WriteAt(r, off, n)
 		return
 	}
 
 	for idx := first; idx < last; idx++ {
-		c.insert(p, idx, true)
+		c.insert(r, idx, true)
 	}
-	c.throttle(p)
+	c.throttle(r)
 }
 
 // throttle enforces the dirty ratio: when dirty pages exceed the
 // threshold the writer synchronously cleans down to half the
 // threshold, exactly like a task stuck in balance_dirty_pages.
-func (c *Cache) throttle(p *sim.Proc) {
+func (c *Cache) throttle(r *ioreq.Request) {
 	limit := int64(float64(c.maxPages()) * c.params.DirtyRatio)
 	if limit < 1 {
 		limit = 1
@@ -419,15 +426,17 @@ func (c *Cache) throttle(p *sim.Proc) {
 			victims = append(victims, pg.idx)
 		}
 	}
-	c.writeOut(p, victims)
+	c.writeOut(r, victims)
 }
 
 // Flush implements device.BlockDev: write out every dirty page and
 // flush the device below.
-func (c *Cache) Flush(p *sim.Proc) {
-	start0 := p.Now()
+func (c *Cache) Flush(r *ioreq.Request) {
+	r.Push(telemetry.LevelCache, "cache:"+c.params.Name)
+	defer r.Pop()
+	start0 := r.Now()
 	defer func() {
-		c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start0))
+		c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(r.Now()-start0))
 	}()
 	var dirtyIdx []int64
 	for idx, pg := range c.pages {
@@ -438,16 +447,16 @@ func (c *Cache) Flush(p *sim.Proc) {
 	// Write back in page order: map iteration order must not reach
 	// the device-level event sequence (run-to-run determinism).
 	sort.Slice(dirtyIdx, func(i, j int) bool { return dirtyIdx[i] < dirtyIdx[j] })
-	c.writeOut(p, dirtyIdx)
-	c.under.Flush(p)
+	c.writeOut(r, dirtyIdx)
+	c.under.Flush(r)
 }
 
 // DropCaches discards all clean pages and write-locks nothing — the
 // simulation analogue of `echo 3 > /proc/sys/vm/drop_caches`, used to
 // get cold-cache characterization runs. Dirty pages are written out
 // first.
-func (c *Cache) DropCaches(p *sim.Proc) {
-	c.Flush(p)
+func (c *Cache) DropCaches(r *ioreq.Request) {
+	c.Flush(r)
 	c.pages = map[int64]*page{}
 	c.lru = list.New()
 	c.nDirty = 0
@@ -473,13 +482,13 @@ func (c *Cache) InvalidateRange(off, n int64) {
 // Populate inserts the range as clean resident pages without device
 // traffic or copy charges — the caller already moved the data (e.g.
 // an NFS client caching its own just-written bytes).
-func (c *Cache) Populate(p *sim.Proc, off, n int64) {
+func (c *Cache) Populate(r *ioreq.Request, off, n int64) {
 	if n <= 0 {
 		return
 	}
 	first, last := c.pageRange(off, n)
 	for idx := first; idx < last; idx++ {
-		c.insert(p, idx, false)
+		c.insert(r, idx, false)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -37,10 +38,10 @@ func TestReadHitMuchFasterThanMiss(t *testing.T) {
 	var tMiss, tHit sim.Duration
 	e.Spawn("r", func(p *sim.Proc) {
 		t0 := p.Now()
-		c.ReadAt(p, 0, 16*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 16*mb)
 		tMiss = sim.Duration(p.Now() - t0)
 		t0 = p.Now()
-		c.ReadAt(p, 0, 16*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 16*mb)
 		tHit = sim.Duration(p.Now() - t0)
 	})
 	e.Run()
@@ -56,14 +57,14 @@ func TestWriteBackDefersDeviceWrite(t *testing.T) {
 	e := sim.NewEngine()
 	c, d := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
-		c.WriteAt(p, 0, 8*mb) // well under dirty threshold
+		c.WriteAt(ioreq.Writer(p), 0, 8*mb) // well under dirty threshold
 		if d.Stats.BytesWritten != 0 {
 			t.Errorf("device saw %d bytes before flush", d.Stats.BytesWritten)
 		}
 		if c.DirtyBytes() != 8*mb {
 			t.Errorf("dirty = %d, want 8MB", c.DirtyBytes())
 		}
-		c.Flush(p)
+		c.Flush(ioreq.Meta(p))
 		if d.Stats.BytesWritten != 8*mb {
 			t.Errorf("device wrote %d after flush, want 8MB", d.Stats.BytesWritten)
 		}
@@ -80,7 +81,7 @@ func TestWriteThroughHitsDeviceImmediately(t *testing.T) {
 	params.Policy = WriteThrough
 	c := New(e, params, d)
 	run(e, func(p *sim.Proc) {
-		c.WriteAt(p, 0, 4*mb)
+		c.WriteAt(ioreq.Writer(p), 0, 4*mb)
 		if d.Stats.BytesWritten != 4*mb {
 			t.Errorf("write-through device bytes = %d, want 4MB", d.Stats.BytesWritten)
 		}
@@ -95,7 +96,7 @@ func TestDirtyThrottling(t *testing.T) {
 	c, d := newStack(e, 64*mb) // threshold = 12.8 MB dirty
 	run(e, func(p *sim.Proc) {
 		for off := int64(0); off < 40*mb; off += mb {
-			c.WriteAt(p, off, mb)
+			c.WriteAt(ioreq.Writer(p), off, mb)
 		}
 	})
 	if c.Stats.ThrottleStalls == 0 {
@@ -114,11 +115,11 @@ func TestLRUEviction(t *testing.T) {
 	e := sim.NewEngine()
 	c, _ := newStack(e, 16*mb)
 	run(e, func(p *sim.Proc) {
-		c.ReadAt(p, 0, 8*mb) // A
-		c.ReadAt(p, gb, 16*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb) // A
+		c.ReadAt(ioreq.Reader(p), gb, 16*mb)
 		// A must have been evicted; re-reading it must miss.
 		miss0 := c.Stats.MissBytes
-		c.ReadAt(p, 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb)
 		if c.Stats.MissBytes-miss0 < 8*mb {
 			t.Errorf("expected full miss on evicted range, got %d new miss bytes",
 				c.Stats.MissBytes-miss0)
@@ -140,7 +141,7 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 	c := New(e, params, d)
 	run(e, func(p *sim.Proc) {
 		for off := int64(0); off < 64*mb; off += mb {
-			c.WriteAt(p, off, mb)
+			c.WriteAt(ioreq.Writer(p), off, mb)
 		}
 	})
 	if c.Stats.DirtyEvict == 0 {
@@ -159,7 +160,7 @@ func TestFileLargerThanCacheThrashes(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		for pass := 0; pass < 2; pass++ {
 			for off := int64(0); off < 256*mb; off += 4 * mb {
-				c.ReadAt(p, off, 4*mb)
+				c.ReadAt(ioreq.Reader(p), off, 4*mb)
 			}
 		}
 	})
@@ -175,7 +176,7 @@ func TestFileSmallerThanCacheGetsCached(t *testing.T) {
 	run(e, func(p *sim.Proc) {
 		for pass := 0; pass < 4; pass++ {
 			for off := int64(0); off < 64*mb; off += 4 * mb {
-				c.ReadAt(p, off, 4*mb)
+				c.ReadAt(ioreq.Reader(p), off, 4*mb)
 			}
 		}
 	})
@@ -189,11 +190,11 @@ func TestReadAhead(t *testing.T) {
 	e := sim.NewEngine()
 	c, _ := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
-		c.ReadAt(p, 0, 64*kb)
+		c.ReadAt(ioreq.Reader(p), 0, 64*kb)
 		// The next sequential read should be partially or fully absorbed
 		// by the read-ahead window (512 KB).
 		m0 := c.Stats.MissBytes
-		c.ReadAt(p, 64*kb, 256*kb)
+		c.ReadAt(ioreq.Reader(p), 64*kb, 256*kb)
 		if c.Stats.MissBytes != m0 {
 			t.Errorf("sequential read after read-ahead missed %d bytes", c.Stats.MissBytes-m0)
 		}
@@ -207,14 +208,14 @@ func TestDropCaches(t *testing.T) {
 	e := sim.NewEngine()
 	c, _ := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
-		c.WriteAt(p, 0, 8*mb)
-		c.ReadAt(p, 16*mb, 8*mb)
-		c.DropCaches(p)
+		c.WriteAt(ioreq.Writer(p), 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 16*mb, 8*mb)
+		c.DropCaches(ioreq.Meta(p))
 		if c.CachedBytes() != 0 || c.DirtyBytes() != 0 {
 			t.Errorf("DropCaches left %d cached / %d dirty", c.CachedBytes(), c.DirtyBytes())
 		}
 		m0 := c.Stats.MissBytes
-		c.ReadAt(p, 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb)
 		if c.Stats.MissBytes-m0 < 8*mb {
 			t.Error("read after DropCaches did not miss")
 		}
@@ -250,9 +251,9 @@ func TestQuickFlushCleansEverything(t *testing.T) {
 		ok := true
 		e.Spawn("w", func(p *sim.Proc) {
 			for _, o := range offs {
-				c.WriteAt(p, int64(o)*4*kb, 4*kb)
+				c.WriteAt(ioreq.Writer(p), int64(o)*4*kb, 4*kb)
 			}
-			c.Flush(p)
+			c.Flush(ioreq.Meta(p))
 			if c.DirtyBytes() != 0 {
 				ok = false
 			}
@@ -276,9 +277,9 @@ func TestQuickResidencyBound(t *testing.T) {
 			for _, op := range ops {
 				off := int64(op%2048) * 16 * kb
 				if op&1 == 0 {
-					c.ReadAt(p, off, 16*kb)
+					c.ReadAt(ioreq.Reader(p), off, 16*kb)
 				} else {
-					c.WriteAt(p, off, 16*kb)
+					c.WriteAt(ioreq.Writer(p), off, 16*kb)
 				}
 				if c.CachedBytes() > 8*mb+c.Params().ReadAhead {
 					ok = false
@@ -297,9 +298,9 @@ func BenchmarkCachedRead(b *testing.B) {
 	e := sim.NewEngine()
 	c, _ := newStack(e, 256*mb)
 	e.Spawn("r", func(p *sim.Proc) {
-		c.ReadAt(p, 0, 64*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 64*mb)
 		for i := 0; i < b.N; i++ {
-			c.ReadAt(p, int64(i%16)*4*mb, 4*mb)
+			c.ReadAt(ioreq.Reader(p), int64(i%16)*4*mb, 4*mb)
 		}
 	})
 	b.ResetTimer()

@@ -4,7 +4,8 @@ import (
 	"sort"
 
 	"ioeval/internal/device"
-	"ioeval/internal/sim"
+	"ioeval/internal/ioreq"
+	"ioeval/internal/telemetry"
 )
 
 var _ device.RunDev = (*Cache)(nil)
@@ -14,10 +15,12 @@ var _ device.RunDev = (*Cache)(nil)
 // and issues merged device reads for the missing pages. This keeps
 // the event count proportional to the number of *distinct missing
 // page runs*, not the number of application operations.
-func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
+func (c *Cache) ReadRuns(r *ioreq.Request, runs []device.Run) {
 	if len(runs) == 0 {
 		return
 	}
+	r.Push(telemetry.LevelCache, "cache:"+c.params.Name)
+	defer r.Pop()
 	c.Stats.ReadOps += int64(len(runs))
 	ps := c.params.PageSize
 
@@ -37,12 +40,12 @@ func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
 	// and miss bytes per run against resident pages.
 	var missing []int64
 	var totalBytes int64
-	for _, r := range runs {
-		if r.Len == 0 {
+	for _, run := range runs {
+		if run.Len == 0 {
 			continue
 		}
-		totalBytes += r.Len
-		first, last := c.pageRange(r.Off, r.Len)
+		totalBytes += run.Len
+		first, last := c.pageRange(run.Off, run.Len)
 		allHit := true
 		for idx := first; idx < last; idx++ {
 			if pg, ok := c.pages[idx]; ok {
@@ -53,9 +56,9 @@ func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
 			}
 		}
 		if allHit {
-			c.Stats.HitBytes += r.Len
+			c.Stats.HitBytes += run.Len
 		} else {
-			c.Stats.MissBytes += r.Len
+			c.Stats.MissBytes += run.Len
 		}
 	}
 
@@ -72,7 +75,7 @@ func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
 		// then fetch merged runs from the device.
 		var devRuns []device.Run
 		for _, idx := range uniq {
-			c.insert(p, idx, false)
+			c.insert(r, idx, false)
 			off := idx * ps
 			n := ps
 			if off+n > c.under.Capacity() {
@@ -80,7 +83,7 @@ func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
 			}
 			devRuns = append(devRuns, device.Run{Off: off, Len: n})
 		}
-		devRuns = device.MergeRuns(devRuns)
+		devRuns = ioreq.Merge(devRuns)
 		// Streaming batches extend the final fetch by the read-ahead
 		// window.
 		if streaming && c.params.ReadAhead > 0 && len(devRuns) > 0 {
@@ -93,45 +96,47 @@ func (c *Cache) ReadRuns(p *sim.Proc, runs []device.Run) {
 				if extend > 0 {
 					first, last := c.pageRange(lastDev.Off+lastDev.Len, extend)
 					for idx := first; idx < last; idx++ {
-						c.insert(p, idx, false)
+						c.insert(r, idx, false)
 					}
 					lastDev.Len += extend
 					c.Stats.ReadAheadBytes += extend
 				}
 			}
 		}
-		device.ReadRuns(p, c.under, devRuns)
+		device.ReadRuns(r, c.under, devRuns)
 	}
-	c.memCopy(p, totalBytes)
+	c.memCopy(r.Proc(), totalBytes)
 }
 
 // WriteRuns implements device.RunDev: pages covering all runs are
 // dirtied (or written through) with a single memory-copy charge and a
 // single throttle check.
-func (c *Cache) WriteRuns(p *sim.Proc, runs []device.Run) {
+func (c *Cache) WriteRuns(r *ioreq.Request, runs []device.Run) {
 	if len(runs) == 0 {
 		return
 	}
+	r.Push(telemetry.LevelCache, "cache:"+c.params.Name)
+	defer r.Pop()
 	c.Stats.WriteOps += int64(len(runs))
 	var totalBytes int64
 	dirty := c.params.Policy == WriteBack
-	for _, r := range runs {
-		if r.Len == 0 {
+	for _, run := range runs {
+		if run.Len == 0 {
 			continue
 		}
-		totalBytes += r.Len
-		first, last := c.pageRange(r.Off, r.Len)
+		totalBytes += run.Len
+		first, last := c.pageRange(run.Off, run.Len)
 		for idx := first; idx < last; idx++ {
-			c.insert(p, idx, dirty)
+			c.insert(r, idx, dirty)
 		}
 	}
-	c.memCopy(p, totalBytes)
+	c.memCopy(r.Proc(), totalBytes)
 	if dirty {
-		c.throttle(p)
+		c.throttle(r)
 		return
 	}
 	// Write-through: push the merged runs to the device.
 	sorted := append([]device.Run{}, runs...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Off < sorted[j].Off })
-	device.WriteRuns(p, c.under, device.MergeRuns(sorted))
+	ioreq.Sort(sorted)
+	device.WriteRuns(r, c.under, ioreq.Merge(sorted))
 }

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -13,9 +14,9 @@ func TestReadRunsHitMissAccounting(t *testing.T) {
 	c, d := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
 		// Populate the first 8 MB, then read a vec half inside.
-		c.ReadAt(p, 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb)
 		m0, h0 := c.Stats.MissBytes, c.Stats.HitBytes
-		c.ReadRuns(p, []device.Run{
+		c.ReadRuns(ioreq.Reader(p), []device.Run{
 			{Off: 0, Len: 4 * mb},        // hit
 			{Off: 64 * mb, Len: 4 * mb},  // miss
 			{Off: 128 * mb, Len: 2 * mb}, // miss
@@ -42,7 +43,7 @@ func TestReadRunsMergesAdjacentMisses(t *testing.T) {
 		for i := int64(0); i < 64; i++ {
 			runs = append(runs, device.Run{Off: i * 64 * kb, Len: 64 * kb})
 		}
-		c.ReadRuns(p, runs)
+		c.ReadRuns(ioreq.Reader(p), runs)
 	})
 	if d.Stats.Reads > 2 {
 		t.Fatalf("device ops = %d, want merged (≤2)", d.Stats.Reads)
@@ -57,7 +58,7 @@ func TestWriteRunsDirtiesAndThrottles(t *testing.T) {
 		for i := int64(0); i < 512; i++ {
 			runs = append(runs, device.Run{Off: i * 64 * kb, Len: 64 * kb}) // 32 MB
 		}
-		c.WriteRuns(p, runs)
+		c.WriteRuns(ioreq.Writer(p), runs)
 	})
 	if c.Stats.WriteOps != 512 {
 		t.Fatalf("write ops = %d", c.Stats.WriteOps)
@@ -76,7 +77,7 @@ func TestWriteRunsWriteThrough(t *testing.T) {
 	params.Policy = WriteThrough
 	c := New(e, params, d)
 	run(e, func(p *sim.Proc) {
-		c.WriteRuns(p, []device.Run{{Off: 0, Len: mb}, {Off: mb, Len: mb}})
+		c.WriteRuns(ioreq.Writer(p), []device.Run{{Off: 0, Len: mb}, {Off: mb, Len: mb}})
 	})
 	if d.Stats.BytesWritten != 2*mb {
 		t.Fatalf("write-through device bytes = %d", d.Stats.BytesWritten)
@@ -90,20 +91,20 @@ func TestInvalidateRange(t *testing.T) {
 	e := sim.NewEngine()
 	c, _ := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
-		c.WriteAt(p, 0, 8*mb)
-		c.ReadAt(p, 16*mb, 8*mb)
+		c.WriteAt(ioreq.Writer(p), 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 16*mb, 8*mb)
 		c.InvalidateRange(0, 8*mb) // drops the dirty range too
 		if c.DirtyBytes() != 0 {
 			t.Errorf("dirty after invalidate = %d", c.DirtyBytes())
 		}
 		m0 := c.Stats.MissBytes
-		c.ReadAt(p, 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb)
 		if c.Stats.MissBytes-m0 < 8*mb {
 			t.Error("invalidated range still resident")
 		}
 		// The other range must still be cached.
 		m0 = c.Stats.MissBytes
-		c.ReadAt(p, 16*mb, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 16*mb, 8*mb)
 		if c.Stats.MissBytes != m0 {
 			t.Error("untouched range was invalidated")
 		}
@@ -115,12 +116,12 @@ func TestPopulate(t *testing.T) {
 	c, d := newStack(e, 256*mb)
 	run(e, func(p *sim.Proc) {
 		before := p.Now()
-		c.Populate(p, 0, 8*mb)
+		c.Populate(ioreq.Writer(p), 0, 8*mb)
 		if p.Now() != before {
 			t.Error("populate must be free of simulated time")
 		}
 		m0 := c.Stats.MissBytes
-		c.ReadAt(p, 0, 8*mb)
+		c.ReadAt(ioreq.Reader(p), 0, 8*mb)
 		if c.Stats.MissBytes != m0 {
 			t.Error("populated range missed")
 		}
@@ -162,7 +163,7 @@ func TestQuickReadRunsAccounting(t *testing.T) {
 			if len(runs) == 0 {
 				return
 			}
-			c.ReadRuns(p, runs)
+			c.ReadRuns(ioreq.Reader(p), runs)
 			if c.Stats.HitBytes+c.Stats.MissBytes != total {
 				ok = false
 			}

@@ -14,6 +14,7 @@ import (
 	"ioeval/internal/cache"
 	"ioeval/internal/device"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/mpiio"
 	"ioeval/internal/netsim"
 	"ioeval/internal/nfs"
@@ -118,6 +119,11 @@ type Cluster struct {
 	// into worlds built via NewWorld.
 	Telemetry *telemetry.Registry
 	LibRec    *telemetry.Recorder
+
+	// Path aggregates per-request spans across every world built on
+	// this cluster: the span-side counterpart of the Telemetry
+	// registry's used-% inputs.
+	Path *ioreq.Collector
 }
 
 // New builds a cluster from cfg on a fresh engine.
@@ -132,7 +138,7 @@ func New(cfg Config) *Cluster {
 		cfg.StripeUnit = 256 << 10
 	}
 	e := sim.NewEngine()
-	c := &Cluster{Eng: e, Cfg: cfg, IONodeName: "ionode", Telemetry: telemetry.NewRegistry()}
+	c := &Cluster{Eng: e, Cfg: cfg, IONodeName: "ionode", Telemetry: telemetry.NewRegistry(), Path: ioreq.NewCollector()}
 	c.LibRec = telemetry.NewRecorder(e, "mpiio", telemetry.LevelLibrary, int64(cfg.ComputeNodes))
 	c.Telemetry.Register(c.LibRec)
 
@@ -256,8 +262,13 @@ func New(cfg Config) *Cluster {
 func (c *Cluster) NewWorld(rankNodes []string) *mpiio.World {
 	w := mpiio.NewWorld(c.Eng, c.CommNet, rankNodes)
 	w.SetTelemetry(c.LibRec)
+	w.SetCollector(c.Path)
 	return w
 }
+
+// PathProfile returns the span aggregation over every request issued
+// through worlds built on this cluster since the last reset.
+func (c *Cluster) PathProfile() telemetry.PathProfile { return c.Path.Profile() }
 
 // TelemetryReport snapshots every registered probe into an exportable
 // report.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -48,14 +49,14 @@ func TestClusterAShape(t *testing.T) {
 func TestEndToEndNFSTrafficFlows(t *testing.T) {
 	c := Aohyper(RAID5)
 	c.Eng.Spawn("app", func(p *sim.Proc) {
-		h, err := c.Nodes[0].NFS.Open(p, "/x", fs.OWrite|fs.OCreate)
+		h, err := c.Nodes[0].NFS.Open(ioreq.Meta(p), "/x", fs.OWrite|fs.OCreate)
 		if err != nil {
 			t.Errorf("open: %v", err)
 			return
 		}
-		h.WriteAt(p, 0, 64*mb)
-		h.Close(p)
-		c.Nodes[0].NFS.Sync(p)
+		h.WriteAt(ioreq.Writer(p), 0, 64*mb)
+		h.Close(ioreq.Meta(p))
+		c.Nodes[0].NFS.Sync(ioreq.Meta(p))
 	})
 	c.Eng.Run()
 	// Data must have reached the member disks, with parity overhead.
@@ -71,10 +72,10 @@ func TestEndToEndNFSTrafficFlows(t *testing.T) {
 func TestLocalAndNFSAreIndependentPaths(t *testing.T) {
 	c := Aohyper(JBOD)
 	c.Eng.Spawn("app", func(p *sim.Proc) {
-		h, _ := c.Nodes[2].Local.Open(p, "/local", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 8*mb)
-		h.Sync(p)
-		h.Close(p)
+		h, _ := c.Nodes[2].Local.Open(ioreq.Meta(p), "/local", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 8*mb)
+		h.Sync(ioreq.Meta(p))
+		h.Close(ioreq.Meta(p))
 	})
 	c.Eng.Run()
 	if c.Nodes[2].Disk.Stats.BytesWritten < 8*mb {
@@ -144,14 +145,14 @@ func TestPFSDeployment(t *testing.T) {
 	}
 	mounts := c.PFSMounts(8)
 	c.Eng.Spawn("app", func(p *sim.Proc) {
-		h, err := mounts[0].Open(p, "/x", fs.OWrite|fs.OCreate)
+		h, err := mounts[0].Open(ioreq.Meta(p), "/x", fs.OWrite|fs.OCreate)
 		if err != nil {
 			t.Errorf("open: %v", err)
 			return
 		}
-		h.WriteAt(p, 0, 16*mb)
-		h.Sync(p)
-		h.Close(p)
+		h.WriteAt(ioreq.Writer(p), 0, 16*mb)
+		h.Sync(ioreq.Meta(p))
+		h.Close(ioreq.Meta(p))
 	})
 	c.Eng.Run()
 	var total int64
@@ -188,9 +189,9 @@ func TestConcurrentNodesShareServer(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		i := i
 		c.Eng.Spawn(fmt.Sprintf("w%d", i), func(p *sim.Proc) {
-			h, _ := c.Nodes[i].NFS.Open(p, fmt.Sprintf("/f%d", i), fs.OWrite|fs.OCreate)
-			h.WriteAt(p, 0, 32*mb)
-			h.Close(p)
+			h, _ := c.Nodes[i].NFS.Open(ioreq.Meta(p), fmt.Sprintf("/f%d", i), fs.OWrite|fs.OCreate)
+			h.WriteAt(ioreq.Writer(p), 0, 32*mb)
+			h.Close(ioreq.Meta(p))
 		})
 	}
 	end := c.Eng.Run()

@@ -5,15 +5,16 @@ import (
 	"testing"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
 func TestUtilizationReport(t *testing.T) {
 	c := Aohyper(RAID5)
 	c.Eng.Spawn("app", func(p *sim.Proc) {
-		h, _ := c.Nodes[0].NFS.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 32*mb)
-		h.Close(p)
+		h, _ := c.Nodes[0].NFS.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 32*mb)
+		h.Close(ioreq.Meta(p))
 	})
 	c.Eng.Run()
 	out := c.UtilizationReport()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -37,14 +38,14 @@ func TestClusterTelemetryRegistry(t *testing.T) {
 		t.Fatal("no probes registered")
 	}
 	c.Eng.Spawn("app", func(p *sim.Proc) {
-		h, _ := c.Nodes[0].NFS.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 32*mb)
-		h.Sync(p) // push through the server's page cache to the disks
-		h.Close(p)
+		h, _ := c.Nodes[0].NFS.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 32*mb)
+		h.Sync(ioreq.Meta(p)) // push through the server's page cache to the disks
+		h.Close(ioreq.Meta(p))
 
-		ph, _ := c.Nodes[0].PFS.Open(p, "/pf", fs.OWrite|fs.OCreate)
-		ph.WriteAt(p, 0, 8*mb)
-		ph.Close(p)
+		ph, _ := c.Nodes[0].PFS.Open(ioreq.Meta(p), "/pf", fs.OWrite|fs.OCreate)
+		ph.WriteAt(ioreq.Writer(p), 0, 8*mb)
+		ph.Close(ioreq.Meta(p))
 	})
 	c.Eng.Run()
 

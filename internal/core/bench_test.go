@@ -1,0 +1,60 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchChar characterizes the golden cluster once per process: the
+// benchmarks measure evaluation (the span-instrumented request path),
+// not the characterization phase.
+var (
+	benchCharOnce sync.Once
+	benchChar     *Characterization
+)
+
+func benchCharacterization(b *testing.B) *Characterization {
+	b.Helper()
+	benchCharOnce.Do(func() {
+		ch, err := Characterize(goldenCluster, goldenCharCfg())
+		if err != nil {
+			panic(err)
+		}
+		benchChar = ch
+	})
+	return benchChar
+}
+
+// BenchmarkEvaluateBTIO times the BT-IO acceptance run with the span
+// plane active: every request pushes and pops a span per layer and
+// the collector aggregates the path profile. Compared against
+// BenchmarkEvaluateBTIONoSpans in the CI bench artifact
+// (BENCH_<sha>.json), the pair bounds the span overhead — the budget
+// is <5% wall-clock over a collectorless run.
+func BenchmarkEvaluateBTIO(b *testing.B) {
+	ch := benchCharacterization(b)
+	app := quickGoldenBTIO()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := goldenCluster()
+		if _, err := Evaluate(c, app, ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateBTIONoSpans is the baseline: the same run with the
+// cluster's collector detached, so every request is collectorless and
+// popped spans are discarded (the nil-collector fast path).
+func BenchmarkEvaluateBTIONoSpans(b *testing.B) {
+	ch := benchCharacterization(b)
+	app := quickGoldenBTIO()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := goldenCluster()
+		c.Path = nil
+		if _, err := Evaluate(c, app, ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"ioeval/internal/cluster"
 	"ioeval/internal/fault"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/trace"
 )
@@ -137,7 +138,7 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 			fileSize = 2 * c.Cfg.IONodeRAM
 		}
 		localFS := fs.Interface(c.ServerFS)
-		drop := func(p *sim.Proc) { c.IOCache.DropCaches(p) }
+		drop := func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) }
 		if cfg.UsePFS {
 			localFS = c.PFS.Servers()[0].Backend()
 			drop = nil // PFS server backends sit on plain node caches
@@ -166,8 +167,9 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 		}
 		globalFS := fs.Interface(c.Nodes[0].NFS)
 		drop := func(p *sim.Proc) {
-			c.IOCache.DropCaches(p)
-			c.Nodes[0].NFS.DropCaches(p)
+			m := ioreq.Meta(p)
+			c.IOCache.DropCaches(m)
+			c.Nodes[0].NFS.DropCaches(m)
 		}
 		if cfg.UsePFS {
 			globalFS = c.Nodes[0].PFS
@@ -192,7 +194,7 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 		c := build()
 		var drop func(p *sim.Proc)
 		if !cfg.UsePFS {
-			drop = func(p *sim.Proc) { c.IOCache.DropCaches(p) }
+			drop = func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) }
 		}
 		results, err := bench.RunIOR(c, bench.IORConfig{
 			Path:         "/char-lib.tmp",

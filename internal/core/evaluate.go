@@ -186,6 +186,10 @@ type Evaluation struct {
 	// interval deltas (nil on clusters without a telemetry registry).
 	components []telemetry.Snapshot
 	phases     []telemetry.PhaseInterval
+
+	// Span plane: the per-request path profile aggregated over the run
+	// (zero value on clusters without a span collector).
+	path telemetry.PathProfile
 }
 
 // AppName returns the evaluated application's name.
@@ -220,6 +224,10 @@ func (e *Evaluation) Components() []telemetry.Snapshot { return e.components }
 // Phases returns the per-phase telemetry interval deltas.
 func (e *Evaluation) Phases() []telemetry.PhaseInterval { return e.phases }
 
+// PathProfile returns the run's span aggregation (per-request
+// time-in-level attribution).
+func (e *Evaluation) PathProfile() telemetry.PathProfile { return e.path }
+
 // Evaluate runs the application on the cluster under a tracer and
 // produces the evaluation against the configuration's
 // characterization. The cluster must be fresh (unused engine).
@@ -243,6 +251,9 @@ func EvaluateScenario(c *cluster.Cluster, app workload.App, ch *Characterization
 		ps = trace.NewPhaseSnapshotter(c.Eng, c.Telemetry, tr, 0)
 		runTracer = ps
 	}
+	// The span collector may hold characterization-phase spans; the
+	// evaluation profile covers exactly this run.
+	c.Path.Reset()
 	res, err := app.Run(c, runTracer)
 	if err != nil {
 		return nil, fmt.Errorf("evaluate %s: %w", app.Name(), err)
@@ -262,6 +273,7 @@ func EvaluateScenario(c *cluster.Cluster, app workload.App, ch *Characterization
 		ev.phases = ps.Finish()
 		ev.components = c.Telemetry.Snapshots()
 	}
+	ev.path = c.Path.Profile()
 	return ev, nil
 }
 

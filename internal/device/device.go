@@ -7,6 +7,7 @@ package device
 import (
 	"fmt"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -15,13 +16,13 @@ import (
 // lengths are in bytes; implementations charge simulated time to the
 // calling process.
 type BlockDev interface {
-	// ReadAt reads n bytes starting at off, blocking p for the
-	// simulated service time.
-	ReadAt(p *sim.Proc, off, n int64)
+	// ReadAt reads n bytes starting at off, blocking the request's
+	// process for the simulated service time.
+	ReadAt(r *ioreq.Request, off, n int64)
 	// WriteAt writes n bytes starting at off.
-	WriteAt(p *sim.Proc, off, n int64)
+	WriteAt(r *ioreq.Request, off, n int64)
 	// Flush forces any volatile write cache to stable storage.
-	Flush(p *sim.Proc)
+	Flush(r *ioreq.Request)
 	// Capacity returns the device size in bytes.
 	Capacity() int64
 	// Name returns a diagnostic name.
@@ -194,8 +195,12 @@ func (d *Disk) checkRange(off, n int64, op string) {
 }
 
 // ReadAt services a read of n bytes at off.
-func (d *Disk) ReadAt(p *sim.Proc, off, n int64) {
+func (d *Disk) ReadAt(r *ioreq.Request, off, n int64) {
 	d.checkRange(off, n, "read")
+	r.Push(telemetry.LevelDevice, "disk:"+d.params.Name)
+	defer r.Pop()
+	d.tagSlow(r)
+	p := r.Proc()
 	d.rec.Enter()
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
@@ -207,8 +212,12 @@ func (d *Disk) ReadAt(p *sim.Proc, off, n int64) {
 }
 
 // WriteAt services a write of n bytes at off.
-func (d *Disk) WriteAt(p *sim.Proc, off, n int64) {
+func (d *Disk) WriteAt(r *ioreq.Request, off, n int64) {
 	d.checkRange(off, n, "write")
+	r.Push(telemetry.LevelDevice, "disk:"+d.params.Name)
+	defer r.Pop()
+	d.tagSlow(r)
+	p := r.Proc()
 	d.rec.Enter()
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
@@ -248,10 +257,14 @@ func (d *Disk) afterOp(off, n int64, seq, write bool, t sim.Duration) {
 // with a cache — the cache only hides positioning), so a flush costs a
 // single rotational latency as a barrier while the final destage
 // completes.
-func (d *Disk) Flush(p *sim.Proc) {
+func (d *Disk) Flush(r *ioreq.Request) {
 	if d.dirty == 0 {
 		return
 	}
+	r.Push(telemetry.LevelDevice, "disk:"+d.params.Name)
+	defer r.Pop()
+	d.tagSlow(r)
+	p := r.Proc()
 	d.rec.Enter()
 	defer d.rec.Exit()
 	d.res.Acquire(p, 1)
@@ -261,6 +274,13 @@ func (d *Disk) Flush(p *sim.Proc) {
 	d.rec.Observe(telemetry.ClassMeta, 1, 0, t)
 	d.dirty = 0
 	d.res.Release(1)
+}
+
+// tagSlow marks requests serviced while the drive is degraded.
+func (d *Disk) tagSlow(r *ioreq.Request) {
+	if d.slow > 1 {
+		r.Tag("slow_disk")
+	}
 }
 
 // Utilization reports the fraction of simulated time the disk was busy.

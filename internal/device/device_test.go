@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -25,7 +26,7 @@ func TestSequentialReadRate(t *testing.T) {
 	e.Spawn("reader", func(p *sim.Proc) {
 		t0 := p.Now()
 		for off := int64(0); off < total; off += 4 * mb {
-			d.ReadAt(p, off, 4*mb)
+			d.ReadAt(ioreq.Reader(p), off, 4*mb)
 		}
 		elapsed = sim.Duration(p.Now() - t0)
 	})
@@ -47,7 +48,7 @@ func TestRandomSmallReadsAreSlow(t *testing.T) {
 		t0 := p.Now()
 		for i := 0; i < n; i++ {
 			// Jump around the disk: 1 GB stride defeats sequential detection.
-			d.ReadAt(p, int64(i)*gb, 4*kb)
+			d.ReadAt(ioreq.Reader(p), int64(i)*gb, 4*kb)
 		}
 		elapsed = sim.Duration(p.Now() - t0)
 	})
@@ -76,12 +77,12 @@ func TestWriteCacheSkipsRotationalLatency(t *testing.T) {
 	e.Spawn("w", func(p *sim.Proc) {
 		t0 := p.Now()
 		for i := 0; i < 50; i++ {
-			d.WriteAt(p, int64(i)*gb, 4*kb)
+			d.WriteAt(ioreq.Writer(p), int64(i)*gb, 4*kb)
 		}
 		tWC = sim.Duration(p.Now() - t0)
 		t0 = p.Now()
 		for i := 0; i < 50; i++ {
-			dn.WriteAt(p, int64(i)*gb, 4*kb)
+			dn.WriteAt(ioreq.Writer(p), int64(i)*gb, 4*kb)
 		}
 		tNC = sim.Duration(p.Now() - t0)
 	})
@@ -100,10 +101,10 @@ func TestSequentialDetection(t *testing.T) {
 	e := sim.NewEngine()
 	d := newTestDisk(e)
 	e.Spawn("r", func(p *sim.Proc) {
-		d.ReadAt(p, 0, mb)      // random (first op)
-		d.ReadAt(p, mb, mb)     // sequential
-		d.ReadAt(p, 2*mb, mb)   // sequential
-		d.ReadAt(p, 100*mb, mb) // random
+		d.ReadAt(ioreq.Reader(p), 0, mb)      // random (first op)
+		d.ReadAt(ioreq.Reader(p), mb, mb)     // sequential
+		d.ReadAt(ioreq.Reader(p), 2*mb, mb)   // sequential
+		d.ReadAt(ioreq.Reader(p), 100*mb, mb) // random
 	})
 	e.Run()
 	if d.Stats.SeqHits != 2 || d.Stats.RandomOps != 2 {
@@ -120,7 +121,7 @@ func TestOutOfRangePanics(t *testing.T) {
 				t.Error("expected panic for out-of-range read")
 			}
 		}()
-		d.ReadAt(p, d.Capacity(), 1)
+		d.ReadAt(ioreq.Reader(p), d.Capacity(), 1)
 	})
 	e.Run()
 }
@@ -132,7 +133,7 @@ func TestDiskSerializesConcurrentRequests(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		i := i
 		e.Spawn("r", func(p *sim.Proc) {
-			d.ReadAt(p, int64(i)*10*gb, 100*mb)
+			d.ReadAt(ioreq.Reader(p), int64(i)*10*gb, 100*mb)
 			ends = append(ends, p.Now())
 		})
 	}
@@ -149,12 +150,12 @@ func TestFlushClearsDirty(t *testing.T) {
 	e := sim.NewEngine()
 	d := newTestDisk(e)
 	e.Spawn("w", func(p *sim.Proc) {
-		d.WriteAt(p, 0, mb)
+		d.WriteAt(ioreq.Writer(p), 0, mb)
 		if d.dirty != mb {
 			t.Errorf("dirty = %d after write, want %d", d.dirty, mb)
 		}
 		before := p.Now()
-		d.Flush(p)
+		d.Flush(ioreq.Meta(p))
 		if d.dirty != 0 {
 			t.Errorf("dirty = %d after flush, want 0", d.dirty)
 		}
@@ -162,7 +163,7 @@ func TestFlushClearsDirty(t *testing.T) {
 			t.Error("flush with dirty data took zero time")
 		}
 		before = p.Now()
-		d.Flush(p) // idempotent, free when clean
+		d.Flush(ioreq.Meta(p)) // idempotent, free when clean
 		if p.Now() != before {
 			t.Error("flush with clean cache should be free")
 		}
@@ -174,8 +175,8 @@ func TestStatsAccounting(t *testing.T) {
 	e := sim.NewEngine()
 	d := newTestDisk(e)
 	e.Spawn("rw", func(p *sim.Proc) {
-		d.ReadAt(p, 0, 2*mb)
-		d.WriteAt(p, 10*gb, 3*mb)
+		d.ReadAt(ioreq.Reader(p), 0, 2*mb)
+		d.WriteAt(ioreq.Writer(p), 10*gb, 3*mb)
 	})
 	e.Run()
 	if d.Stats.Reads != 1 || d.Stats.BytesRead != 2*mb {
@@ -202,7 +203,7 @@ func TestQuickTransferTimeMonotone(t *testing.T) {
 			var dur sim.Duration
 			e.Spawn("r", func(p *sim.Proc) {
 				t0 := p.Now()
-				d.ReadAt(p, 0, n)
+				d.ReadAt(ioreq.Reader(p), 0, n)
 				dur = sim.Duration(p.Now() - t0)
 			})
 			e.Run()
@@ -222,7 +223,7 @@ func BenchmarkDiskOp(b *testing.B) {
 	d := newTestDisk(e)
 	e.Spawn("r", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
-			d.ReadAt(p, int64(i%1000)*mb, 64*kb)
+			d.ReadAt(ioreq.Reader(p), int64(i%1000)*mb, 64*kb)
 		}
 	})
 	b.ResetTimer()

@@ -1,11 +1,11 @@
 package device
 
-import "ioeval/internal/sim"
+import "ioeval/internal/ioreq"
 
-// Run is one extent of a vectored request.
-type Run struct {
-	Off, Len int64
-}
+// Run is one extent of a vectored request. It is an alias of
+// ioreq.Vec: the same extents flow through every layer without
+// conversion.
+type Run = ioreq.Vec
 
 // RunDev is an optional extension of BlockDev for devices that can
 // service many extents in a single call. The page cache implements it
@@ -14,50 +14,34 @@ type Run struct {
 // back to per-run calls via ReadRuns/WriteRuns helpers.
 type RunDev interface {
 	BlockDev
-	ReadRuns(p *sim.Proc, runs []Run)
-	WriteRuns(p *sim.Proc, runs []Run)
+	ReadRuns(r *ioreq.Request, runs []Run)
+	WriteRuns(r *ioreq.Request, runs []Run)
 }
 
 // ReadRuns reads every run from dev, using the vectored fast path when
 // available.
-func ReadRuns(p *sim.Proc, dev BlockDev, runs []Run) {
+func ReadRuns(r *ioreq.Request, dev BlockDev, runs []Run) {
 	if rd, ok := dev.(RunDev); ok {
-		rd.ReadRuns(p, runs)
+		rd.ReadRuns(r, runs)
 		return
 	}
-	for _, r := range runs {
-		dev.ReadAt(p, r.Off, r.Len)
+	for _, run := range runs {
+		dev.ReadAt(r, run.Off, run.Len)
 	}
 }
 
 // WriteRuns writes every run to dev, using the vectored fast path when
 // available.
-func WriteRuns(p *sim.Proc, dev BlockDev, runs []Run) {
+func WriteRuns(r *ioreq.Request, dev BlockDev, runs []Run) {
 	if rd, ok := dev.(RunDev); ok {
-		rd.WriteRuns(p, runs)
+		rd.WriteRuns(r, runs)
 		return
 	}
-	for _, r := range runs {
-		dev.WriteAt(p, r.Off, r.Len)
+	for _, run := range runs {
+		dev.WriteAt(r, run.Off, run.Len)
 	}
 }
 
 // MergeRuns coalesces sorted runs that overlap or touch, returning a
 // minimal cover. Input must be sorted by Off.
-func MergeRuns(runs []Run) []Run {
-	if len(runs) <= 1 {
-		return runs
-	}
-	out := runs[:1]
-	for _, r := range runs[1:] {
-		last := &out[len(out)-1]
-		if r.Off <= last.Off+last.Len {
-			if end := r.Off + r.Len; end > last.Off+last.Len {
-				last.Len = end - last.Off
-			}
-		} else {
-			out = append(out, r)
-		}
-	}
-	return out
-}
+func MergeRuns(runs []Run) []Run { return ioreq.Merge(runs) }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -42,8 +43,8 @@ func TestReadWriteRunsFallback(t *testing.T) {
 	e := sim.NewEngine()
 	d := newTestDisk(e)
 	e.Spawn("t", func(p *sim.Proc) {
-		ReadRuns(p, d, []Run{{Off: 0, Len: mb}, {Off: 10 * mb, Len: mb}})
-		WriteRuns(p, d, []Run{{Off: 0, Len: mb}})
+		ReadRuns(ioreq.Reader(p), d, []Run{{Off: 0, Len: mb}, {Off: 10 * mb, Len: mb}})
+		WriteRuns(ioreq.Writer(p), d, []Run{{Off: 0, Len: mb}})
 	})
 	e.Run()
 	if d.Stats.Reads != 2 || d.Stats.Writes != 1 {
@@ -63,7 +64,7 @@ func TestDiskAccessors(t *testing.T) {
 	if d.Params().RPM != 7200 {
 		t.Fatalf("params = %+v", d.Params())
 	}
-	e.Spawn("t", func(p *sim.Proc) { d.ReadAt(p, 0, mb) })
+	e.Spawn("t", func(p *sim.Proc) { d.ReadAt(ioreq.Reader(p), 0, mb) })
 	e.Run()
 	if u := d.Utilization(); u <= 0 || u > 1 {
 		t.Fatalf("utilization = %f", u)

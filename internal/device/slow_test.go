@@ -3,6 +3,7 @@ package device
 import (
 	"testing"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -20,7 +21,7 @@ func timeIO(e *sim.Engine, fn func(*sim.Proc)) sim.Duration {
 func TestSlowFactorScalesServiceTime(t *testing.T) {
 	healthyEng := sim.NewEngine()
 	healthy := newTestDisk(healthyEng)
-	base := timeIO(healthyEng, func(p *sim.Proc) { healthy.ReadAt(p, 0, 64*mb) })
+	base := timeIO(healthyEng, func(p *sim.Proc) { healthy.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	slowEng := sim.NewEngine()
 	slow := newTestDisk(slowEng)
@@ -28,7 +29,7 @@ func TestSlowFactorScalesServiceTime(t *testing.T) {
 	if got := slow.SlowFactor(); got != 4 {
 		t.Fatalf("SlowFactor = %v", got)
 	}
-	degraded := timeIO(slowEng, func(p *sim.Proc) { slow.ReadAt(p, 0, 64*mb) })
+	degraded := timeIO(slowEng, func(p *sim.Proc) { slow.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	ratio := float64(degraded) / float64(base)
 	if ratio < 3.9 || ratio > 4.1 {

@@ -5,6 +5,7 @@ import (
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/mpiio"
 	"ioeval/internal/raid"
 	"ioeval/internal/sim"
@@ -105,7 +106,7 @@ func AblationStripeUnit() Artifact {
 		results, err := bench.RunIOzone(c.Eng, c.ServerFS, bench.IOzoneConfig{
 			FileSize: 2 << 30, BlockSizes: []int64{4 * mb},
 			Modes:       []bench.Mode{bench.SeqWrite, bench.SeqRead},
-			BetweenRuns: func(p *sim.Proc) { c.IOCache.DropCaches(p) },
+			BetweenRuns: func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) },
 		})
 		if err != nil {
 			panic(err)
@@ -216,7 +217,7 @@ func AblationDegradedRAID5() Artifact {
 		results, err := bench.RunIOzone(c.Eng, c.ServerFS, bench.IOzoneConfig{
 			FileSize: 2 << 30, BlockSizes: []int64{4 * mb},
 			Modes:       []bench.Mode{bench.SeqWrite, bench.SeqRead},
-			BetweenRuns: func(p *sim.Proc) { c.IOCache.DropCaches(p) },
+			BetweenRuns: func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) },
 		})
 		if err != nil {
 			panic(err)

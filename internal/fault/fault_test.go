@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ioeval/internal/cluster"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/raid"
 	"ioeval/internal/sim"
 )
@@ -203,7 +204,7 @@ func flapRunElapsed(t *testing.T, seed int64) sim.Duration {
 	c.Eng.Spawn("sender", func(p *sim.Proc) {
 		t0 := p.Now()
 		for i := 0; i < 6; i++ {
-			c.DataNet.Send(p, src, c.IONodeName, 16*(1<<20))
+			c.DataNet.Send(ioreq.Meta(p), src, c.IONodeName, 16*(1<<20))
 		}
 		d = sim.Duration(p.Now() - t0)
 	})

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -28,10 +29,10 @@ const (
 // OCreate, or stating/removing a missing path.
 var ErrNotExist = errors.New("fs: file does not exist")
 
-// IOVec describes one operation of a vectored request.
-type IOVec struct {
-	Off, Len int64
-}
+// IOVec describes one operation of a vectored request. It is an alias
+// of ioreq.Vec, so vectors pass between the library, filesystem and
+// device layers without conversion.
+type IOVec = ioreq.Vec
 
 // FileInfo is the result of Stat.
 type FileInfo struct {
@@ -43,22 +44,22 @@ type FileInfo struct {
 type Handle interface {
 	// ReadAt reads n bytes at off, returning the bytes actually read
 	// (short at EOF).
-	ReadAt(p *sim.Proc, off, n int64) int64
+	ReadAt(r *ioreq.Request, off, n int64) int64
 	// WriteAt writes n bytes at off, extending the file as needed.
-	WriteAt(p *sim.Proc, off, n int64) int64
+	WriteAt(r *ioreq.Request, off, n int64) int64
 	// ReadVec and WriteVec perform many operations in one call,
 	// charging per-operation costs for each element. They exist so
 	// workloads with millions of small strided accesses (NAS BT-IO
 	// "simple") can be simulated without one simulation event per call.
-	ReadVec(p *sim.Proc, vecs []IOVec) int64
-	WriteVec(p *sim.Proc, vecs []IOVec) int64
+	ReadVec(r *ioreq.Request, vecs []IOVec) int64
+	WriteVec(r *ioreq.Request, vecs []IOVec) int64
 	// Size returns the current file size.
 	Size() int64
 	// Sync flushes the file's dirty data to stable storage.
-	Sync(p *sim.Proc)
+	Sync(r *ioreq.Request)
 	// Close releases the handle (and for NFS flushes, per
 	// close-to-open semantics).
-	Close(p *sim.Proc)
+	Close(r *ioreq.Request)
 	// Path returns the file's path.
 	Path() string
 }
@@ -66,11 +67,11 @@ type Handle interface {
 // Interface is a mounted filesystem as seen by applications: the local
 // Mount and the NFS client both implement it.
 type Interface interface {
-	Open(p *sim.Proc, path string, flags int) (Handle, error)
-	Remove(p *sim.Proc, path string) error
-	Stat(p *sim.Proc, path string) (FileInfo, error)
+	Open(r *ioreq.Request, path string, flags int) (Handle, error)
+	Remove(r *ioreq.Request, path string) error
+	Stat(r *ioreq.Request, path string) (FileInfo, error)
 	// Sync flushes all dirty data on this filesystem.
-	Sync(p *sim.Proc)
+	Sync(r *ioreq.Request)
 	Name() string
 }
 
@@ -161,6 +162,11 @@ func (m *Mount) Device() device.BlockDev { return m.dev }
 // Params returns the mount configuration.
 func (m *Mount) Params() MountParams { return m.params }
 
+// span opens the mount's local-fs span on r.
+func (m *Mount) span(r *ioreq.Request) {
+	r.Push(telemetry.LevelLocalFS, "fs:"+m.params.Name)
+}
+
 // allocate returns a physical extent of exactly n bytes (block
 // aligned), preferring the free list (first fit) then the bump
 // allocator.
@@ -189,7 +195,10 @@ func (m *Mount) allocate(n int64) extent {
 }
 
 // Open implements Interface.
-func (m *Mount) Open(p *sim.Proc, path string, flags int) (Handle, error) {
+func (m *Mount) Open(r *ioreq.Request, path string, flags int) (Handle, error) {
+	m.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	start := p.Now()
 	defer func() { m.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start)) }()
 	p.Sleep(m.params.MetaOpCost)
@@ -219,9 +228,11 @@ func (m *Mount) truncate(f *fileData) {
 }
 
 // Remove implements Interface.
-func (m *Mount) Remove(p *sim.Proc, path string) error {
+func (m *Mount) Remove(r *ioreq.Request, path string) error {
+	m.span(r)
+	defer r.Pop()
 	m.rec.Observe(telemetry.ClassMeta, 1, 0, m.params.MetaOpCost)
-	p.Sleep(m.params.MetaOpCost)
+	r.Proc().Sleep(m.params.MetaOpCost)
 	f, ok := m.files[path]
 	if !ok {
 		return fmt.Errorf("remove %q: %w", path, ErrNotExist)
@@ -233,9 +244,11 @@ func (m *Mount) Remove(p *sim.Proc, path string) error {
 }
 
 // Stat implements Interface.
-func (m *Mount) Stat(p *sim.Proc, path string) (FileInfo, error) {
+func (m *Mount) Stat(r *ioreq.Request, path string) (FileInfo, error) {
+	m.span(r)
+	defer r.Pop()
 	m.rec.Observe(telemetry.ClassMeta, 1, 0, m.params.MetaOpCost)
-	p.Sleep(m.params.MetaOpCost)
+	r.Proc().Sleep(m.params.MetaOpCost)
 	m.Stats.Stats++
 	f, ok := m.files[path]
 	if !ok {
@@ -246,7 +259,11 @@ func (m *Mount) Stat(p *sim.Proc, path string) (FileInfo, error) {
 
 // Sync implements Interface: flush the whole device stack (page cache
 // write-back plus device cache).
-func (m *Mount) Sync(p *sim.Proc) { m.dev.Flush(p) }
+func (m *Mount) Sync(r *ioreq.Request) {
+	m.span(r)
+	defer r.Pop()
+	m.dev.Flush(r)
+}
 
 // ensureAllocated grows f's extents to cover [0, size).
 func (m *Mount) ensureAllocated(f *fileData, size int64) {
@@ -272,9 +289,9 @@ func (m *Mount) ensureAllocated(f *fileData, size int64) {
 	f.extents = append(f.extents, e)
 }
 
-// mapRange converts a logical range into physical (off, len) pieces.
-func (f *fileData) mapRange(off, n int64) [][2]int64 {
-	var out [][2]int64
+// mapRange converts a logical range into physical extents.
+func (f *fileData) mapRange(off, n int64) []ioreq.Vec {
+	var out []ioreq.Vec
 	i := sort.Search(len(f.extents), func(i int) bool {
 		e := f.extents[i]
 		return e.logOff+e.length > off
@@ -289,7 +306,7 @@ func (f *fileData) mapRange(off, n int64) [][2]int64 {
 		if take > n {
 			take = n
 		}
-		out = append(out, [2]int64{e.physOff + within, take})
+		out = append(out, ioreq.Vec{Off: e.physOff + within, Len: take})
 		off += take
 		n -= take
 	}
@@ -314,50 +331,54 @@ func (h *localHandle) check() {
 	}
 }
 
-func (h *localHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
+func (h *localHandle) ReadAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
+	h.m.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	h.m.rec.Enter()
+	defer h.m.rec.Exit()
 	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost)
 	h.m.Stats.ReadCalls++
 	if off >= h.f.size {
 		h.m.rec.Observe(telemetry.ClassRead, 1, 0, sim.Duration(p.Now()-start))
-		h.m.rec.Exit()
 		return 0
 	}
 	if off+n > h.f.size {
 		n = h.f.size - off
 	}
 	for _, piece := range h.f.mapRange(off, n) {
-		h.m.dev.ReadAt(p, piece[0], piece[1])
+		h.m.dev.ReadAt(r, piece.Off, piece.Len)
 	}
 	h.m.Stats.BytesRead += n
 	h.m.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(p.Now()-start))
-	h.m.rec.Exit()
 	return n
 }
 
-func (h *localHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
+func (h *localHandle) WriteAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
+	h.m.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	h.m.rec.Enter()
+	defer h.m.rec.Exit()
 	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost)
 	h.m.Stats.WriteCalls++
 	if n == 0 {
 		h.m.rec.Observe(telemetry.ClassWrite, 1, 0, sim.Duration(p.Now()-start))
-		h.m.rec.Exit()
 		return 0
 	}
 	h.m.ensureAllocated(h.f, off+n)
 	for _, piece := range h.f.mapRange(off, n) {
-		h.m.dev.WriteAt(p, piece[0], piece[1])
+		h.m.dev.WriteAt(r, piece.Off, piece.Len)
 	}
 	if off+n > h.f.size {
 		h.f.size = off + n
 	}
 	h.m.Stats.BytesWritten += n
 	h.m.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(p.Now()-start))
-	h.m.rec.Exit()
 	return n
 }
 
@@ -365,14 +386,17 @@ func (h *localHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 // is charged in a single sleep and the data traffic goes to the device
 // as one vectored request, so simulating millions of small strided
 // operations stays tractable.
-func (h *localHandle) ReadVec(p *sim.Proc, vecs []IOVec) int64 {
+func (h *localHandle) ReadVec(r *ioreq.Request, vecs []IOVec) int64 {
 	h.check()
 	if len(vecs) == 0 {
 		return 0
 	}
+	h.m.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	h.m.rec.Enter()
-	start := p.Now()
 	defer h.m.rec.Exit()
+	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost * sim.Duration(len(vecs)))
 	h.m.Stats.ReadCalls += int64(len(vecs))
 	var runs []device.Run
@@ -385,26 +409,27 @@ func (h *localHandle) ReadVec(p *sim.Proc, vecs []IOVec) int64 {
 		if off+n > h.f.size {
 			n = h.f.size - off
 		}
-		for _, piece := range h.f.mapRange(off, n) {
-			runs = append(runs, device.Run{Off: piece[0], Len: piece[1]})
-		}
+		runs = append(runs, h.f.mapRange(off, n)...)
 		total += n
 	}
-	device.ReadRuns(p, h.m.dev, runs)
+	device.ReadRuns(r, h.m.dev, runs)
 	h.m.Stats.BytesRead += total
 	h.m.rec.Observe(telemetry.ClassRead, int64(len(vecs)), total, sim.Duration(p.Now()-start))
 	return total
 }
 
 // WriteVec is the vectored counterpart of WriteAt; see ReadVec.
-func (h *localHandle) WriteVec(p *sim.Proc, vecs []IOVec) int64 {
+func (h *localHandle) WriteVec(r *ioreq.Request, vecs []IOVec) int64 {
 	h.check()
 	if len(vecs) == 0 {
 		return 0
 	}
+	h.m.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	h.m.rec.Enter()
-	start := p.Now()
 	defer h.m.rec.Exit()
+	start := p.Now()
 	p.Sleep(h.m.params.SyscallCost * sim.Duration(len(vecs)))
 	h.m.Stats.WriteCalls += int64(len(vecs))
 	maxEnd := h.f.size
@@ -420,12 +445,10 @@ func (h *localHandle) WriteVec(p *sim.Proc, vecs []IOVec) int64 {
 		if v.Len == 0 {
 			continue
 		}
-		for _, piece := range h.f.mapRange(v.Off, v.Len) {
-			runs = append(runs, device.Run{Off: piece[0], Len: piece[1]})
-		}
+		runs = append(runs, h.f.mapRange(v.Off, v.Len)...)
 		total += v.Len
 	}
-	device.WriteRuns(p, h.m.dev, runs)
+	device.WriteRuns(r, h.m.dev, runs)
 	// Monotonic update: a concurrent WriteVec extending the file
 	// further may have completed while this one slept in the device.
 	if maxEnd > h.f.size {
@@ -436,16 +459,20 @@ func (h *localHandle) WriteVec(p *sim.Proc, vecs []IOVec) int64 {
 	return total
 }
 
-func (h *localHandle) Sync(p *sim.Proc) {
+func (h *localHandle) Sync(r *ioreq.Request) {
 	h.check()
-	h.m.dev.Flush(p)
+	h.m.span(r)
+	defer r.Pop()
+	h.m.dev.Flush(r)
 }
 
-func (h *localHandle) Close(p *sim.Proc) {
+func (h *localHandle) Close(r *ioreq.Request) {
 	h.check()
+	h.m.span(r)
+	defer r.Pop()
 	h.closed = true
 	h.f.opens--
 	h.m.Stats.Closes++
 	h.m.rec.Observe(telemetry.ClassMeta, 1, 0, h.m.params.MetaOpCost/2)
-	p.Sleep(h.m.params.MetaOpCost / 2)
+	r.Proc().Sleep(h.m.params.MetaOpCost / 2)
 }

@@ -7,6 +7,7 @@ import (
 
 	"ioeval/internal/cache"
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -40,20 +41,20 @@ func TestCreateWriteReadBack(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 256*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, err := m.Open(p, "/data/file", OWrite|OCreate)
+		h, err := m.Open(ioreq.Meta(p), "/data/file", OWrite|OCreate)
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
-		if n := h.WriteAt(p, 0, 4*mb); n != 4*mb {
+		if n := h.WriteAt(ioreq.Writer(p), 0, 4*mb); n != 4*mb {
 			t.Fatalf("wrote %d", n)
 		}
 		if h.Size() != 4*mb {
 			t.Fatalf("size = %d", h.Size())
 		}
-		if n := h.ReadAt(p, 0, 4*mb); n != 4*mb {
+		if n := h.ReadAt(ioreq.Reader(p), 0, 4*mb); n != 4*mb {
 			t.Fatalf("read %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 }
 
@@ -61,7 +62,7 @@ func TestOpenMissingWithoutCreate(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		_, err := m.Open(p, "/nope", ORead)
+		_, err := m.Open(ioreq.Meta(p), "/nope", ORead)
 		if !errors.Is(err, ErrNotExist) {
 			t.Fatalf("err = %v, want ErrNotExist", err)
 		}
@@ -72,12 +73,12 @@ func TestReadShortAtEOF(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, 100*kb)
-		if n := h.ReadAt(p, 50*kb, 100*kb); n != 50*kb {
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 100*kb)
+		if n := h.ReadAt(ioreq.Reader(p), 50*kb, 100*kb); n != 50*kb {
 			t.Fatalf("short read = %d, want %d", n, 50*kb)
 		}
-		if n := h.ReadAt(p, 200*kb, kb); n != 0 {
+		if n := h.ReadAt(ioreq.Reader(p), 200*kb, kb); n != 0 {
 			t.Fatalf("read past EOF = %d, want 0", n)
 		}
 	})
@@ -87,14 +88,14 @@ func TestTruncateOnOpen(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, mb)
-		h.Close(p)
-		h2, _ := m.Open(p, "/f", OWrite|OTrunc)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, mb)
+		h.Close(ioreq.Meta(p))
+		h2, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OTrunc)
 		if h2.Size() != 0 {
 			t.Fatalf("size after O_TRUNC = %d", h2.Size())
 		}
-		h2.Close(p)
+		h2.Close(ioreq.Meta(p))
 	})
 }
 
@@ -102,16 +103,16 @@ func TestRemove(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, mb)
-		h.Close(p)
-		if err := m.Remove(p, "/f"); err != nil {
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, mb)
+		h.Close(ioreq.Meta(p))
+		if err := m.Remove(ioreq.Meta(p), "/f"); err != nil {
 			t.Fatalf("remove: %v", err)
 		}
-		if _, err := m.Stat(p, "/f"); !errors.Is(err, ErrNotExist) {
+		if _, err := m.Stat(ioreq.Meta(p), "/f"); !errors.Is(err, ErrNotExist) {
 			t.Fatalf("stat after remove: %v", err)
 		}
-		if err := m.Remove(p, "/f"); !errors.Is(err, ErrNotExist) {
+		if err := m.Remove(ioreq.Meta(p), "/f"); !errors.Is(err, ErrNotExist) {
 			t.Fatalf("double remove: %v", err)
 		}
 	})
@@ -121,14 +122,14 @@ func TestSpaceReuseAfterRemove(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newRawMount(e)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/a", OWrite|OCreate)
-		h.WriteAt(p, 0, gb)
-		h.Close(p)
+		h, _ := m.Open(ioreq.Meta(p), "/a", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, gb)
+		h.Close(ioreq.Meta(p))
 		used := m.nextFree
-		m.Remove(p, "/a")
-		h2, _ := m.Open(p, "/b", OWrite|OCreate)
-		h2.WriteAt(p, 0, gb)
-		h2.Close(p)
+		m.Remove(ioreq.Meta(p), "/a")
+		h2, _ := m.Open(ioreq.Meta(p), "/b", OWrite|OCreate)
+		h2.WriteAt(ioreq.Writer(p), 0, gb)
+		h2.Close(ioreq.Meta(p))
 		if m.nextFree != used {
 			t.Fatalf("freed space not reused: nextFree %d -> %d", used, m.nextFree)
 		}
@@ -139,10 +140,10 @@ func TestStat(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, 123*kb)
-		h.Close(p)
-		fi, err := m.Stat(p, "/f")
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 123*kb)
+		h.Close(ioreq.Meta(p))
+		fi, err := m.Stat(ioreq.Meta(p), "/f")
 		if err != nil || fi.Size != 123*kb {
 			t.Fatalf("stat = %+v, %v", fi, err)
 		}
@@ -153,11 +154,11 @@ func TestStreamingWriteIsSequentialOnDisk(t *testing.T) {
 	e := sim.NewEngine()
 	m, d := newRawMount(e)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
 		for off := int64(0); off < 64*mb; off += 4 * mb {
-			h.WriteAt(p, off, 4*mb)
+			h.WriteAt(ioreq.Writer(p), off, 4*mb)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	// The bump allocator must produce contiguous extents: all but the
 	// first device write continue a sequential run.
@@ -171,15 +172,15 @@ func TestWriteReadViaCacheFasterThanDisk(t *testing.T) {
 	m, _ := newMount(e, 256*mb)
 	var tFirst, tSecond sim.Duration
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, 32*mb)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 32*mb)
 		t0 := p.Now()
-		h.ReadAt(p, 0, 32*mb)
+		h.ReadAt(ioreq.Reader(p), 0, 32*mb)
 		tFirst = sim.Duration(p.Now() - t0)
 		t0 = p.Now()
-		h.ReadAt(p, 0, 32*mb)
+		h.ReadAt(ioreq.Reader(p), 0, 32*mb)
 		tSecond = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	// Freshly written data is in the page cache: both reads are hits
 	// and cost about the same (memory speed).
@@ -192,21 +193,21 @@ func TestVecMatchesLoopTotals(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 256*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
 		var vecs []IOVec
 		for i := int64(0); i < 100; i++ {
 			vecs = append(vecs, IOVec{Off: i * 10 * kb, Len: 2 * kb}) // strided
 		}
-		if n := h.WriteVec(p, vecs); n != 200*kb {
+		if n := h.WriteVec(ioreq.Writer(p), vecs); n != 200*kb {
 			t.Fatalf("WriteVec total = %d, want %d", n, 200*kb)
 		}
 		if h.Size() != 99*10*kb+2*kb {
 			t.Fatalf("size = %d", h.Size())
 		}
-		if n := h.ReadVec(p, vecs); n != 200*kb {
+		if n := h.ReadVec(ioreq.Reader(p), vecs); n != 200*kb {
 			t.Fatalf("ReadVec total = %d, want %d", n, 200*kb)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	if m.Stats.WriteCalls != 100 || m.Stats.ReadCalls != 100 {
 		t.Fatalf("per-op accounting: %+v", m.Stats)
@@ -218,17 +219,17 @@ func TestVecChargesPerOpCost(t *testing.T) {
 	m, _ := newMount(e, 256*mb)
 	var tVec sim.Duration
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, 16*mb)
-		h.Sync(p)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 16*mb)
+		h.Sync(ioreq.Meta(p))
 		var vecs []IOVec
 		for i := int64(0); i < 1000; i++ {
 			vecs = append(vecs, IOVec{Off: i * 16 * kb, Len: kb})
 		}
 		t0 := p.Now()
-		h.ReadVec(p, vecs)
+		h.ReadVec(ioreq.Reader(p), vecs)
 		tVec = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	// 1000 ops × 2µs syscall ⇒ at least 2 ms regardless of caching.
 	if tVec < 2*sim.Millisecond {
@@ -241,13 +242,13 @@ func TestOutOfSpacePanics(t *testing.T) {
 	d := device.NewDisk(e, device.DefaultSATA("tiny", 10*mb, 100e6))
 	m := NewMount(e, DefaultMountParams("ext4"), d)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
 		defer func() {
 			if recover() == nil {
 				t.Error("expected out-of-space panic")
 			}
 		}()
-		h.WriteAt(p, 0, 20*mb)
+		h.WriteAt(ioreq.Writer(p), 0, 20*mb)
 	})
 }
 
@@ -255,14 +256,14 @@ func TestUseAfterClosePanics(t *testing.T) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 64*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.Close(p)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.Close(ioreq.Meta(p))
 		defer func() {
 			if recover() == nil {
 				t.Error("expected use-after-close panic")
 			}
 		}()
-		h.ReadAt(p, 0, 1)
+		h.ReadAt(ioreq.Reader(p), 0, 1)
 	})
 }
 
@@ -270,16 +271,16 @@ func TestSyncFlushesToDevice(t *testing.T) {
 	e := sim.NewEngine()
 	m, d := newMount(e, 256*mb)
 	run(t, e, func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
-		h.WriteAt(p, 0, 8*mb)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 8*mb)
 		if d.Stats.BytesWritten != 0 {
 			t.Fatalf("device written %d before sync", d.Stats.BytesWritten)
 		}
-		h.Sync(p)
+		h.Sync(ioreq.Meta(p))
 		if d.Stats.BytesWritten < 8*mb {
 			t.Fatalf("device written %d after sync, want ≥8MB", d.Stats.BytesWritten)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 }
 
@@ -295,12 +296,12 @@ func TestQuickSizeInvariant(t *testing.T) {
 		m, _ := newMount(e, 64*mb)
 		ok := true
 		e.Spawn("t", func(p *sim.Proc) {
-			h, _ := m.Open(p, "/f", OWrite|OCreate)
+			h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
 			var maxEnd int64
 			for i, v := range pairs {
 				off := int64(v) * 64
 				n := int64(i%7+1) * 100
-				h.WriteAt(p, off, n)
+				h.WriteAt(ioreq.Writer(p), off, n)
 				if off+n > maxEnd {
 					maxEnd = off + n
 				}
@@ -308,10 +309,10 @@ func TestQuickSizeInvariant(t *testing.T) {
 			if h.Size() != maxEnd {
 				ok = false
 			}
-			if got := h.ReadAt(p, 0, maxEnd+999); got != maxEnd {
+			if got := h.ReadAt(ioreq.Reader(p), 0, maxEnd+999); got != maxEnd {
 				ok = false
 			}
-			h.Close(p)
+			h.Close(ioreq.Meta(p))
 		})
 		e.Run()
 		return ok
@@ -333,8 +334,8 @@ func TestQuickExtentsDisjoint(t *testing.T) {
 				if i >= 8 {
 					break
 				}
-				h, _ := m.Open(p, string(rune('a'+i)), OWrite|OCreate)
-				h.WriteAt(p, 0, int64(s)+1)
+				h, _ := m.Open(ioreq.Meta(p), string(rune('a'+i)), OWrite|OCreate)
+				h.WriteAt(ioreq.Writer(p), 0, int64(s)+1)
 				hs = append(hs, h)
 			}
 			type iv struct{ off, end int64 }
@@ -353,7 +354,7 @@ func TestQuickExtentsDisjoint(t *testing.T) {
 				}
 			}
 			for _, h := range hs {
-				h.Close(p)
+				h.Close(ioreq.Meta(p))
 			}
 		})
 		e.Run()
@@ -368,11 +369,11 @@ func BenchmarkFSWrite(b *testing.B) {
 	e := sim.NewEngine()
 	m, _ := newMount(e, 256*mb)
 	e.Spawn("w", func(p *sim.Proc) {
-		h, _ := m.Open(p, "/f", OWrite|OCreate)
+		h, _ := m.Open(ioreq.Meta(p), "/f", OWrite|OCreate)
 		for i := 0; i < b.N; i++ {
-			h.WriteAt(p, int64(i%1024)*64*kb, 64*kb)
+			h.WriteAt(ioreq.Writer(p), int64(i%1024)*64*kb, 64*kb)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	b.ResetTimer()
 	e.Run()

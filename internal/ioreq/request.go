@@ -1,0 +1,260 @@
+// Package ioreq defines the per-request context threaded through
+// every layer of the simulated I/O stack. A Request carries what the
+// bare (proc, offset, length) signatures could not: the operation
+// class, the application-level access pattern, the originating rank
+// and phase, fault tags, and — centrally — a span stack stamped on
+// the simulated clock. Each layer pushes a span on entry and pops it
+// on exit, so a completed request knows exactly how long it spent in
+// the MPI-IO library, the global filesystem, the local filesystem,
+// the page cache, the RAID organization, the disks, and the network.
+//
+// The paper's evaluation phase infers the binding I/O level
+// indirectly (measured rate ÷ characterized rate per level, the
+// used-% table); spans measure it directly. The two must agree —
+// telemetry.PathProfile, aggregated from popped spans by a Collector,
+// is the ground truth against which the used-% verdict is checked.
+package ioreq
+
+import (
+	"fmt"
+
+	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
+)
+
+// Op is the request's operation class, fixed at creation: it names
+// what the application asked for, so lower-layer work done on its
+// behalf (a read-modify-write inside RAID-5, a writeback forced by a
+// read's eviction) is attributed to the operation that caused it.
+type Op int
+
+// Request operation classes.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpMeta
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpMeta:
+		return "meta"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Class maps the op onto the telemetry operation class.
+func (o Op) Class() telemetry.OpClass {
+	switch o {
+	case OpRead:
+		return telemetry.ClassRead
+	case OpWrite:
+		return telemetry.ClassWrite
+	default:
+		return telemetry.ClassMeta
+	}
+}
+
+// Mode is the application-level access pattern stamped on the
+// request. It mirrors (but does not import) trace.AccessMode, so the
+// layer packages need no dependency on the tracing plane.
+type Mode int
+
+// Access patterns.
+const (
+	ModeUnknown Mode = iota
+	ModeSequential
+	ModeStrided
+	ModeRandom
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSequential:
+		return "sequential"
+	case ModeStrided:
+		return "strided"
+	case ModeRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// span is one open interval on a request's path. Spans form a tree:
+// a child's [start, end] nests inside its parent's. covered/coverEnd
+// incrementally accumulate the union of completed children, so the
+// parent's self time (time not inside any child) is exact even when
+// sim.Fork runs children in parallel.
+type span struct {
+	parent *span
+	level  telemetry.Level
+	comp   string
+	start  sim.Time
+	// remote marks spans opened beneath a global-filesystem span: work
+	// a file server's backend stack (local fs, cache, RAID, disks)
+	// performs on behalf of a remote request. The distinction keeps the
+	// span verdict comparable to the characterization, which measures
+	// the server-side stack as part of the network-FS level, not the
+	// compute node's local-FS level.
+	remote bool
+
+	coverEnd sim.Time     // right edge of the children union so far
+	covered  sim.Duration // total length of the children union
+}
+
+// shared is the per-request state common to every proc view.
+type shared struct {
+	op    Op
+	mode  Mode
+	block int64
+	rank  int
+	phase int
+	col   *Collector
+}
+
+// Request is a per-request context. It wraps the simulated process
+// executing the request, so layer methods take a *Request where they
+// used to take a *sim.Proc. A Request is a lightweight view: WithProc
+// creates sibling views over the same shared state for sim.Fork
+// children, giving each proc its own strictly-LIFO span stack while
+// all spans aggregate into one tree.
+type Request struct {
+	p   *sim.Proc
+	d   *shared
+	cur *span
+}
+
+// New creates a request executed by p.
+func New(p *sim.Proc, op Op) *Request {
+	if p == nil {
+		panic("ioreq: New with nil proc")
+	}
+	return &Request{p: p, d: &shared{op: op, rank: -1, phase: -1}}
+}
+
+// Reader is shorthand for New(p, OpRead).
+func Reader(p *sim.Proc) *Request { return New(p, OpRead) }
+
+// Writer is shorthand for New(p, OpWrite).
+func Writer(p *sim.Proc) *Request { return New(p, OpWrite) }
+
+// Meta is shorthand for New(p, OpMeta).
+func Meta(p *sim.Proc) *Request { return New(p, OpMeta) }
+
+// SetPattern stamps the application-level access pattern and block
+// size. Returns r for chaining at construction sites.
+func (r *Request) SetPattern(mode Mode, block int64) *Request {
+	r.d.mode = mode
+	r.d.block = block
+	return r
+}
+
+// SetOrigin stamps the originating MPI rank and workload phase.
+func (r *Request) SetOrigin(rank, phase int) *Request {
+	r.d.rank = rank
+	r.d.phase = phase
+	return r
+}
+
+// SetCollector attaches the aggregation target for popped spans and
+// fault tags. A nil collector (the default) discards both.
+func (r *Request) SetCollector(c *Collector) *Request {
+	r.d.col = c
+	return r
+}
+
+// Proc returns the simulated process executing this view of the
+// request.
+func (r *Request) Proc() *sim.Proc { return r.p }
+
+// Now returns the current simulated time.
+func (r *Request) Now() sim.Time { return r.p.Now() }
+
+// Op returns the request's operation class.
+func (r *Request) Op() Op { return r.d.op }
+
+// Class returns the telemetry class of the request's op.
+func (r *Request) Class() telemetry.OpClass { return r.d.op.Class() }
+
+// Mode returns the access pattern stamped on the request.
+func (r *Request) Mode() Mode { return r.d.mode }
+
+// Block returns the application block size stamped on the request.
+func (r *Request) Block() int64 { return r.d.block }
+
+// Rank returns the originating MPI rank (-1 if not an MPI request).
+func (r *Request) Rank() int { return r.d.rank }
+
+// Phase returns the originating workload phase (-1 if unset).
+func (r *Request) Phase() int { return r.d.phase }
+
+// WithProc returns a view of the request executed by child. The view
+// shares the request's identity and collector; its span stack starts
+// at the caller's current span, so spans the child pushes nest under
+// the span that was open when the fork happened. Use at every
+// sim.Fork fan-out that continues a request on child procs.
+func (r *Request) WithProc(child *sim.Proc) *Request {
+	return &Request{p: child, d: r.d, cur: r.cur}
+}
+
+// Push opens a span at the given level. Every layer entry point calls
+// Push and defers Pop, so the open-span chain at any instant is the
+// request's current position on the I/O path.
+func (r *Request) Push(level telemetry.Level, comp string) {
+	remote := r.cur != nil && (r.cur.remote || r.cur.level == telemetry.LevelGlobalFS)
+	r.cur = &span{parent: r.cur, level: level, comp: comp, start: r.p.Now(), remote: remote}
+}
+
+// Pop closes the current span, records it into the collector, and
+// folds its interval into the parent's child-coverage union. Spans
+// are strictly LIFO per proc view; the engine's one-runner-at-a-time
+// handshake makes the shared parent update race-free.
+func (r *Request) Pop() {
+	s := r.cur
+	if s == nil {
+		panic("ioreq: Pop with no open span")
+	}
+	end := r.p.Now()
+	dur := sim.Duration(end - s.start)
+	self := dur - s.covered
+	if self < 0 {
+		// Cannot happen while children nest inside their parent; guard
+		// so a future layer bug surfaces as a loud failure, not a
+		// negative self time.
+		panic(fmt.Sprintf("ioreq: span %s/%s self time negative", s.level, s.comp))
+	}
+	r.d.col.record(s.level, r.d.op.Class(), dur, self, s.parent == nil, s.remote)
+	if par := s.parent; par != nil {
+		if s.start >= par.coverEnd {
+			par.covered += dur
+		} else if end > par.coverEnd {
+			par.covered += sim.Duration(end - par.coverEnd)
+		}
+		if end > par.coverEnd {
+			par.coverEnd = end
+		}
+	}
+	r.cur = s.parent
+}
+
+// Depth returns the number of open spans on this view's stack
+// (diagnostics and tests).
+func (r *Request) Depth() int {
+	n := 0
+	for s := r.cur; s != nil; s = s.parent {
+		n++
+	}
+	return n
+}
+
+// Tag counts a named event against the request's collector — the
+// fault plane uses it to mark requests that crossed a degraded
+// component (slow disk, failed RAID member, stalled server, flapping
+// link), so degraded-path traffic is visible in the PathProfile.
+func (r *Request) Tag(name string) {
+	r.d.col.tag(name)
+}

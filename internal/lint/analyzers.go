@@ -15,6 +15,7 @@ func DefaultAnalyzers() []*Analyzer {
 		ErrCheck(),
 		UnitSafety(),
 		ProbeConform(),
+		ReqPath(),
 	}
 }
 

@@ -115,6 +115,10 @@ func TestUnitSafetyAnalyzer(t *testing.T) {
 	checkFixture(t, []*Analyzer{UnitSafety()}, "unitsafety")
 }
 
+func TestReqPathAnalyzer(t *testing.T) {
+	checkFixture(t, []*Analyzer{ReqPath()}, "cache")
+}
+
 func TestProbeConformAnalyzer(t *testing.T) {
 	checkFixture(t, []*Analyzer{ProbeConform()}, "telemetry", "device", "wiring")
 }

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// ReqPathCheck is the name of the reqpath analyzer.
+const ReqPathCheck = "reqpath"
+
+// reqPathPackages are the layers below the I/O library. The library
+// (mpiio) is the application-facing boundary where requests are born,
+// so its public surface keeps MPI-style (proc, rank, ...) signatures;
+// every layer beneath it must be request-threaded — an exported entry
+// point taking a bare *sim.Proc has no span stack, no op class, and
+// no fault tags, so its work is invisible to the path profile.
+var reqPathPackages = map[string]bool{
+	"device": true, "raid": true, "cache": true, "fs": true,
+	"nfs": true, "pfs": true, "netsim": true,
+}
+
+// ReqPath returns the analyzer enforcing the request-path contract:
+// exported entry points of the layers below the I/O library take
+// *ioreq.Request instead of *sim.Proc, and any function that opens a
+// span (ioreq.Request.Push) also closes it (Pop, usually deferred) —
+// an unbalanced push corrupts the span stack for every caller above.
+func ReqPath() *Analyzer {
+	return &Analyzer{
+		Name: ReqPathCheck,
+		Doc: "Reports exported functions in the layers below the I/O library " +
+			"(device/raid/cache/fs/nfs/pfs/netsim) that take a *sim.Proc " +
+			"parameter instead of *ioreq.Request, and functions in any layer " +
+			"package that call Request.Push without a matching Request.Pop.",
+		Run: reqPathRun,
+	}
+}
+
+func reqPathRun(p *Package) []Diagnostic {
+	base := path.Base(p.Path)
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if reqPathPackages[base] && fd.Name.IsExported() {
+				out = append(out, checkProcParams(p, base, fd)...)
+			}
+			if layerPackages[base] || reqPathPackages[base] {
+				out = append(out, checkSpanBalance(p, base, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// checkProcParams flags *sim.Proc parameters on an exported layer
+// entry point.
+func checkProcParams(p *Package, base string, fd *ast.FuncDecl) []Diagnostic {
+	var out []Diagnostic
+	for _, field := range fd.Type.Params.List {
+		if isProcPtr(p.Info.TypeOf(field.Type)) {
+			out = append(out, diag(p, field.Pos(), ReqPathCheck,
+				"exported %s.%s takes a *sim.Proc; request-path entry points below the I/O library must take a *ioreq.Request so spans, op class, and fault tags survive the descent",
+				base, fd.Name.Name))
+		}
+	}
+	return out
+}
+
+// checkSpanBalance flags a function body that pushes a span on an
+// ioreq.Request but contains no Pop call at all (deferred Pops inside
+// function literals count — that is the usual `defer r.Pop()` shape
+// after an early-return guard).
+func checkSpanBalance(p *Package, base string, fd *ast.FuncDecl) []Diagnostic {
+	if isPushHelper(p, fd) {
+		return nil
+	}
+	pushes, pops := 0, 0
+	var firstPush ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isRequestPtr(p.Info.TypeOf(sel.X)) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Push":
+			if firstPush == nil {
+				firstPush = call
+			}
+			pushes++
+		case "Pop":
+			pops++
+		}
+		return true
+	})
+	if pushes > 0 && pops == 0 {
+		return []Diagnostic{diag(p, firstPush.Pos(), ReqPathCheck,
+			"%s.%s opens a span (Request.Push) but never calls Request.Pop; an unbalanced push corrupts the span stack for every caller above",
+			base, fd.Name.Name)}
+	}
+	return nil
+}
+
+// isPushHelper recognizes the span-open helper idiom: a function
+// whose entire body is a single Request.Push statement (layers define
+// one per component so the level and component name live in one
+// place; every caller pairs the helper with `defer r.Pop()`). The
+// balance contract binds the helper's callers, which this check
+// cannot see through — a helper call without a Pop goes unflagged,
+// the price of the idiom.
+func isPushHelper(p *Package, fd *ast.FuncDecl) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	expr, ok := fd.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Push" && isRequestPtr(p.Info.TypeOf(sel.X))
+}
+
+// isProcPtr matches *sim.Proc (by package name, so fixture trees with
+// their own sim package conform).
+func isProcPtr(t types.Type) bool {
+	return isNamedPtr(t, "sim", "Proc")
+}
+
+// isRequestPtr matches *ioreq.Request.
+func isRequestPtr(t types.Type) bool {
+	return isNamedPtr(t, "ioreq", "Request")
+}
+
+// isNamedPtr matches a pointer to pkg.Name.
+func isNamedPtr(t types.Type, pkg, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Name() == pkg
+}

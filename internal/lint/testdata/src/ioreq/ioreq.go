@@ -1,0 +1,21 @@
+// Package ioreq is a miniature stand-in for the per-request context —
+// enough surface (Request, Push, Pop) for the reqpath fixtures to
+// type-check.
+package ioreq
+
+import "fixture/internal/sim"
+
+// Request is a per-request context with a span stack.
+type Request struct {
+	p     *sim.Proc
+	depth int
+}
+
+// Proc returns the executing process.
+func (r *Request) Proc() *sim.Proc { return r.p }
+
+// Push opens a span.
+func (r *Request) Push(level int, comp string) { r.depth++ }
+
+// Pop closes the current span.
+func (r *Request) Pop() { r.depth-- }

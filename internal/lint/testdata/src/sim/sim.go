@@ -1,0 +1,10 @@
+// Package sim is a miniature stand-in for the simulation kernel —
+// just the Proc type, so the reqpath fixtures can declare offending
+// signatures.
+package sim
+
+// Proc is a simulated process.
+type Proc struct{ name string }
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }

@@ -5,7 +5,9 @@ import (
 	"sort"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
+	"ioeval/internal/telemetry"
 )
 
 // Hints configures collective buffering, mirroring the ROMIO hints
@@ -36,7 +38,7 @@ func DefaultHints() Hints {
 // "simple subtype" penalty the paper measures. Files opened by a
 // single process need no locks.
 type ByteRangeLocker interface {
-	LockUnlock(p *sim.Proc, count int64)
+	LockUnlock(r *ioreq.Request, count int64)
 }
 
 // DirectIOSetter is implemented by handles whose client-side data
@@ -123,14 +125,24 @@ func (f *File) Aggregators() []int { return append([]int{}, f.aggs...) }
 // Path returns the file path.
 func (f *File) Path() string { return f.path }
 
+// span opens the library-level span on r: the root of the request's
+// span tree, stamped on the same clock reads as the trace event, so
+// summed root spans equal summed trace I/O time by construction.
+func (f *File) span(r *ioreq.Request) {
+	r.Push(telemetry.LevelLibrary, "mpiio:"+f.path)
+}
+
 // Open opens the file on the calling rank. Files opened by more than
 // one process are switched to direct I/O on filesystems that support
 // it (the NFS client): ROMIO cannot rely on close-to-open caching for
 // shared files.
 func (f *File) Open(p *sim.Proc, rank int) error {
+	r := f.w.req(p, ioreq.OpMeta, rank)
 	t0 := p.Now()
-	h, err := f.mounts[rank].Open(p, f.path, f.flags)
+	f.span(r)
+	h, err := f.mounts[rank].Open(r, f.path, f.flags)
 	if err != nil {
+		r.Pop()
 		return err
 	}
 	if f.w.Size() > 1 {
@@ -139,18 +151,19 @@ func (f *File) Open(p *sim.Proc, rank int) error {
 		}
 	}
 	f.handles[rank] = h
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpOpen, File: f.path, Offset: -1, Count: 1, T0: t0, T1: p.Now()})
 	return nil
 }
 
 // lock charges per-operation byte-range locking when the rank's
 // mount requires it. A file private to one process needs none.
-func (f *File) lock(p *sim.Proc, rank int, count int64) {
+func (f *File) lock(r *ioreq.Request, rank int, count int64) {
 	if f.w.Size() == 1 {
 		return
 	}
 	if l, ok := f.mounts[rank].(ByteRangeLocker); ok {
-		l.LockUnlock(p, count)
+		l.LockUnlock(r, count)
 	}
 }
 
@@ -164,18 +177,24 @@ func (f *File) handle(rank int) fs.Handle {
 
 // WriteAt is an independent write.
 func (f *File) WriteAt(p *sim.Proc, rank int, off, n int64) int64 {
+	r := f.w.req(p, ioreq.OpWrite, rank).SetPattern(ioreq.ModeSequential, n)
 	t0 := p.Now()
-	f.lock(p, rank, 1)
-	got := f.handle(rank).WriteAt(p, off, n)
+	f.span(r)
+	f.lock(r, rank, 1)
+	got := f.handle(rank).WriteAt(r, off, n)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpWrite, File: f.path, Offset: off, Bytes: got, Count: 1, Span: got, T0: t0, T1: p.Now()})
 	return got
 }
 
 // ReadAt is an independent read.
 func (f *File) ReadAt(p *sim.Proc, rank int, off, n int64) int64 {
+	r := f.w.req(p, ioreq.OpRead, rank).SetPattern(ioreq.ModeSequential, n)
 	t0 := p.Now()
-	f.lock(p, rank, 1)
-	got := f.handle(rank).ReadAt(p, off, n)
+	f.span(r)
+	f.lock(r, rank, 1)
+	got := f.handle(rank).ReadAt(r, off, n)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpRead, File: f.path, Offset: off, Bytes: got, Count: 1, Span: got, T0: t0, T1: p.Now()})
 	return got
 }
@@ -186,9 +205,12 @@ func (f *File) WriteVec(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
 	if len(vecs) == 0 {
 		return 0
 	}
+	r := f.w.req(p, ioreq.OpWrite, rank).SetPattern(vecMode(vecs), vecs[0].Len)
 	t0 := p.Now()
-	f.lock(p, rank, int64(len(vecs)))
-	got := f.handle(rank).WriteVec(p, vecs)
+	f.span(r)
+	f.lock(r, rank, int64(len(vecs)))
+	got := f.handle(rank).WriteVec(r, vecs)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpWrite, File: f.path, Offset: vecs[0].Off,
 		Bytes: got, Count: len(vecs), Stride: vecStride(vecs), Span: vecSpan(vecs), T0: t0, T1: p.Now()})
 	return got
@@ -199,9 +221,12 @@ func (f *File) ReadVec(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
 	if len(vecs) == 0 {
 		return 0
 	}
+	r := f.w.req(p, ioreq.OpRead, rank).SetPattern(vecMode(vecs), vecs[0].Len)
 	t0 := p.Now()
-	f.lock(p, rank, int64(len(vecs)))
-	got := f.handle(rank).ReadVec(p, vecs)
+	f.span(r)
+	f.lock(r, rank, int64(len(vecs)))
+	got := f.handle(rank).ReadVec(r, vecs)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpRead, File: f.path, Offset: vecs[0].Off,
 		Bytes: got, Count: len(vecs), Stride: vecStride(vecs), Span: vecSpan(vecs), T0: t0, T1: p.Now()})
 	return got
@@ -209,16 +234,22 @@ func (f *File) ReadVec(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
 
 // Sync flushes the rank's view of the file.
 func (f *File) Sync(p *sim.Proc, rank int) {
+	r := f.w.req(p, ioreq.OpMeta, rank)
 	t0 := p.Now()
-	f.handle(rank).Sync(p)
+	f.span(r)
+	f.handle(rank).Sync(r)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpSync, File: f.path, Offset: -1, Count: 1, T0: t0, T1: p.Now()})
 }
 
 // Close closes the rank's handle.
 func (f *File) Close(p *sim.Proc, rank int) {
+	r := f.w.req(p, ioreq.OpMeta, rank)
 	t0 := p.Now()
-	f.handle(rank).Close(p)
+	f.span(r)
+	f.handle(rank).Close(r)
 	f.handles[rank] = nil
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpClose, File: f.path, Offset: -1, Count: 1, T0: t0, T1: p.Now()})
 }
 
@@ -237,8 +268,11 @@ func (f *File) ReadAtAll(p *sim.Proc, rank int, off, n int64) int64 {
 // data over the communication network, rearrange it, and write large
 // contiguous chunks.
 func (f *File) WriteVecAll(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
+	r := f.w.req(p, ioreq.OpWrite, rank).SetPattern(vecMode(vecs), vecBlock(vecs))
 	t0 := p.Now()
-	n := f.collective(p, rank, vecs, true)
+	f.span(r)
+	n := f.collective(r, rank, vecs, true)
+	r.Pop()
 	// One collective library call counts as one operation regardless
 	// of how many file regions the rank contributed (the paper's
 	// Table II counts 640 = ranks × dumps for the full subtype).
@@ -252,8 +286,11 @@ func (f *File) WriteVecAll(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
 
 // ReadVecAll is the collective (two-phase) read.
 func (f *File) ReadVecAll(p *sim.Proc, rank int, vecs []fs.IOVec) int64 {
+	r := f.w.req(p, ioreq.OpRead, rank).SetPattern(vecMode(vecs), vecBlock(vecs))
 	t0 := p.Now()
-	n := f.collective(p, rank, vecs, false)
+	f.span(r)
+	n := f.collective(r, rank, vecs, false)
+	r.Pop()
 	f.w.trace(Event{Rank: rank, Op: OpReadAll, File: f.path, Offset: firstOff(vecs),
 		Bytes: n, Count: 1, Span: n, T0: t0, T1: p.Now()})
 	return n
@@ -274,6 +311,27 @@ func vecSpan(vecs []fs.IOVec) int64 {
 	}
 	last := vecs[len(vecs)-1]
 	return last.Off + last.Len - vecs[0].Off
+}
+
+// vecMode classifies the vector's access pattern: one extent is
+// sequential, evenly spaced extents are strided, anything else is
+// random.
+func vecMode(vecs []fs.IOVec) ioreq.Mode {
+	switch {
+	case len(vecs) <= 1:
+		return ioreq.ModeSequential
+	case vecStride(vecs) != 0:
+		return ioreq.ModeStrided
+	}
+	return ioreq.ModeRandom
+}
+
+// vecBlock returns the leading element length (0 for empty vectors).
+func vecBlock(vecs []fs.IOVec) int64 {
+	if len(vecs) == 0 {
+		return 0
+	}
+	return vecs[0].Len
 }
 
 // vecStride returns the constant offset stride of the vector, or 0 if
@@ -310,14 +368,15 @@ type part struct {
 	size int64
 }
 
-func (f *File) collective(p *sim.Proc, rank int, vecs []fs.IOVec, write bool) int64 {
+func (f *File) collective(r *ioreq.Request, rank int, vecs []fs.IOVec, write bool) int64 {
+	p := r.Proc()
 	if !f.hints.CollectiveBuffering {
 		// Degenerate collective: independent operation per rank.
-		f.lock(p, rank, int64(len(vecs)))
+		f.lock(r, rank, int64(len(vecs)))
 		if write {
-			return f.handle(rank).WriteVec(p, vecs)
+			return f.handle(rank).WriteVec(r, vecs)
 		}
-		return f.handle(rank).ReadVec(p, vecs)
+		return f.handle(rank).ReadVec(r, vecs)
 	}
 
 	n := f.w.Size()
@@ -344,14 +403,14 @@ func (f *File) collective(p *sim.Proc, rank int, vecs []fs.IOVec, write bool) in
 	}
 
 	if write {
-		f.exchange(p, c, rank, myBytes, true)
+		f.exchange(r, c, rank, myBytes, true)
 		c.afterXchg.wait(p)
-		f.aggregatorIO(p, c, rank, true)
+		f.aggregatorIO(r, c, rank, true)
 		c.afterIO.wait(p)
 	} else {
-		f.aggregatorIO(p, c, rank, false)
+		f.aggregatorIO(r, c, rank, false)
 		c.afterXchg.wait(p)
-		f.exchange(p, c, rank, myBytes, false)
+		f.exchange(r, c, rank, myBytes, false)
 		c.afterIO.wait(p)
 	}
 	return myBytes
@@ -421,7 +480,7 @@ func (c *collOp) computePlan(f *File) {
 // exchange moves each rank's bytes between the rank and the
 // aggregators, proportionally to partition sizes — phase one of
 // two-phase I/O (phase two for reads).
-func (f *File) exchange(p *sim.Proc, c *collOp, rank int, myBytes int64, toAggs bool) {
+func (f *File) exchange(r *ioreq.Request, c *collOp, rank int, myBytes int64, toAggs bool) {
 	if c.totalBytes == 0 || myBytes == 0 {
 		return
 	}
@@ -431,16 +490,16 @@ func (f *File) exchange(p *sim.Proc, c *collOp, rank int, myBytes int64, toAggs 
 			continue
 		}
 		if toAggs {
-			f.w.net.Send(p, f.w.Node(rank), f.w.Node(pt.rank), share)
+			f.w.net.Send(r, f.w.Node(rank), f.w.Node(pt.rank), share)
 		} else {
-			f.w.net.Send(p, f.w.Node(pt.rank), f.w.Node(rank), share)
+			f.w.net.Send(r, f.w.Node(pt.rank), f.w.Node(rank), share)
 		}
 	}
 }
 
 // aggregatorIO performs the file phase: if the calling rank owns a
 // partition it reads/writes it in CBBufferSize chunks.
-func (f *File) aggregatorIO(p *sim.Proc, c *collOp, rank int, write bool) {
+func (f *File) aggregatorIO(r *ioreq.Request, c *collOp, rank int, write bool) {
 	for _, pt := range c.parts {
 		if pt.rank != rank {
 			continue
@@ -456,11 +515,11 @@ func (f *File) aggregatorIO(p *sim.Proc, c *collOp, rank int, write bool) {
 			if len(round) == 0 {
 				return
 			}
-			f.lock(p, rank, 1)
+			f.lock(r, rank, 1)
 			if write {
-				h.WriteVec(p, round)
+				h.WriteVec(r, round)
 			} else {
-				h.ReadVec(p, round)
+				h.ReadVec(r, round)
 			}
 			round, roundBytes = nil, 0
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
@@ -96,6 +97,8 @@ type World struct {
 	nodes  []string // node name per rank
 	tracer Tracer
 	rec    *telemetry.Recorder
+	col    *ioreq.Collector
+	phase  int
 
 	barrier genBarrier
 }
@@ -106,7 +109,7 @@ func NewWorld(e *sim.Engine, net *netsim.Network, rankNodes []string) *World {
 	if len(rankNodes) == 0 {
 		panic("mpiio: empty world")
 	}
-	w := &World{eng: e, net: net, nodes: append([]string{}, rankNodes...)}
+	w := &World{eng: e, net: net, nodes: append([]string{}, rankNodes...), phase: -1}
 	w.barrier.n = len(rankNodes)
 	w.rec = telemetry.NewRecorder(e, "mpiio", telemetry.LevelLibrary, int64(len(rankNodes)))
 	return w
@@ -122,6 +125,25 @@ func (w *World) SetTelemetry(r *telemetry.Recorder) {
 
 // Telemetry returns the library-level telemetry probe.
 func (w *World) Telemetry() *telemetry.Recorder { return w.rec }
+
+// SetCollector installs the span collector stamped on every request
+// the library originates. A nil collector (the default) keeps requests
+// span-silent.
+func (w *World) SetCollector(c *ioreq.Collector) { w.col = c }
+
+// Collector returns the installed span collector (possibly nil).
+func (w *World) Collector() *ioreq.Collector { return w.col }
+
+// SetPhase stamps the current workload phase onto subsequent requests
+// (-1, the default, means no phase structure).
+func (w *World) SetPhase(ph int) { w.phase = ph }
+
+// req builds the per-request context for one library call: the
+// operation class, the originating rank and phase, and the world's
+// span collector.
+func (w *World) req(p *sim.Proc, op ioreq.Op, rank int) *ioreq.Request {
+	return ioreq.New(p, op).SetOrigin(rank, w.phase).SetCollector(w.col)
+}
 
 // Size returns the number of ranks.
 func (w *World) Size() int { return len(w.nodes) }
@@ -184,10 +206,12 @@ func (w *World) Compute(p *sim.Proc, rank int, d sim.Duration) {
 	w.trace(Event{Rank: rank, Op: OpCompute, Offset: -1, T0: t0, T1: p.Now()})
 }
 
-// Send models a point-to-point message of nb bytes.
+// Send models a point-to-point message of nb bytes. Communication is
+// application time, not I/O: the request carrying it is collectorless,
+// so its network span is discarded rather than attributed to the path.
 func (w *World) Send(p *sim.Proc, fromRank, toRank int, nb int64) {
 	t0 := p.Now()
-	w.net.Send(p, w.nodes[fromRank], w.nodes[toRank], nb)
+	w.net.Send(ioreq.Meta(p), w.nodes[fromRank], w.nodes[toRank], nb)
 	w.trace(Event{Rank: fromRank, Op: OpComm, Offset: -1, Bytes: nb, Count: 1, T0: t0, T1: p.Now()})
 }
 

@@ -3,6 +3,7 @@ package netsim
 import (
 	"testing"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -10,13 +11,13 @@ func TestDegradeScalesTransferTime(t *testing.T) {
 	base := func() sim.Duration {
 		e := sim.NewEngine()
 		n := newNet(e, "a", "b")
-		return elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", 64*mb) })
+		return elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 64*mb) })
 	}()
 
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
 	n.Degrade("b", 3)
-	d := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", 64*mb) })
+	d := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 64*mb) })
 	ratio := float64(d) / float64(base)
 	if ratio < 2.5 || ratio > 3.5 {
 		t.Fatalf("degraded transfer ratio = %.2f (base %v, degraded %v), want ~3", ratio, base, d)
@@ -27,7 +28,7 @@ func TestDegradeScalesTransferTime(t *testing.T) {
 	n2 := newNet(e2, "a", "b")
 	n2.Degrade("b", 3)
 	n2.Degrade("a", 2)
-	d2 := elapsed(e2, func(p *sim.Proc) { n2.Send(p, "a", "b", 64*mb) })
+	d2 := elapsed(e2, func(p *sim.Proc) { n2.Send(ioreq.Meta(p), "a", "b", 64*mb) })
 	if d2 != d {
 		t.Fatalf("max-of-endpoints broken: %v vs %v", d2, d)
 	}
@@ -38,8 +39,8 @@ func TestDegradeCounts(t *testing.T) {
 	n := newNet(e, "a", "b", "c")
 	n.Degrade("b", 2)
 	elapsed(e, func(p *sim.Proc) {
-		n.Send(p, "a", "b", mb)
-		n.Send(p, "a", "c", mb)
+		n.Send(ioreq.Meta(p), "a", "b", mb)
+		n.Send(ioreq.Meta(p), "a", "c", mb)
 	})
 	if got := n.Telemetry().AuxVal("degraded_msgs"); got != 1 {
 		t.Fatalf("degraded_msgs = %d, want 1 (only the a→b send)", got)
@@ -50,7 +51,7 @@ func TestFailLinkUntilBlocksSenders(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
 	n.FailLinkUntil("b", sim.Time(2*sim.Second))
-	d := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", mb) })
+	d := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", mb) })
 	if d < 2*sim.Second {
 		t.Fatalf("send through downed link finished in %v, want ≥ 2s", d)
 	}
@@ -67,7 +68,7 @@ func TestFailLinkLaterDeadlineWins(t *testing.T) {
 	n := newNet(e, "a", "b")
 	n.FailLinkUntil("b", sim.Time(3*sim.Second))
 	n.FailLinkUntil("b", sim.Time(sim.Second)) // earlier: must not shorten
-	d := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", mb) })
+	d := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", mb) })
 	if d < 3*sim.Second {
 		t.Fatalf("earlier deadline shortened outage: send done in %v", d)
 	}

@@ -12,6 +12,7 @@ package netsim
 import (
 	"fmt"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -204,13 +205,17 @@ func (n *Network) xferTime(nb int64) sim.Duration {
 	return sim.Duration(float64(nb) / n.params.Bandwidth * 1e9)
 }
 
-// Send transfers nb bytes from one node to another, blocking p for
-// the full transfer time. Loopback (from == to) costs only the
-// per-message overhead plus a memory-speed copy approximation.
-func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
+// Send transfers nb bytes from one node to another, blocking the
+// request's process for the full transfer time. Loopback (from == to)
+// costs only the per-message overhead plus a memory-speed copy
+// approximation.
+func (n *Network) Send(r *ioreq.Request, from, to string, nb int64) {
 	if nb < 0 {
 		panic(fmt.Sprintf("netsim %q: negative send size", n.params.Name))
 	}
+	r.Push(telemetry.LevelNetwork, "net:"+n.params.Name)
+	defer r.Pop()
+	p := r.Proc()
 	src, dst := n.NIC(from), n.NIC(to)
 	n.Stats.Messages++
 	n.Stats.Bytes += nb
@@ -246,10 +251,14 @@ func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
 		p.Sleep(sim.Duration(float64(nb) / (4 * n.params.Bandwidth) * 1e9))
 		return
 	}
+	if src.downUntil > p.Now() || dst.downUntil > p.Now() {
+		r.Tag("link_flap")
+	}
 	n.awaitLinks(p, src, dst)
 	slow := slowFactor(src, dst)
 	if slow > 1 {
 		n.rec.Add("degraded_msgs", 1)
+		r.Tag("degraded_link")
 	}
 
 	// First quantum carries the one-way latency; the rest pipeline.
@@ -279,9 +288,9 @@ func (n *Network) Send(p *sim.Proc, from, to string, nb int64) {
 
 // RoundTrip models a small request/response exchange (an RPC shell):
 // request of reqBytes one way, response of respBytes back.
-func (n *Network) RoundTrip(p *sim.Proc, from, to string, reqBytes, respBytes int64) {
-	n.Send(p, from, to, reqBytes)
-	n.Send(p, to, from, respBytes)
+func (n *Network) RoundTrip(r *ioreq.Request, from, to string, reqBytes, respBytes int64) {
+	n.Send(r, from, to, reqBytes)
+	n.Send(r, to, from, respBytes)
 }
 
 // Utilization returns the TX-side utilization of a node's NIC.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -32,7 +33,7 @@ func elapsed(e *sim.Engine, fn func(*sim.Proc)) sim.Duration {
 func TestTransferTimeMatchesBandwidth(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
-	d := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", 117*mb) })
+	d := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 117*mb) })
 	// 117 MB at 117 MB/s ≈ 1.05 s (plus small latency/overheads).
 	if d < sim.Second || d > sim.Second+sim.Second/10 {
 		t.Fatalf("117MB transfer took %v, want ~1.05s", d)
@@ -42,7 +43,7 @@ func TestTransferTimeMatchesBandwidth(t *testing.T) {
 func TestSmallMessageDominatedByLatency(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
-	d := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "b", 64) })
+	d := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 64) })
 	if d < 100*sim.Microsecond || d > 200*sim.Microsecond {
 		t.Fatalf("64B message took %v, want latency-bound ~110µs", d)
 	}
@@ -57,7 +58,7 @@ func TestManyToOneContention(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		node := fmt.Sprintf("c%d", i)
 		e.Spawn(node, func(p *sim.Proc) {
-			n.Send(p, node, "srv", 29*mb)
+			n.Send(ioreq.Meta(p), node, "srv", 29*mb)
 			done.Done()
 		})
 	}
@@ -73,8 +74,8 @@ func TestFullDuplexIndependence(t *testing.T) {
 	// both finish in about the single-transfer time.
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
-	e.Spawn("fwd", func(p *sim.Proc) { n.Send(p, "a", "b", 117*mb) })
-	e.Spawn("rev", func(p *sim.Proc) { n.Send(p, "b", "a", 117*mb) })
+	e.Spawn("fwd", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 117*mb) })
+	e.Spawn("rev", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "b", "a", 117*mb) })
 	end := e.Run()
 	if end > sim.Time(sim.Second+sim.Second/10) {
 		t.Fatalf("duplex transfers took %v, want ~1.05s (no contention)", sim.Duration(end))
@@ -85,8 +86,8 @@ func TestDisjointPairsParallel(t *testing.T) {
 	// a→b and c→d do not share any NIC: fully parallel.
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b", "c", "d")
-	e.Spawn("1", func(p *sim.Proc) { n.Send(p, "a", "b", 117*mb) })
-	e.Spawn("2", func(p *sim.Proc) { n.Send(p, "c", "d", 117*mb) })
+	e.Spawn("1", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 117*mb) })
+	e.Spawn("2", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "c", "d", 117*mb) })
 	end := e.Run()
 	if end > sim.Time(sim.Second+sim.Second/10) {
 		t.Fatalf("disjoint transfers took %v, want ~1.05s", sim.Duration(end))
@@ -100,8 +101,8 @@ func TestFairSharingViaQuanta(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b", "c")
 	var end1, end2 sim.Time
-	e.Spawn("1", func(p *sim.Proc) { n.Send(p, "a", "b", 58*mb); end1 = p.Now() })
-	e.Spawn("2", func(p *sim.Proc) { n.Send(p, "a", "c", 58*mb); end2 = p.Now() })
+	e.Spawn("1", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "b", 58*mb); end1 = p.Now() })
+	e.Spawn("2", func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "c", 58*mb); end2 = p.Now() })
 	e.Run()
 	diff := end1 - end2
 	if diff < 0 {
@@ -115,10 +116,10 @@ func TestFairSharingViaQuanta(t *testing.T) {
 func TestLoopbackFast(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
-	dLoop := elapsed(e, func(p *sim.Proc) { n.Send(p, "a", "a", 10*mb) })
+	dLoop := elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "a", "a", 10*mb) })
 	e2 := sim.NewEngine()
 	n2 := newNet(e2, "a", "b")
-	dWire := elapsed(e2, func(p *sim.Proc) { n2.Send(p, "a", "b", 10*mb) })
+	dWire := elapsed(e2, func(p *sim.Proc) { n2.Send(ioreq.Meta(p), "a", "b", 10*mb) })
 	if dLoop >= dWire {
 		t.Fatalf("loopback (%v) not faster than wire (%v)", dLoop, dWire)
 	}
@@ -127,7 +128,7 @@ func TestLoopbackFast(t *testing.T) {
 func TestRoundTrip(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "cl", "srv")
-	d := elapsed(e, func(p *sim.Proc) { n.RoundTrip(p, "cl", "srv", 128, 128) })
+	d := elapsed(e, func(p *sim.Proc) { n.RoundTrip(ioreq.Meta(p), "cl", "srv", 128, 128) })
 	// Two latency-bound messages.
 	if d < 200*sim.Microsecond || d > 400*sim.Microsecond {
 		t.Fatalf("round trip took %v, want ~220µs", d)
@@ -154,7 +155,7 @@ func TestUnknownNodePanics(t *testing.T) {
 				t.Error("expected panic on unknown destination")
 			}
 		}()
-		n.Send(p, "a", "ghost", 1)
+		n.Send(ioreq.Meta(p), "a", "ghost", 1)
 	})
 	e.Run()
 }
@@ -163,8 +164,8 @@ func TestStats(t *testing.T) {
 	e := sim.NewEngine()
 	n := newNet(e, "a", "b")
 	elapsed(e, func(p *sim.Proc) {
-		n.Send(p, "a", "b", 3*mb)
-		n.Send(p, "b", "a", mb)
+		n.Send(ioreq.Meta(p), "a", "b", 3*mb)
+		n.Send(ioreq.Meta(p), "b", "a", mb)
 	})
 	if n.Stats.Messages != 2 || n.Stats.Bytes != 4*mb {
 		t.Fatalf("network stats = %+v", n.Stats)
@@ -186,7 +187,7 @@ func TestQuickTransferMonotone(t *testing.T) {
 		timeFor := func(nb int64) sim.Duration {
 			e := sim.NewEngine()
 			n := newNet(e, "x", "y")
-			return elapsed(e, func(p *sim.Proc) { n.Send(p, "x", "y", nb) })
+			return elapsed(e, func(p *sim.Proc) { n.Send(ioreq.Meta(p), "x", "y", nb) })
 		}
 		ta, tb := timeFor(a), timeFor(b)
 		bound := sim.Duration(float64(a) / 117e6 * 1e9)
@@ -202,7 +203,7 @@ func BenchmarkSend(b *testing.B) {
 	n := newNet(e, "a", "b")
 	e.Spawn("s", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
-			n.Send(p, "a", "b", 64<<10)
+			n.Send(ioreq.Meta(p), "a", "b", 64<<10)
 		}
 	})
 	b.ResetTimer()

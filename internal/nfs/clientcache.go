@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/device"
-	"ioeval/internal/sim"
+	"ioeval/internal/ioreq"
 )
 
 // Client-side data caching.
@@ -37,13 +37,13 @@ type clientDev struct {
 
 var _ device.BlockDev = (*clientDev)(nil)
 
-func (d *clientDev) Name() string    { return d.c.params.Name + ":remote" }
-func (d *clientDev) Capacity() int64 { return slotBytes * (1 << 20) }
-func (d *clientDev) Flush(*sim.Proc) {}
+func (d *clientDev) Name() string         { return d.c.params.Name + ":remote" }
+func (d *clientDev) Capacity() int64      { return slotBytes * (1 << 20) }
+func (d *clientDev) Flush(*ioreq.Request) {}
 
 // ReadAt fetches a virtual range via read RPCs against the slot's
 // server handle, clamped to the current file size.
-func (d *clientDev) ReadAt(p *sim.Proc, off, n int64) {
+func (d *clientDev) ReadAt(r *ioreq.Request, off, n int64) {
 	c := d.c
 	slot := off / slotBytes
 	path, ok := c.slotPaths[slot]
@@ -61,13 +61,13 @@ func (d *clientDev) ReadAt(p *sim.Proc, off, n int64) {
 	if foff+n > h.Size() {
 		n = h.Size() - foff
 	}
-	c.rpcRead(p, h, foff, n)
+	c.rpcRead(r, h, foff, n)
 }
 
 // WriteAt flushes dirty client pages: UNSTABLE write RPCs in WSize
 // chunks (the commit happens at Sync/Close), clamped to the written
 // extent of the file.
-func (d *clientDev) WriteAt(p *sim.Proc, off, n int64) {
+func (d *clientDev) WriteAt(r *ioreq.Request, off, n int64) {
 	c := d.c
 	slot := off / slotBytes
 	path, ok := c.slotPaths[slot]
@@ -86,7 +86,7 @@ func (d *clientDev) WriteAt(p *sim.Proc, off, n int64) {
 		}
 		n = end - foff
 	}
-	c.rpcWriteUnstable(p, h, foff, n)
+	c.rpcWriteUnstable(r, h, foff, n)
 	c.srv.gen[path]++
 	c.validGen[path] = c.srv.gen[path]
 }
@@ -105,7 +105,7 @@ func (c *Client) slot(path string) int64 {
 // revalidate implements close-to-open consistency: called at open
 // time, it drops the path's cached pages when the server-side change
 // generation moved since this client last validated.
-func (c *Client) revalidate(p *sim.Proc, path string) {
+func (c *Client) revalidate(path string) {
 	if c.dataCache == nil {
 		return
 	}
@@ -140,16 +140,16 @@ func (c *Client) noteOwnWrite(path string) {
 
 // DropCaches empties the client's data cache (characterization runs
 // use it to measure cold paths).
-func (c *Client) DropCaches(p *sim.Proc) {
+func (c *Client) DropCaches(r *ioreq.Request) {
 	if c.dataCache != nil {
-		c.dataCache.DropCaches(p)
+		c.dataCache.DropCaches(r)
 		c.validGen = map[string]int64{}
 	}
 }
 
 // cachedRead serves a read through the client cache; returns false if
 // the handle must fall back to direct RPCs.
-func (h *remoteHandle) cachedRead(p *sim.Proc, off, n int64) (int64, bool) {
+func (h *remoteHandle) cachedRead(r *ioreq.Request, off, n int64) (int64, bool) {
 	c := h.c
 	if c.dataCache == nil || h.direct {
 		return 0, false
@@ -165,7 +165,7 @@ func (h *remoteHandle) cachedRead(p *sim.Proc, off, n int64) (int64, bool) {
 		return 0, false // beyond the slot: bypass
 	}
 	base := c.slot(h.path) * slotBytes
-	c.dataCache.ReadAt(p, base+off, n)
+	c.dataCache.ReadAt(r, base+off, n)
 	c.Stats.BytesRead += n
 	return n, true
 }
@@ -174,7 +174,7 @@ func (h *remoteHandle) cachedRead(p *sim.Proc, off, n int64) (int64, bool) {
 // pages are dirtied and flushed by throttling, Sync or Close — the
 // behaviour of a buffered write() on a real NFS mount. Returns false
 // when the handle must fall back to synchronous RPCs.
-func (h *remoteHandle) cachedWrite(p *sim.Proc, off, n int64) (int64, bool) {
+func (h *remoteHandle) cachedWrite(r *ioreq.Request, off, n int64) (int64, bool) {
 	c := h.c
 	if c.dataCache == nil || h.direct || off+n > slotBytes {
 		return 0, false
@@ -183,7 +183,7 @@ func (h *remoteHandle) cachedWrite(p *sim.Proc, off, n int64) (int64, bool) {
 		c.sizes[h.path] = end
 	}
 	base := c.slot(h.path) * slotBytes
-	c.dataCache.WriteAt(p, base+off, n)
+	c.dataCache.WriteAt(r, base+off, n)
 	c.noteOwnWrite(h.path)
 	c.Stats.BytesWritten += n
 	delete(c.attrCache, h.path)
@@ -192,13 +192,13 @@ func (h *remoteHandle) cachedWrite(p *sim.Proc, off, n int64) (int64, bool) {
 
 // flushAndCommit writes out the client's dirty pages and issues a
 // COMMIT (close-to-open flush-on-close / fsync semantics).
-func (h *remoteHandle) flushAndCommit(p *sim.Proc) {
+func (h *remoteHandle) flushAndCommit(r *ioreq.Request) {
 	c := h.c
 	if c.dataCache == nil || h.direct {
 		return
 	}
-	c.dataCache.Flush(p)
-	c.srv.commit(p, 1)
+	c.dataCache.Flush(r)
+	c.srv.commit(r.Proc(), 1)
 }
 
 // SetDirectIO disables client-side caching for this handle (used by

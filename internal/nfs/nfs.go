@@ -18,6 +18,7 @@ import (
 
 	"ioeval/internal/cache"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
@@ -138,11 +139,11 @@ func (s *Server) Stall(d sim.Duration) {
 func (s *Server) DownUntil() sim.Time { return s.downUntil }
 
 // handle returns (opening if needed) the server-side handle for path.
-func (s *Server) handle(p *sim.Proc, path string, flags int) (fs.Handle, error) {
+func (s *Server) handle(r *ioreq.Request, path string, flags int) (fs.Handle, error) {
 	if h, ok := s.handles[path]; ok {
 		return h, nil
 	}
-	h, err := s.backend.Open(p, path, flags)
+	h, err := s.backend.Open(r, path, flags)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +296,11 @@ func (c *Client) Server() *Server { return c.srv }
 // then the client backs off — doubling from RetryBackoff up to
 // RetryBackoffMax — and retransmits, until the server is back. Pure
 // sim-clock arithmetic, so recovery timing is fully deterministic.
-func (c *Client) awaitServer(p *sim.Proc) {
+func (c *Client) awaitServer(r *ioreq.Request) {
+	p := r.Proc()
+	if p.Now() < c.srv.downUntil {
+		r.Tag("server_stall")
+	}
 	backoff := c.params.RetryBackoff
 	for p.Now() < c.srv.downUntil {
 		p.Sleep(c.params.RetryTimeout) // in-flight attempt times out
@@ -321,25 +326,33 @@ func (c *Client) InvalidateCaches() {
 }
 
 // metaRPC performs a small request/response exchange plus server CPU.
-func (c *Client) metaRPC(p *sim.Proc, fn func()) {
-	c.awaitServer(p)
+func (c *Client) metaRPC(r *ioreq.Request, fn func()) {
+	p := r.Proc()
+	c.awaitServer(r)
 	c.Stats.MetaRPCs++
 	c.srv.Stats.MetaRPCs++
 	start := p.Now()
-	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
+	c.net.Send(r, c.node, c.srv.node, rpcHeaderBytes)
 	srvStart := p.Now()
 	c.srv.serve(p, 1, fn)
 	c.srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-srvStart))
-	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
+	c.net.Send(r, c.srv.node, c.node, rpcHeaderBytes)
 	c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
 }
 
+// span opens the client's global-fs span on r.
+func (c *Client) span(r *ioreq.Request) {
+	r.Push(telemetry.LevelGlobalFS, "nfs:"+c.params.Name)
+}
+
 // Open implements fs.Interface.
-func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
+func (c *Client) Open(r *ioreq.Request, path string, flags int) (fs.Handle, error) {
+	c.span(r)
+	defer r.Pop()
 	var h fs.Handle
 	var err error
-	c.metaRPC(p, func() {
-		h, err = c.srv.handle(p, path, flags)
+	c.metaRPC(r, func() {
+		h, err = c.srv.handle(r, path, flags)
 		if err == nil && flags&fs.OTrunc != 0 {
 			c.srv.gen[path]++
 		}
@@ -351,19 +364,21 @@ func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
 		delete(c.attrCache, path)
 		c.sizes[path] = 0
 	}
-	c.revalidate(p, path)
+	c.revalidate(path)
 	return &remoteHandle{c: c, path: path, srvHandle: h}, nil
 }
 
 // Remove implements fs.Interface.
-func (c *Client) Remove(p *sim.Proc, path string) error {
+func (c *Client) Remove(r *ioreq.Request, path string) error {
+	c.span(r)
+	defer r.Pop()
 	var err error
-	c.metaRPC(p, func() {
+	c.metaRPC(r, func() {
 		if h, ok := c.srv.handles[path]; ok {
-			h.Close(p)
+			h.Close(r)
 			delete(c.srv.handles, path)
 		}
-		err = c.srv.backend.Remove(p, path)
+		err = c.srv.backend.Remove(r, path)
 		c.srv.gen[path]++
 	})
 	delete(c.attrCache, path)
@@ -372,14 +387,16 @@ func (c *Client) Remove(p *sim.Proc, path string) error {
 }
 
 // Stat implements fs.Interface, consulting the attribute cache first.
-func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
+func (c *Client) Stat(r *ioreq.Request, path string) (fs.FileInfo, error) {
 	if fi, ok := c.attrCache[path]; ok {
 		c.Stats.AttrCacheHits++
 		return fi, nil
 	}
+	c.span(r)
+	defer r.Pop()
 	var fi fs.FileInfo
 	var err error
-	c.metaRPC(p, func() { fi, err = c.srv.backend.Stat(p, path) })
+	c.metaRPC(r, func() { fi, err = c.srv.backend.Stat(r, path) })
 	if err == nil {
 		c.attrCache[path] = fi
 	}
@@ -387,19 +404,24 @@ func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
 }
 
 // Sync implements fs.Interface: a COMMIT RPC plus a server-side sync.
-func (c *Client) Sync(p *sim.Proc) {
-	c.metaRPC(p, func() { c.srv.backend.Sync(p) })
+func (c *Client) Sync(r *ioreq.Request) {
+	c.span(r)
+	defer r.Pop()
+	c.metaRPC(r, func() { c.srv.backend.Sync(r) })
 }
 
 // LockUnlock charges the cost of count byte-range lock/unlock pairs.
 // MPI-IO (ROMIO) brackets every operation on an NFS file with fcntl
 // locks to get shared-file consistency; each pair is two synchronous
 // RPCs. The mpiio layer calls this for mounts that support it.
-func (c *Client) LockUnlock(p *sim.Proc, count int64) {
+func (c *Client) LockUnlock(r *ioreq.Request, count int64) {
 	if count <= 0 {
 		return
 	}
-	c.awaitServer(p)
+	c.span(r)
+	defer r.Pop()
+	p := r.Proc()
+	c.awaitServer(r)
 	c.Stats.MetaRPCs += 2 * count
 	c.srv.Stats.MetaRPCs += 2 * count
 	c.rec.Add("lock_pairs", count)
@@ -440,26 +462,27 @@ func (h *remoteHandle) check() {
 }
 
 // rpcRead fetches a range in RSize chunks, each a synchronous RPC.
-func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
+func (c *Client) rpcRead(r *ioreq.Request, srvHandle fs.Handle, off, n int64) int64 {
+	p := r.Proc()
 	var got int64
 	for n > 0 {
 		chunk := n
 		if chunk > c.params.RSize {
 			chunk = c.params.RSize
 		}
-		c.awaitServer(p)
+		c.awaitServer(r)
 		c.Stats.ReadRPCs++
 		c.srv.Stats.ReadRPCs++
-		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes)
-		var r int64
+		c.net.Send(r, c.node, c.srv.node, rpcHeaderBytes)
+		var nr int64
 		srvStart := p.Now()
-		c.srv.serve(p, 1, func() { r = srvHandle.ReadAt(p, off, chunk) })
-		c.srv.rec.Observe(telemetry.ClassRead, 1, r, sim.Duration(p.Now()-srvStart))
-		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes+r)
-		got += r
+		c.srv.serve(p, 1, func() { nr = srvHandle.ReadAt(r, off, chunk) })
+		c.srv.rec.Observe(telemetry.ClassRead, 1, nr, sim.Duration(p.Now()-srvStart))
+		c.net.Send(r, c.srv.node, c.node, rpcHeaderBytes+nr)
+		got += nr
 		off += chunk
 		n -= chunk
-		if r < chunk {
+		if nr < chunk {
 			break // EOF
 		}
 	}
@@ -469,18 +492,21 @@ func (c *Client) rpcRead(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
 
 // ReadAt implements fs.Handle: served from the client data cache when
 // close-to-open validity allows, otherwise in RSize RPC chunks.
-func (h *remoteHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
+func (h *remoteHandle) ReadAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
 	c := h.c
+	c.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	c.rec.Enter()
 	start := p.Now()
 	defer c.rec.Exit()
-	if got, ok := h.cachedRead(p, off, n); ok {
+	if got, ok := h.cachedRead(r, off, n); ok {
 		c.rec.Add("cache_read_bytes", got)
 		c.rec.Observe(telemetry.ClassRead, 1, got, sim.Duration(p.Now()-start))
 		return got
 	}
-	got := c.rpcRead(p, h.srvHandle, off, n)
+	got := c.rpcRead(r, h.srvHandle, off, n)
 	c.Stats.BytesRead += got
 	c.rec.Observe(telemetry.ClassRead, 1, got, sim.Duration(p.Now()-start))
 	return got
@@ -488,21 +514,22 @@ func (h *remoteHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
 
 // rpcWriteUnstable pushes a range in WSize chunks of UNSTABLE write
 // RPCs (no commit — callers decide when to commit).
-func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64) int64 {
+func (c *Client) rpcWriteUnstable(r *ioreq.Request, srvHandle fs.Handle, off, n int64) int64 {
+	p := r.Proc()
 	var put int64
 	for n > 0 {
 		chunk := n
 		if chunk > c.params.WSize {
 			chunk = c.params.WSize
 		}
-		c.awaitServer(p)
+		c.awaitServer(r)
 		c.Stats.WriteRPCs++
 		c.srv.Stats.WriteRPCs++
-		c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes+chunk)
+		c.net.Send(r, c.node, c.srv.node, rpcHeaderBytes+chunk)
 		srvStart := p.Now()
-		c.srv.serve(p, 1, func() { srvHandle.WriteAt(p, off, chunk) })
+		c.srv.serve(p, 1, func() { srvHandle.WriteAt(r, off, chunk) })
 		c.srv.rec.Observe(telemetry.ClassWrite, 1, chunk, sim.Duration(p.Now()-srvStart))
-		c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes)
+		c.net.Send(r, c.srv.node, c.node, rpcHeaderBytes)
 		put += chunk
 		off += chunk
 		n -= chunk
@@ -515,18 +542,21 @@ func (c *Client) rpcWriteUnstable(p *sim.Proc, srvHandle fs.Handle, off, n int64
 // into the client cache (write-behind); direct handles issue
 // synchronous RPCs with a stable commit per call, as MPI-IO requires
 // on NFS.
-func (h *remoteHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
+func (h *remoteHandle) WriteAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
 	c := h.c
+	c.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	c.rec.Enter()
 	start := p.Now()
 	defer c.rec.Exit()
-	if put, ok := h.cachedWrite(p, off, n); ok {
+	if put, ok := h.cachedWrite(r, off, n); ok {
 		c.rec.Add("cache_write_bytes", put)
 		c.rec.Observe(telemetry.ClassWrite, 1, put, sim.Duration(p.Now()-start))
 		return put
 	}
-	put := c.rpcWriteUnstable(p, h.srvHandle, off, n)
+	put := c.rpcWriteUnstable(r, h.srvHandle, off, n)
 	c.srv.commit(p, 1)
 	c.srv.gen[h.path]++
 	c.Stats.BytesWritten += put
@@ -540,21 +570,24 @@ func (h *remoteHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
 // while per-operation latency and server CPU are charged for every
 // element — so op-count penalties survive without one simulation
 // event per operation.
-func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+func (h *remoteHandle) ReadVec(r *ioreq.Request, vecs []fs.IOVec) int64 {
 	h.check()
 	if len(vecs) == 0 {
 		return 0
 	}
 	c := h.c
+	c.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	c.rec.Enter()
 	start := p.Now()
 	defer c.rec.Exit()
 	if c.dataCache != nil && !h.direct {
 		var got int64
 		for _, v := range vecs {
-			n, ok := h.cachedRead(p, v.Off, v.Len)
+			n, ok := h.cachedRead(r, v.Off, v.Len)
 			if !ok {
-				n = c.rpcRead(p, h.srvHandle, v.Off, v.Len)
+				n = c.rpcRead(r, h.srvHandle, v.Off, v.Len)
 				c.Stats.BytesRead += n
 			}
 			got += n
@@ -563,20 +596,20 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 		return got
 	}
 	count := int64(len(vecs))
-	c.awaitServer(p)
+	c.awaitServer(r)
 	c.Stats.ReadRPCs += count
 	c.srv.Stats.ReadRPCs += count
 	// Request stream: headers only (one per op).
-	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes*count)
+	c.net.Send(r, c.node, c.srv.node, rpcHeaderBytes*count)
 	// Per-RPC round-trip latencies beyond the first pipeline poorly for
 	// synchronous clients: charge them serially.
 	extra := count - 1
 	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
 	var got int64
 	srvStart := p.Now()
-	c.srv.serve(p, count, func() { got = h.srvHandle.ReadVec(p, vecs) })
+	c.srv.serve(p, count, func() { got = h.srvHandle.ReadVec(r, vecs) })
 	c.srv.rec.Observe(telemetry.ClassRead, count, got, sim.Duration(p.Now()-srvStart))
-	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count+got)
+	c.net.Send(r, c.srv.node, c.node, rpcHeaderBytes*count+got)
 	c.Stats.BytesRead += got
 	c.srv.Stats.BytesRead += got
 	c.rec.Observe(telemetry.ClassRead, count, got, sim.Duration(p.Now()-start))
@@ -584,21 +617,24 @@ func (h *remoteHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 }
 
 // WriteVec implements fs.Handle; see ReadVec for the batching model.
-func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+func (h *remoteHandle) WriteVec(r *ioreq.Request, vecs []fs.IOVec) int64 {
 	h.check()
 	if len(vecs) == 0 {
 		return 0
 	}
 	c := h.c
+	c.span(r)
+	defer r.Pop()
+	p := r.Proc()
 	c.rec.Enter()
 	start := p.Now()
 	defer c.rec.Exit()
 	if c.dataCache != nil && !h.direct {
 		var put int64
 		for _, v := range vecs {
-			n, ok := h.cachedWrite(p, v.Off, v.Len)
+			n, ok := h.cachedWrite(r, v.Off, v.Len)
 			if !ok {
-				n = c.rpcWriteUnstable(p, h.srvHandle, v.Off, v.Len)
+				n = c.rpcWriteUnstable(r, h.srvHandle, v.Off, v.Len)
 				c.srv.commit(p, 1)
 				c.srv.gen[h.path]++
 				c.Stats.BytesWritten += n
@@ -613,19 +649,19 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 	for _, v := range vecs {
 		total += v.Len
 	}
-	c.awaitServer(p)
+	c.awaitServer(r)
 	c.Stats.WriteRPCs += count
 	c.srv.Stats.WriteRPCs += count
-	c.net.Send(p, c.node, c.srv.node, rpcHeaderBytes*count+total)
+	c.net.Send(r, c.node, c.srv.node, rpcHeaderBytes*count+total)
 	extra := count - 1
 	p.Sleep(sim.Duration(extra) * 2 * c.net.Params().Latency)
 	var put int64
 	srvStart := p.Now()
-	c.srv.serve(p, count, func() { put = h.srvHandle.WriteVec(p, vecs) })
+	c.srv.serve(p, count, func() { put = h.srvHandle.WriteVec(r, vecs) })
 	c.srv.rec.Observe(telemetry.ClassWrite, count, put, sim.Duration(p.Now()-srvStart))
 	c.srv.commit(p, count)
 	c.srv.gen[h.path]++
-	c.net.Send(p, c.srv.node, c.node, rpcHeaderBytes*count)
+	c.net.Send(r, c.srv.node, c.node, rpcHeaderBytes*count)
 	c.Stats.BytesWritten += put
 	c.srv.Stats.BytesWritten += put
 	delete(c.attrCache, h.path)
@@ -634,19 +670,23 @@ func (h *remoteHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 }
 
 // Sync implements fs.Handle: flush write-behind data, then COMMIT.
-func (h *remoteHandle) Sync(p *sim.Proc) {
+func (h *remoteHandle) Sync(r *ioreq.Request) {
 	h.check()
-	h.flushAndCommit(p)
-	h.c.metaRPC(p, func() { h.srvHandle.Sync(p) })
+	h.c.span(r)
+	defer r.Pop()
+	h.flushAndCommit(r)
+	h.c.metaRPC(r, func() { h.srvHandle.Sync(r) })
 }
 
 // Close implements fs.Handle. Per close-to-open consistency the
 // client flushes write-behind data and commits; the server-side
 // handle stays open for other clients (it is reference-counted by
 // path on the server).
-func (h *remoteHandle) Close(p *sim.Proc) {
+func (h *remoteHandle) Close(r *ioreq.Request) {
 	h.check()
-	h.flushAndCommit(p)
+	h.c.span(r)
+	defer r.Pop()
+	h.flushAndCommit(r)
 	h.closed = true
-	h.c.metaRPC(p, nil)
+	h.c.metaRPC(r, nil)
 }

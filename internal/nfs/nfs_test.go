@@ -8,6 +8,7 @@ import (
 	"ioeval/internal/cache"
 	"ioeval/internal/device"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
 )
@@ -55,17 +56,17 @@ func TestRemoteWriteReadRoundTrip(t *testing.T) {
 	r := newRig(1, 256*mb)
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, err := c.Open(p, "/shared", fs.OWrite|fs.OCreate)
+		h, err := c.Open(ioreq.Meta(p), "/shared", fs.OWrite|fs.OCreate)
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
-		if n := h.WriteAt(p, 0, 4*mb); n != 4*mb {
+		if n := h.WriteAt(ioreq.Writer(p), 0, 4*mb); n != 4*mb {
 			t.Fatalf("wrote %d", n)
 		}
-		if n := h.ReadAt(p, 0, 4*mb); n != 4*mb {
+		if n := h.ReadAt(ioreq.Reader(p), 0, 4*mb); n != 4*mb {
 			t.Fatalf("read %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	if r.srv.Stats.BytesWritten != 4*mb || r.srv.Stats.BytesRead != 4*mb {
 		t.Fatalf("server stats: %+v", r.srv.Stats)
@@ -75,7 +76,7 @@ func TestRemoteWriteReadRoundTrip(t *testing.T) {
 func TestOpenMissingFails(t *testing.T) {
 	r := newRig(1, 64*mb)
 	run(t, r.eng, func(p *sim.Proc) {
-		_, err := r.clients[0].Open(p, "/ghost", fs.ORead)
+		_, err := r.clients[0].Open(ioreq.Meta(p), "/ghost", fs.ORead)
 		if !errors.Is(err, fs.ErrNotExist) {
 			t.Fatalf("err = %v", err)
 		}
@@ -87,11 +88,11 @@ func TestThroughputBoundedByNetwork(t *testing.T) {
 	var dur sim.Duration
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 		t0 := p.Now()
-		h.WriteAt(p, 0, 512*mb)
+		h.WriteAt(ioreq.Writer(p), 0, 512*mb)
 		dur = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	rate := float64(512*mb) / dur.Seconds() / 1e6
 	// GigE effective ~117 MB/s; with RPC overheads we must land below
@@ -108,17 +109,17 @@ func TestThroughputBoundedByNetwork(t *testing.T) {
 func TestSharedFileVisibleAcrossClients(t *testing.T) {
 	r := newRig(2, 256*mb)
 	run(t, r.eng, func(p *sim.Proc) {
-		h0, _ := r.clients[0].Open(p, "/f", fs.OWrite|fs.OCreate)
-		h0.WriteAt(p, 0, mb)
-		h0.Close(p)
-		h1, err := r.clients[1].Open(p, "/f", fs.ORead)
+		h0, _ := r.clients[0].Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h0.WriteAt(ioreq.Writer(p), 0, mb)
+		h0.Close(ioreq.Meta(p))
+		h1, err := r.clients[1].Open(ioreq.Meta(p), "/f", fs.ORead)
 		if err != nil {
 			t.Fatalf("client1 open: %v", err)
 		}
-		if n := h1.ReadAt(p, 0, 2*mb); n != mb {
+		if n := h1.ReadAt(ioreq.Reader(p), 0, 2*mb); n != mb {
 			t.Fatalf("client1 read %d, want %d", n, mb)
 		}
-		h1.Close(p)
+		h1.Close(ioreq.Meta(p))
 	})
 }
 
@@ -126,12 +127,12 @@ func TestAttrCache(t *testing.T) {
 	r := newRig(1, 64*mb)
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, kb)
-		h.Close(p)
-		c.Stat(p, "/f")
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, kb)
+		h.Close(ioreq.Meta(p))
+		c.Stat(ioreq.Meta(p), "/f")
 		t0 := p.Now()
-		c.Stat(p, "/f") // cached: free and no RPC
+		c.Stat(ioreq.Meta(p), "/f") // cached: free and no RPC
 		if p.Now() != t0 {
 			t.Error("cached stat cost time")
 		}
@@ -139,11 +140,11 @@ func TestAttrCache(t *testing.T) {
 			t.Errorf("attr cache hits = %d", c.Stats.AttrCacheHits)
 		}
 		// A write invalidates the attribute cache.
-		h2, _ := c.Open(p, "/f", fs.OWrite)
-		h2.WriteAt(p, 0, kb)
-		h2.Close(p)
+		h2, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite)
+		h2.WriteAt(ioreq.Writer(p), 0, kb)
+		h2.Close(ioreq.Meta(p))
 		meta0 := c.Stats.MetaRPCs
-		c.Stat(p, "/f")
+		c.Stat(ioreq.Meta(p), "/f")
 		if c.Stats.MetaRPCs != meta0+1 {
 			t.Error("stat after write did not go to server")
 		}
@@ -157,9 +158,9 @@ func TestSmallOpsDominatedByPerOpCost(t *testing.T) {
 	var tBig, tSmall sim.Duration
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 		t0 := p.Now()
-		h.WriteAt(p, 0, 10*mb)
+		h.WriteAt(ioreq.Writer(p), 0, 10*mb)
 		tBig = sim.Duration(p.Now() - t0)
 
 		var vecs []fs.IOVec
@@ -168,9 +169,9 @@ func TestSmallOpsDominatedByPerOpCost(t *testing.T) {
 			vecs = append(vecs, fs.IOVec{Off: i * rec * 16, Len: rec})
 		}
 		t0 = p.Now()
-		h.WriteVec(p, vecs) // ~10.5 MB in 6561 ops
+		h.WriteVec(ioreq.Writer(p), vecs) // ~10.5 MB in 6561 ops
 		tSmall = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	if tSmall < 5*tBig {
 		t.Fatalf("small strided writes (%v) not ≫ slower than bulk (%v)", tSmall, tBig)
@@ -183,16 +184,16 @@ func TestVecBatchingKeepsEventCountBounded(t *testing.T) {
 	r := newRig(1, 4*gb)
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 200*mb)
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 200*mb)
 		vecs := make([]fs.IOVec, 100000)
 		for i := range vecs {
 			vecs[i] = fs.IOVec{Off: int64(i) * 2 * kb, Len: kb}
 		}
-		if n := h.ReadVec(p, vecs); n != 100000*kb {
+		if n := h.ReadVec(ioreq.Reader(p), vecs); n != 100000*kb {
 			t.Fatalf("vec read returned %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	if r.clients[0].Stats.ReadRPCs != 100000 {
 		t.Fatalf("RPC accounting: %+v", r.clients[0].Stats)
@@ -206,11 +207,11 @@ func TestConcurrentClientsContendOnServer(t *testing.T) {
 		r := newRig(1, 4*gb)
 		var d sim.Duration
 		run(t, r.eng, func(p *sim.Proc) {
-			h, _ := r.clients[0].Open(p, "/f0", fs.OWrite|fs.OCreate)
+			h, _ := r.clients[0].Open(ioreq.Meta(p), "/f0", fs.OWrite|fs.OCreate)
 			t0 := p.Now()
-			h.WriteAt(p, 0, 128*mb)
+			h.WriteAt(ioreq.Writer(p), 0, 128*mb)
 			d = sim.Duration(p.Now() - t0)
-			h.Close(p)
+			h.Close(ioreq.Meta(p))
 		})
 		return d
 	}()
@@ -221,13 +222,13 @@ func TestConcurrentClientsContendOnServer(t *testing.T) {
 	for i, c := range r.clients {
 		i, c := i, c
 		r.eng.Spawn("cl", func(p *sim.Proc) {
-			h, _ := c.Open(p, fmt.Sprintf("/f%d", i), fs.OWrite|fs.OCreate)
+			h, _ := c.Open(ioreq.Meta(p), fmt.Sprintf("/f%d", i), fs.OWrite|fs.OCreate)
 			t0 := p.Now()
-			h.WriteAt(p, 0, 128*mb)
+			h.WriteAt(ioreq.Writer(p), 0, 128*mb)
 			if d := sim.Duration(p.Now() - t0); d > slowest {
 				slowest = d
 			}
-			h.Close(p)
+			h.Close(ioreq.Meta(p))
 			done.Done()
 		})
 	}
@@ -242,12 +243,12 @@ func TestServerCacheMakesRereadFast(t *testing.T) {
 	r := newRig(1, 4*gb)
 	var warm sim.Duration
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.clients[0].Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 64*mb)
+		h, _ := r.clients[0].Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 64*mb)
 		t0 := p.Now()
-		h.ReadAt(p, 0, 64*mb)
+		h.ReadAt(ioreq.Reader(p), 0, 64*mb)
 		warm = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	// Warm-cache NFS reads are network-bound: ≥80 MB/s.
 	rate := float64(64*mb) / warm.Seconds() / 1e6
@@ -260,13 +261,13 @@ func TestRemoveInvalidatesServerHandle(t *testing.T) {
 	r := newRig(1, 64*mb)
 	run(t, r.eng, func(p *sim.Proc) {
 		c := r.clients[0]
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, kb)
-		h.Close(p)
-		if err := c.Remove(p, "/f"); err != nil {
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, kb)
+		h.Close(ioreq.Meta(p))
+		if err := c.Remove(ioreq.Meta(p), "/f"); err != nil {
 			t.Fatalf("remove: %v", err)
 		}
-		if _, err := c.Open(p, "/f", fs.ORead); !errors.Is(err, fs.ErrNotExist) {
+		if _, err := c.Open(ioreq.Meta(p), "/f", fs.ORead); !errors.Is(err, fs.ErrNotExist) {
 			t.Fatalf("open after remove: %v", err)
 		}
 	})
@@ -275,11 +276,11 @@ func TestRemoveInvalidatesServerHandle(t *testing.T) {
 func BenchmarkNFSWrite(b *testing.B) {
 	r := newRig(1, 4*gb)
 	r.eng.Spawn("w", func(p *sim.Proc) {
-		h, _ := r.clients[0].Open(p, "/f", fs.OWrite|fs.OCreate)
+		h, _ := r.clients[0].Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 		for i := 0; i < b.N; i++ {
-			h.WriteAt(p, int64(i%512)*mb, 256*kb)
+			h.WriteAt(ioreq.Writer(p), int64(i%512)*mb, 256*kb)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	b.ResetTimer()
 	r.eng.Run()

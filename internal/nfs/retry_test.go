@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -18,13 +19,13 @@ func TestRetryBackoffArithmetic(t *testing.T) {
 
 	// Create the file while the server is healthy.
 	run(t, r.eng, func(p *sim.Proc) {
-		h, err := c.Open(p, "/f", fs.OWrite|fs.OCreate)
+		h, err := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 		if err != nil {
 			t.Errorf("open: %v", err)
 			return
 		}
-		h.WriteVec(p, []fs.IOVec{{Off: 0, Len: mb}})
-		h.Close(p)
+		h.WriteVec(ioreq.Writer(p), []fs.IOVec{{Off: 0, Len: mb}})
+		h.Close(ioreq.Meta(p))
 	})
 
 	r.srv.Stall(2500 * sim.Millisecond)
@@ -34,14 +35,14 @@ func TestRetryBackoffArithmetic(t *testing.T) {
 	start := r.eng.Now()
 	var opened sim.Time
 	run(t, r.eng, func(p *sim.Proc) {
-		h, err := c.Open(p, "/f", fs.ORead)
+		h, err := c.Open(ioreq.Meta(p), "/f", fs.ORead)
 		if err != nil {
 			t.Errorf("open under stall: %v", err)
 			return
 		}
 		opened = p.Now()
-		h.ReadVec(p, []fs.IOVec{{Off: 0, Len: mb}})
-		h.Close(p)
+		h.ReadVec(ioreq.Reader(p), []fs.IOVec{{Off: 0, Len: mb}})
+		h.Close(ioreq.Meta(p))
 	})
 
 	if c.Stats.Timeouts != 3 || c.Stats.Retries != 3 {
@@ -72,7 +73,7 @@ func TestBackoffCapsAtMax(t *testing.T) {
 
 	r.srv.Stall(2 * sim.Second)
 	run(t, r.eng, func(p *sim.Proc) {
-		if _, err := c.Open(p, "/g", fs.OWrite|fs.OCreate); err != nil {
+		if _, err := c.Open(ioreq.Meta(p), "/g", fs.OWrite|fs.OCreate); err != nil {
 			t.Errorf("open: %v", err)
 		}
 	})
@@ -90,9 +91,9 @@ func TestHealthyPathCountsNothing(t *testing.T) {
 	r := newRig(1, 64*mb)
 	c := r.clients[0]
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteVec(p, []fs.IOVec{{Off: 0, Len: 4 * mb}})
-		h.Close(p)
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteVec(ioreq.Writer(p), []fs.IOVec{{Off: 0, Len: 4 * mb}})
+		h.Close(ioreq.Meta(p))
 	})
 	if c.Stats.Timeouts != 0 || c.Stats.Retries != 0 {
 		t.Fatalf("healthy run counted timeouts=%d retries=%d", c.Stats.Timeouts, c.Stats.Retries)
@@ -106,11 +107,11 @@ func TestStallCoversDataPath(t *testing.T) {
 		r := newRig(1, 64*mb)
 		var d sim.Duration
 		run(t, r.eng, func(p *sim.Proc) {
-			h, _ := r.clients[0].Open(p, "/f", fs.OWrite|fs.OCreate)
+			h, _ := r.clients[0].Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 			t0 := p.Now()
-			h.WriteVec(p, []fs.IOVec{{Off: 0, Len: 8 * mb}})
+			h.WriteVec(ioreq.Writer(p), []fs.IOVec{{Off: 0, Len: 8 * mb}})
 			d = sim.Duration(p.Now() - t0)
-			h.Close(p)
+			h.Close(ioreq.Meta(p))
 		})
 		return d
 	}()
@@ -118,12 +119,12 @@ func TestStallCoversDataPath(t *testing.T) {
 	r := newRig(1, 64*mb)
 	var d sim.Duration
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.clients[0].Open(p, "/f", fs.OWrite|fs.OCreate)
+		h, _ := r.clients[0].Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 		r.srv.Stall(3 * sim.Second)
 		t0 := p.Now()
-		h.WriteVec(p, []fs.IOVec{{Off: 0, Len: 8 * mb}})
+		h.WriteVec(ioreq.Writer(p), []fs.IOVec{{Off: 0, Len: 8 * mb}})
 		d = sim.Duration(p.Now() - t0)
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 	if d < healthy+2*sim.Second {
 		t.Fatalf("stalled write took %v, healthy %v — outage not observed", d, healthy)
@@ -134,10 +135,10 @@ func TestInvalidateCaches(t *testing.T) {
 	r := newRig(1, 64*mb)
 	c := r.clients[0]
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := c.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteVec(p, []fs.IOVec{{Off: 0, Len: mb}})
-		h.Close(p)
-		if _, err := c.Stat(p, "/f"); err != nil {
+		h, _ := c.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteVec(ioreq.Writer(p), []fs.IOVec{{Off: 0, Len: mb}})
+		h.Close(ioreq.Meta(p))
+		if _, err := c.Stat(ioreq.Meta(p), "/f"); err != nil {
 			t.Errorf("stat: %v", err)
 		}
 	})

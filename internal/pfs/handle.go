@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -84,14 +85,14 @@ func (h *pfsHandle) stripeMap(vecs []fs.IOVec) []serverOp {
 // concurrently; per server the client pays request envelopes, the
 // wire carries the aggregate data, and the server performs the
 // subfile I/O on its local stack.
-func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
+func (h *pfsHandle) transfer(r *ioreq.Request, ops []serverOp, write bool) int64 {
 	c := h.c
 	sys := c.sys
 	class := telemetry.ClassRead
 	if write {
 		class = telemetry.ClassWrite
 	}
-	start := p.Now()
+	start := r.Now()
 	c.rec.Enter()
 	defer c.rec.Exit()
 	var fns []func(*sim.Proc)
@@ -106,18 +107,19 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 		total += op.bytes
 		srv := sys.servers[i]
 		fns = append(fns, func(child *sim.Proc) {
+			cr := r.WithProc(child)
 			c.Stats.Requests += op.ops
 			srv.Stats.Requests += op.ops
 			req := rpcHeaderBytes * op.ops
 			if write {
 				req += op.bytes
 			}
-			c.net.Send(child, c.node, srv.node, req)
+			c.net.Send(cr, c.node, srv.node, req)
 			srvStart := child.Now()
 			srv.rec.Enter()
 			srv.threads.Acquire(child, 1)
 			child.Sleep(sys.params.RPCCost * sim.Duration(op.ops))
-			sh, err := sys.subfile(child, i, h.path)
+			sh, err := sys.subfile(cr, i, h.path)
 			if err != nil {
 				errs = append(errs, err)
 				srv.threads.Release(1)
@@ -125,10 +127,10 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 				return
 			}
 			if write {
-				sh.WriteVec(child, op.vecs)
+				sh.WriteVec(cr, op.vecs)
 				srv.Stats.BytesWritten += op.bytes
 			} else {
-				sh.ReadVec(child, op.vecs)
+				sh.ReadVec(cr, op.vecs)
 				srv.Stats.BytesRead += op.bytes
 			}
 			srv.threads.Release(1)
@@ -138,10 +140,10 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 			if !write {
 				resp += op.bytes
 			}
-			c.net.Send(child, srv.node, c.node, resp)
+			c.net.Send(cr, srv.node, c.node, resp)
 		})
 	}
-	sim.Fork(p, "pfs-xfer", fns...)
+	sim.Fork(r.Proc(), "pfs-xfer", fns...)
 	if len(errs) > 0 {
 		panic(fmt.Sprintf("pfs: subfile error: %v", errs[0]))
 	}
@@ -150,23 +152,25 @@ func (h *pfsHandle) transfer(p *sim.Proc, ops []serverOp, write bool) int64 {
 	} else {
 		c.Stats.BytesRead += total
 	}
-	c.rec.Observe(class, 1, total, sim.Duration(p.Now()-start))
+	c.rec.Observe(class, 1, total, sim.Duration(r.Now()-start))
 	return total
 }
 
 // WriteAt implements fs.Handle.
-func (h *pfsHandle) WriteAt(p *sim.Proc, off, n int64) int64 {
+func (h *pfsHandle) WriteAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
 	if n == 0 {
 		return 0
 	}
-	put := h.transfer(p, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), true)
+	h.c.span(r)
+	defer r.Pop()
+	put := h.transfer(r, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), true)
 	h.grow(off + n)
 	return put
 }
 
 // ReadAt implements fs.Handle.
-func (h *pfsHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
+func (h *pfsHandle) ReadAt(r *ioreq.Request, off, n int64) int64 {
 	h.check()
 	size := h.Size()
 	if off >= size {
@@ -178,28 +182,32 @@ func (h *pfsHandle) ReadAt(p *sim.Proc, off, n int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	return h.transfer(p, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), false)
+	h.c.span(r)
+	defer r.Pop()
+	return h.transfer(r, h.stripeMap([]fs.IOVec{{Off: off, Len: n}}), false)
 }
 
 // WriteVec implements fs.Handle.
-func (h *pfsHandle) WriteVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+func (h *pfsHandle) WriteVec(r *ioreq.Request, vecs []fs.IOVec) int64 {
 	h.check()
 	if len(vecs) == 0 {
 		return 0
 	}
+	h.c.span(r)
+	defer r.Pop()
 	var maxEnd int64
 	for _, v := range vecs {
 		if end := v.Off + v.Len; end > maxEnd {
 			maxEnd = end
 		}
 	}
-	put := h.transfer(p, h.stripeMap(vecs), true)
+	put := h.transfer(r, h.stripeMap(vecs), true)
 	h.grow(maxEnd)
 	return put
 }
 
 // ReadVec implements fs.Handle.
-func (h *pfsHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
+func (h *pfsHandle) ReadVec(r *ioreq.Request, vecs []fs.IOVec) int64 {
 	h.check()
 	size := h.Size()
 	clamped := make([]fs.IOVec, 0, len(vecs))
@@ -217,8 +225,10 @@ func (h *pfsHandle) ReadVec(p *sim.Proc, vecs []fs.IOVec) int64 {
 	if len(clamped) == 0 {
 		return 0
 	}
+	h.c.span(r)
+	defer r.Pop()
 	sort.Slice(clamped, func(i, j int) bool { return clamped[i].Off < clamped[j].Off })
-	return h.transfer(p, h.stripeMap(clamped), false)
+	return h.transfer(r, h.stripeMap(clamped), false)
 }
 
 // grow extends the metadata size (monotonic).
@@ -229,16 +239,18 @@ func (h *pfsHandle) grow(end int64) {
 }
 
 // Sync implements fs.Handle.
-func (h *pfsHandle) Sync(p *sim.Proc) {
+func (h *pfsHandle) Sync(r *ioreq.Request) {
 	h.check()
-	h.c.Sync(p)
+	h.c.Sync(r)
 }
 
 // Close implements fs.Handle (metadata release).
-func (h *pfsHandle) Close(p *sim.Proc) {
+func (h *pfsHandle) Close(r *ioreq.Request) {
 	h.check()
 	h.closed = true
+	h.c.span(r)
+	defer r.Pop()
 	// A nil-op metadata RPC cannot fail; fs.Handle.Close has no
 	// error to propagate anyway.
-	_ = h.c.metaRPC(p, nil)
+	_ = h.c.metaRPC(r, nil)
 }

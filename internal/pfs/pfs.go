@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
@@ -118,12 +119,12 @@ func (sys *System) Params() Params { return sys.params }
 
 // subfile returns (opening/creating lazily) server i's subfile handle
 // for a path.
-func (sys *System) subfile(p *sim.Proc, i int, path string) (fs.Handle, error) {
+func (sys *System) subfile(r *ioreq.Request, i int, path string) (fs.Handle, error) {
 	srv := sys.servers[i]
 	if h, ok := srv.handles[path]; ok {
 		return h, nil
 	}
-	h, err := srv.backend.Open(p, fmt.Sprintf("/pvfs%s.s%d", path, i), fs.ORead|fs.OWrite|fs.OCreate)
+	h, err := srv.backend.Open(r, fmt.Sprintf("/pvfs%s.s%d", path, i), fs.ORead|fs.OWrite|fs.OCreate)
 	if err != nil {
 		return nil, err
 	}
@@ -178,13 +179,19 @@ func (c *Client) Node() string { return c.node }
 // metaServer is the metadata daemon (server 0).
 func (c *Client) metaServer() *Server { return c.sys.servers[0] }
 
+// span opens the client's global-fs span on r.
+func (c *Client) span(r *ioreq.Request) {
+	r.Push(telemetry.LevelGlobalFS, "pfs:"+c.sys.params.Name)
+}
+
 // metaRPC performs a metadata request against server 0.
-func (c *Client) metaRPC(p *sim.Proc, fn func() error) error {
+func (c *Client) metaRPC(r *ioreq.Request, fn func() error) error {
 	srv := c.metaServer()
+	p := r.Proc()
 	c.Stats.Requests++
 	srv.Stats.Requests++
 	start := p.Now()
-	c.net.Send(p, c.node, srv.node, rpcHeaderBytes)
+	c.net.Send(r, c.node, srv.node, rpcHeaderBytes)
 	srvStart := p.Now()
 	srv.rec.Enter()
 	srv.threads.Acquire(p, 1)
@@ -196,14 +203,16 @@ func (c *Client) metaRPC(p *sim.Proc, fn func() error) error {
 	srv.threads.Release(1)
 	srv.rec.Exit()
 	srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-srvStart))
-	c.net.Send(p, srv.node, c.node, rpcHeaderBytes)
+	c.net.Send(r, srv.node, c.node, rpcHeaderBytes)
 	c.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
 	return err
 }
 
 // Open implements fs.Interface.
-func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
-	err := c.metaRPC(p, func() error {
+func (c *Client) Open(r *ioreq.Request, path string, flags int) (fs.Handle, error) {
+	c.span(r)
+	defer r.Pop()
+	err := c.metaRPC(r, func() error {
 		_, exists := c.sys.sizes[path]
 		if !exists {
 			if flags&fs.OCreate == 0 {
@@ -223,19 +232,21 @@ func (c *Client) Open(p *sim.Proc, path string, flags int) (fs.Handle, error) {
 }
 
 // Remove implements fs.Interface.
-func (c *Client) Remove(p *sim.Proc, path string) error {
-	return c.metaRPC(p, func() error {
+func (c *Client) Remove(r *ioreq.Request, path string) error {
+	c.span(r)
+	defer r.Pop()
+	return c.metaRPC(r, func() error {
 		if _, ok := c.sys.sizes[path]; !ok {
 			return fmt.Errorf("remove %q: %w", path, fs.ErrNotExist)
 		}
 		delete(c.sys.sizes, path)
 		for i, srv := range c.sys.servers {
 			if h, ok := srv.handles[path]; ok {
-				h.Close(p)
+				h.Close(r)
 				delete(srv.handles, path)
 				// The stripe file exists whenever a handle does; a
 				// backend miss here is not a client-visible error.
-				_ = srv.backend.Remove(p, fmt.Sprintf("/pvfs%s.s%d", path, i))
+				_ = srv.backend.Remove(r, fmt.Sprintf("/pvfs%s.s%d", path, i))
 			}
 		}
 		return nil
@@ -243,9 +254,11 @@ func (c *Client) Remove(p *sim.Proc, path string) error {
 }
 
 // Stat implements fs.Interface.
-func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
+func (c *Client) Stat(r *ioreq.Request, path string) (fs.FileInfo, error) {
+	c.span(r)
+	defer r.Pop()
 	var fi fs.FileInfo
-	err := c.metaRPC(p, func() error {
+	err := c.metaRPC(r, func() error {
 		size, ok := c.sys.sizes[path]
 		if !ok {
 			return fmt.Errorf("stat %q: %w", path, fs.ErrNotExist)
@@ -257,21 +270,24 @@ func (c *Client) Stat(p *sim.Proc, path string) (fs.FileInfo, error) {
 }
 
 // Sync implements fs.Interface: flush every server's backend.
-func (c *Client) Sync(p *sim.Proc) {
+func (c *Client) Sync(r *ioreq.Request) {
+	c.span(r)
+	defer r.Pop()
 	fns := make([]func(*sim.Proc), len(c.sys.servers))
 	for i := range c.sys.servers {
 		srv := c.sys.servers[i]
 		fns[i] = func(child *sim.Proc) {
-			c.net.Send(child, c.node, srv.node, rpcHeaderBytes)
+			cr := r.WithProc(child)
+			c.net.Send(cr, c.node, srv.node, rpcHeaderBytes)
 			srvStart := child.Now()
 			srv.rec.Enter()
 			srv.threads.Acquire(child, 1)
-			srv.backend.Sync(child)
+			srv.backend.Sync(cr)
 			srv.threads.Release(1)
 			srv.rec.Exit()
 			srv.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(child.Now()-srvStart))
-			c.net.Send(child, srv.node, c.node, rpcHeaderBytes)
+			c.net.Send(cr, srv.node, c.node, rpcHeaderBytes)
 		}
 	}
-	sim.Fork(p, "pfs-sync", fns...)
+	sim.Fork(r.Proc(), "pfs-sync", fns...)
 }

@@ -9,6 +9,7 @@ import (
 	"ioeval/internal/cache"
 	"ioeval/internal/device"
 	"ioeval/internal/fs"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/netsim"
 	"ioeval/internal/sim"
 )
@@ -56,29 +57,29 @@ func run(t *testing.T, e *sim.Engine, fn func(*sim.Proc)) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	r := newRig(4)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, err := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		h, err := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.ORead|fs.OCreate)
 		if err != nil {
 			t.Fatalf("open: %v", err)
 		}
-		if n := h.WriteAt(p, 0, 8*mb); n != 8*mb {
+		if n := h.WriteAt(ioreq.Writer(p), 0, 8*mb); n != 8*mb {
 			t.Fatalf("wrote %d", n)
 		}
 		if h.Size() != 8*mb {
 			t.Fatalf("size = %d", h.Size())
 		}
-		if n := h.ReadAt(p, 0, 8*mb); n != 8*mb {
+		if n := h.ReadAt(ioreq.Reader(p), 0, 8*mb); n != 8*mb {
 			t.Fatalf("read %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 }
 
 func TestStripingDistributesEvenly(t *testing.T) {
 	r := newRig(4)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 8*mb) // 128 chunks of 64 KiB over 4 servers
-		h.Close(p)
+		h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 8*mb) // 128 chunks of 64 KiB over 4 servers
+		h.Close(ioreq.Meta(p))
 	})
 	for i, srv := range r.sys.Servers() {
 		if srv.Stats.BytesWritten != 2*mb {
@@ -90,7 +91,7 @@ func TestStripingDistributesEvenly(t *testing.T) {
 func TestOpenMissingFails(t *testing.T) {
 	r := newRig(2)
 	run(t, r.eng, func(p *sim.Proc) {
-		if _, err := r.client.Open(p, "/ghost", fs.ORead); !errors.Is(err, fs.ErrNotExist) {
+		if _, err := r.client.Open(ioreq.Meta(p), "/ghost", fs.ORead); !errors.Is(err, fs.ErrNotExist) {
 			t.Fatalf("err = %v", err)
 		}
 	})
@@ -99,17 +100,17 @@ func TestOpenMissingFails(t *testing.T) {
 func TestStatRemove(t *testing.T) {
 	r := newRig(2)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, 100*kb)
-		h.Close(p)
-		fi, err := r.client.Stat(p, "/f")
+		h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 100*kb)
+		h.Close(ioreq.Meta(p))
+		fi, err := r.client.Stat(ioreq.Meta(p), "/f")
 		if err != nil || fi.Size != 100*kb {
 			t.Fatalf("stat = %+v, %v", fi, err)
 		}
-		if err := r.client.Remove(p, "/f"); err != nil {
+		if err := r.client.Remove(ioreq.Meta(p), "/f"); err != nil {
 			t.Fatalf("remove: %v", err)
 		}
-		if _, err := r.client.Stat(p, "/f"); !errors.Is(err, fs.ErrNotExist) {
+		if _, err := r.client.Stat(ioreq.Meta(p), "/f"); !errors.Is(err, fs.ErrNotExist) {
 			t.Fatalf("stat after remove: %v", err)
 		}
 	})
@@ -118,29 +119,29 @@ func TestStatRemove(t *testing.T) {
 func TestTruncateOnOpen(t *testing.T) {
 	r := newRig(2)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
-		h.WriteAt(p, 0, mb)
-		h.Close(p)
-		h2, _ := r.client.Open(p, "/f", fs.OWrite|fs.OTrunc)
+		h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, mb)
+		h.Close(ioreq.Meta(p))
+		h2, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OTrunc)
 		if h2.Size() != 0 {
 			t.Fatalf("size after trunc = %d", h2.Size())
 		}
-		h2.Close(p)
+		h2.Close(ioreq.Meta(p))
 	})
 }
 
 func TestReadClampsToEOF(t *testing.T) {
 	r := newRig(2)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
-		h.WriteAt(p, 0, 100*kb)
-		if n := h.ReadAt(p, 50*kb, mb); n != 50*kb {
+		h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		h.WriteAt(ioreq.Writer(p), 0, 100*kb)
+		if n := h.ReadAt(ioreq.Reader(p), 50*kb, mb); n != 50*kb {
 			t.Fatalf("short read = %d", n)
 		}
-		if n := h.ReadAt(p, mb, kb); n != 0 {
+		if n := h.ReadAt(ioreq.Reader(p), mb, kb); n != 0 {
 			t.Fatalf("read past EOF = %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 }
 
@@ -151,12 +152,12 @@ func TestMoreServersMoreThroughput(t *testing.T) {
 		r := newRig(nServers)
 		var dur sim.Duration
 		run(t, r.eng, func(p *sim.Proc) {
-			h, _ := r.client.Open(p, "/f", fs.OWrite|fs.OCreate)
+			h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.OCreate)
 			t0 := p.Now()
-			h.WriteAt(p, 0, 256*mb)
-			h.Sync(p)
+			h.WriteAt(ioreq.Writer(p), 0, 256*mb)
+			h.Sync(ioreq.Meta(p))
 			dur = sim.Duration(p.Now() - t0)
-			h.Close(p)
+			h.Close(ioreq.Meta(p))
 		})
 		return dur
 	}
@@ -169,18 +170,18 @@ func TestMoreServersMoreThroughput(t *testing.T) {
 func TestVecTotals(t *testing.T) {
 	r := newRig(3)
 	run(t, r.eng, func(p *sim.Proc) {
-		h, _ := r.client.Open(p, "/f", fs.OWrite|fs.ORead|fs.OCreate)
+		h, _ := r.client.Open(ioreq.Meta(p), "/f", fs.OWrite|fs.ORead|fs.OCreate)
 		var vecs []fs.IOVec
 		for i := int64(0); i < 100; i++ {
 			vecs = append(vecs, fs.IOVec{Off: i * 100 * kb, Len: 10 * kb})
 		}
-		if n := h.WriteVec(p, vecs); n != 1000*kb {
+		if n := h.WriteVec(ioreq.Writer(p), vecs); n != 1000*kb {
 			t.Fatalf("vec wrote %d", n)
 		}
-		if n := h.ReadVec(p, vecs); n != 1000*kb {
+		if n := h.ReadVec(ioreq.Reader(p), vecs); n != 1000*kb {
 			t.Fatalf("vec read %d", n)
 		}
-		h.Close(p)
+		h.Close(ioreq.Meta(p))
 	})
 }
 

@@ -3,6 +3,7 @@ package raid
 import (
 	"fmt"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -53,10 +54,10 @@ func (a *Array) healthyMirror() int {
 }
 
 // degradedRead serves one segment whose home disk failed.
-func (a *Array) degradedRead(p *sim.Proc, s segment) {
+func (a *Array) degradedRead(r *ioreq.Request, s segment) {
 	switch a.level {
 	case RAID1:
-		a.members[a.healthyMirror()].ReadAt(p, s.off, s.len)
+		a.members[a.healthyMirror()].ReadAt(r, s.off, s.len)
 	case RAID5:
 		// Reconstruct: read the same extent from every survivor (the
 		// row's other data chunks and its parity), XOR is free.
@@ -66,9 +67,9 @@ func (a *Array) degradedRead(p *sim.Proc, s segment) {
 				continue
 			}
 			m := a.members[i]
-			fns = append(fns, func(c *sim.Proc) { m.ReadAt(c, s.off, s.len) })
+			fns = append(fns, func(c *sim.Proc) { m.ReadAt(r.WithProc(c), s.off, s.len) })
 		}
-		sim.Fork(p, "reconstruct", fns...)
+		sim.Fork(r.Proc(), "reconstruct", fns...)
 	default:
 		panic(fmt.Sprintf("raid %q: read from failed member of %v", a.name, a.level))
 	}
@@ -78,7 +79,7 @@ func (a *Array) degradedRead(p *sim.Proc, s segment) {
 // is represented by the row's parity (written by the caller's plan),
 // so the member write itself is dropped. For RAID 1 the write simply
 // skips the failed mirror (the caller writes the survivors).
-func (a *Array) degradedWrite(p *sim.Proc, s segment) {
+func (a *Array) degradedWrite(r *ioreq.Request, s segment) {
 	switch a.level {
 	case RAID1, RAID5:
 		// No device work: survivors/parity carry the information.

@@ -3,6 +3,7 @@ package raid
 import (
 	"testing"
 
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -12,9 +13,9 @@ func TestDegradedRAID5ReadReconstructs(t *testing.T) {
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	var healthy sim.Duration
 	e.Spawn("prep", func(p *sim.Proc) {
-		a.WriteAt(p, 0, 16*mb)
+		a.WriteAt(ioreq.Writer(p), 0, 16*mb)
 		t0 := p.Now()
-		a.ReadAt(p, 0, 16*mb)
+		a.ReadAt(ioreq.Reader(p), 0, 16*mb)
 		healthy = sim.Duration(p.Now() - t0)
 	})
 	e.Run()
@@ -30,7 +31,7 @@ func TestDegradedRAID5ReadReconstructs(t *testing.T) {
 	}
 	e.Spawn("read", func(p *sim.Proc) {
 		t0 := p.Now()
-		a.ReadAt(p, 0, 16*mb)
+		a.ReadAt(ioreq.Reader(p), 0, 16*mb)
 		degraded = sim.Duration(p.Now() - t0)
 	})
 	e.Run()
@@ -54,13 +55,13 @@ func TestDegradedRAID1ServesFromSurvivor(t *testing.T) {
 	e := sim.NewEngine()
 	ds := disks(e, 2)
 	a := NewRAID1(e, "r1", asBlockDevs(ds)...)
-	e.Spawn("prep", func(p *sim.Proc) { a.WriteAt(p, 0, 8*mb) })
+	e.Spawn("prep", func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 8*mb) })
 	e.Run()
 	a.Fail(0)
 	e.Spawn("rw", func(p *sim.Proc) {
-		a.ReadAt(p, 0, 8*mb)
-		a.WriteAt(p, 0, 4*mb)
-		a.Flush(p)
+		a.ReadAt(ioreq.Reader(p), 0, 8*mb)
+		a.WriteAt(ioreq.Writer(p), 0, 4*mb)
+		a.Flush(ioreq.Meta(p))
 	})
 	before := ds[0].Stats
 	e.Run()
@@ -102,7 +103,7 @@ func TestDegradedRAID5WritesStillLand(t *testing.T) {
 	ds := disks(e, 5)
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	a.Fail(1)
-	e.Spawn("w", func(p *sim.Proc) { a.WriteAt(p, 0, 4*mb) })
+	e.Spawn("w", func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 4*mb) })
 	e.Run()
 	var landed int64
 	for i, d := range ds {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 	"ioeval/internal/telemetry"
 )
@@ -186,82 +187,88 @@ func mergeSegments(segs []segment) [][]segment {
 }
 
 // runPerDisk executes each disk's segment list in parallel across
-// disks (serially within a disk), blocking p until all complete.
-func (a *Array) runPerDisk(p *sim.Proc, perDisk [][]segment, write bool) {
+// disks (serially within a disk), blocking the request until all
+// complete.
+func (a *Array) runPerDisk(r *ioreq.Request, perDisk [][]segment, write bool) {
 	if len(perDisk) == 1 {
-		a.runSegs(p, perDisk[0], write)
+		a.runSegs(r, perDisk[0], write)
 		return
 	}
 	fns := make([]func(*sim.Proc), len(perDisk))
 	for i, segs := range perDisk {
 		segs := segs
-		fns[i] = func(c *sim.Proc) { a.runSegs(c, segs, write) }
+		fns[i] = func(c *sim.Proc) { a.runSegs(r.WithProc(c), segs, write) }
 	}
-	sim.Fork(p, "stripe", fns...)
+	sim.Fork(r.Proc(), "stripe", fns...)
 }
 
-func (a *Array) runSegs(p *sim.Proc, segs []segment, write bool) {
+func (a *Array) runSegs(r *ioreq.Request, segs []segment, write bool) {
 	for _, s := range segs {
 		if a.failed[s.disk] {
 			a.rec.Add("degraded_segs", 1)
+			r.Tag("raid_degraded")
 			if write {
-				a.degradedWrite(p, s)
+				a.degradedWrite(r, s)
 			} else {
-				a.degradedRead(p, s)
+				a.degradedRead(r, s)
 			}
 			continue
 		}
 		if write {
-			a.members[s.disk].WriteAt(p, s.off, s.len)
+			a.members[s.disk].WriteAt(r, s.off, s.len)
 		} else {
-			a.members[s.disk].ReadAt(p, s.off, s.len)
+			a.members[s.disk].ReadAt(r, s.off, s.len)
 		}
 	}
 }
 
 // ReadAt implements device.BlockDev.
-func (a *Array) ReadAt(p *sim.Proc, off, n int64) {
+func (a *Array) ReadAt(r *ioreq.Request, off, n int64) {
 	a.checkRange(off, n, "read")
 	if n == 0 {
 		return
 	}
+	r.Push(telemetry.LevelBlock, "array:"+a.name)
+	defer r.Pop()
 	a.rec.Enter()
-	start := p.Now()
+	start := r.Now()
 	defer func() {
-		a.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(p.Now()-start))
+		a.rec.Observe(telemetry.ClassRead, 1, n, sim.Duration(r.Now()-start))
 		a.rec.Exit()
 	}()
 	switch a.level {
 	case JBOD:
-		a.runPerDisk(p, mergeSegments(a.mapConcat(off, n)), false)
+		a.runPerDisk(r, mergeSegments(a.mapConcat(off, n)), false)
 	case RAID0:
-		a.runPerDisk(p, mergeSegments(a.mapStripe(off, n, len(a.members))), false)
+		a.runPerDisk(r, mergeSegments(a.mapStripe(off, n, len(a.members))), false)
 	case RAID1:
 		// Balance reads across mirrors: split the request round-robin in
 		// stripe-sized slices so large reads use all spindles.
-		a.runPerDisk(p, a.mapMirrorRead(off, n), false)
+		a.runPerDisk(r, a.mapMirrorRead(off, n), false)
 	case RAID5:
-		a.runPerDisk(p, mergeSegments(a.mapRAID5Data(off, n)), false)
+		a.runPerDisk(r, mergeSegments(a.mapRAID5Data(off, n)), false)
 	}
 }
 
 // WriteAt implements device.BlockDev.
-func (a *Array) WriteAt(p *sim.Proc, off, n int64) {
+func (a *Array) WriteAt(r *ioreq.Request, off, n int64) {
 	a.checkRange(off, n, "write")
 	if n == 0 {
 		return
 	}
+	r.Push(telemetry.LevelBlock, "array:"+a.name)
+	defer r.Pop()
 	a.rec.Enter()
-	start := p.Now()
+	start := r.Now()
 	defer func() {
-		a.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(p.Now()-start))
+		a.rec.Observe(telemetry.ClassWrite, 1, n, sim.Duration(r.Now()-start))
 		a.rec.Exit()
 	}()
 	switch a.level {
 	case JBOD:
-		a.runPerDisk(p, mergeSegments(a.mapConcat(off, n)), true)
+		a.runPerDisk(r, mergeSegments(a.mapConcat(off, n)), true)
 	case RAID0:
-		a.runPerDisk(p, mergeSegments(a.mapStripe(off, n, len(a.members))), true)
+		a.runPerDisk(r, mergeSegments(a.mapStripe(off, n, len(a.members))), true)
 	case RAID1:
 		// Every healthy mirror writes the full data.
 		fns := make([]func(*sim.Proc), 0, len(a.members))
@@ -270,20 +277,22 @@ func (a *Array) WriteAt(p *sim.Proc, off, n int64) {
 				continue
 			}
 			m := a.members[i]
-			fns = append(fns, func(c *sim.Proc) { m.WriteAt(c, off, n) })
+			fns = append(fns, func(c *sim.Proc) { m.WriteAt(r.WithProc(c), off, n) })
 		}
-		sim.Fork(p, "mirror", fns...)
+		sim.Fork(r.Proc(), "mirror", fns...)
 	case RAID5:
-		a.writeRAID5(p, off, n)
+		a.writeRAID5(r, off, n)
 	}
 }
 
 // Flush implements device.BlockDev: all healthy members flush in
 // parallel.
-func (a *Array) Flush(p *sim.Proc) {
-	start := p.Now()
+func (a *Array) Flush(r *ioreq.Request) {
+	r.Push(telemetry.LevelBlock, "array:"+a.name)
+	defer r.Pop()
+	start := r.Now()
 	defer func() {
-		a.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(p.Now()-start))
+		a.rec.Observe(telemetry.ClassMeta, 1, 0, sim.Duration(r.Now()-start))
 	}()
 	fns := make([]func(*sim.Proc), 0, len(a.members))
 	for i := range a.members {
@@ -291,9 +300,9 @@ func (a *Array) Flush(p *sim.Proc) {
 			continue
 		}
 		m := a.members[i]
-		fns = append(fns, func(c *sim.Proc) { m.Flush(c) })
+		fns = append(fns, func(c *sim.Proc) { m.Flush(r.WithProc(c)) })
 	}
-	sim.Fork(p, "flush", fns...)
+	sim.Fork(r.Proc(), "flush", fns...)
 }
 
 // mapConcat maps a JBOD logical range onto members laid end to end.
@@ -404,7 +413,7 @@ func (a *Array) mapRAID5Data(off, n int64) []segment {
 // the new data: write n members in parallel) and partial rows
 // (read-modify-write: read old data+parity, then write new
 // data+parity).
-func (a *Array) writeRAID5(p *sim.Proc, off, n int64) {
+func (a *Array) writeRAID5(r *ioreq.Request, off, n int64) {
 	u := a.stripeUnit
 	rowBytes := u * int64(len(a.members)-1)
 
@@ -432,10 +441,10 @@ func (a *Array) writeRAID5(p *sim.Proc, off, n int64) {
 	}
 
 	if len(fullSegs) > 0 {
-		a.runPerDisk(p, mergeSegments(fullSegs), true)
+		a.runPerDisk(r, mergeSegments(fullSegs), true)
 	}
 	for _, span := range partial {
-		a.rmwRow(p, span.row, span.off, span.len)
+		a.rmwRow(r, span.row, span.off, span.len)
 	}
 }
 
@@ -443,7 +452,7 @@ func (a *Array) writeRAID5(p *sim.Proc, off, n int64) {
 // 1 reads the old data chunks and old parity in parallel; phase 2
 // writes the new data and new parity in parallel. This is the classic
 // "small-write penalty" (4 disk ops for a single-chunk write).
-func (a *Array) rmwRow(p *sim.Proc, row, off, n int64) {
+func (a *Array) rmwRow(r *ioreq.Request, row, off, n int64) {
 	dataSegs := a.mapRAID5Data(off, n)
 	pd, physOff := a.raid5ParityPos(row)
 	// Parity must be re-read/re-written across the byte range the data
@@ -453,9 +462,9 @@ func (a *Array) rmwRow(p *sim.Proc, row, off, n int64) {
 	paritySeg := segment{disk: pd, off: physOff + pw.off, len: pw.len}
 
 	readSegs := append(append([]segment{}, dataSegs...), paritySeg)
-	a.runPerDisk(p, mergeSegments(readSegs), false)
+	a.runPerDisk(r, mergeSegments(readSegs), false)
 	writeSegs := append(append([]segment{}, dataSegs...), paritySeg)
-	a.runPerDisk(p, mergeSegments(writeSegs), true)
+	a.runPerDisk(r, mergeSegments(writeSegs), true)
 }
 
 type span struct{ off, len int64 }

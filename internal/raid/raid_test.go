@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -81,7 +82,7 @@ func TestJBODConcatSplit(t *testing.T) {
 	a := NewJBOD(e, "j", asBlockDevs(ds)...)
 	// Read straddling the member boundary.
 	boundary := ds[0].Capacity()
-	run(e, func(p *sim.Proc) { a.ReadAt(p, boundary-mb, 2*mb) })
+	run(e, func(p *sim.Proc) { a.ReadAt(ioreq.Reader(p), boundary-mb, 2*mb) })
 	if ds[0].Stats.BytesRead != mb || ds[1].Stats.BytesRead != mb {
 		t.Fatalf("boundary split: d0=%d d1=%d, want 1MB each",
 			ds[0].Stats.BytesRead, ds[1].Stats.BytesRead)
@@ -94,7 +95,7 @@ func TestRAID0DistributesEvenly(t *testing.T) {
 	e := sim.NewEngine()
 	ds := disks(e, 4)
 	a := NewRAID0(e, "r0", 256*kb, asBlockDevs(ds)...)
-	run(e, func(p *sim.Proc) { a.WriteAt(p, 0, 8*mb) })
+	run(e, func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 8*mb) })
 	for i, d := range ds {
 		if d.Stats.BytesWritten != 2*mb {
 			t.Fatalf("disk %d wrote %d, want 2MB", i, d.Stats.BytesWritten)
@@ -105,11 +106,11 @@ func TestRAID0DistributesEvenly(t *testing.T) {
 func TestRAID0FasterThanSingleDisk(t *testing.T) {
 	e := sim.NewEngine()
 	single := device.NewDisk(e, device.DefaultSATA("s", 230*gb, 100e6))
-	tSingle := run(e, func(p *sim.Proc) { single.ReadAt(p, 0, 64*mb) })
+	tSingle := run(e, func(p *sim.Proc) { single.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	e2 := sim.NewEngine()
 	a := NewRAID0(e2, "r0", 256*kb, asBlockDevs(disks(e2, 4))...)
-	tArray := run(e2, func(p *sim.Proc) { a.ReadAt(p, 0, 64*mb) })
+	tArray := run(e2, func(p *sim.Proc) { a.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	if float64(tArray) > float64(tSingle)/3.0 {
 		t.Fatalf("RAID0x4 (%v) not ≳4x faster than single disk (%v)", tArray, tSingle)
@@ -120,7 +121,7 @@ func TestRAID1WritesAllMirrors(t *testing.T) {
 	e := sim.NewEngine()
 	ds := disks(e, 2)
 	a := NewRAID1(e, "r1", asBlockDevs(ds)...)
-	run(e, func(p *sim.Proc) { a.WriteAt(p, 0, 4*mb) })
+	run(e, func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 4*mb) })
 	for i, d := range ds {
 		if d.Stats.BytesWritten != 4*mb {
 			t.Fatalf("mirror %d wrote %d, want 4MB", i, d.Stats.BytesWritten)
@@ -132,7 +133,7 @@ func TestRAID1LargeReadUsesBothSpindles(t *testing.T) {
 	e := sim.NewEngine()
 	ds := disks(e, 2)
 	a := NewRAID1(e, "r1", asBlockDevs(ds)...)
-	run(e, func(p *sim.Proc) { a.ReadAt(p, 0, 8*mb) })
+	run(e, func(p *sim.Proc) { a.ReadAt(ioreq.Reader(p), 0, 8*mb) })
 	if ds[0].Stats.BytesRead == 0 || ds[1].Stats.BytesRead == 0 {
 		t.Fatalf("read not balanced: d0=%d d1=%d", ds[0].Stats.BytesRead, ds[1].Stats.BytesRead)
 	}
@@ -147,7 +148,7 @@ func TestRAID1SmallReadsRoundRobin(t *testing.T) {
 	a := NewRAID1(e, "r1", asBlockDevs(ds)...)
 	run(e, func(p *sim.Proc) {
 		for i := 0; i < 10; i++ {
-			a.ReadAt(p, int64(i)*64*kb, 64*kb)
+			a.ReadAt(ioreq.Reader(p), int64(i)*64*kb, 64*kb)
 		}
 	})
 	if ds[0].Stats.Reads != 5 || ds[1].Stats.Reads != 5 {
@@ -160,7 +161,7 @@ func TestRAID5ReadSkipsParity(t *testing.T) {
 	ds := disks(e, 5)
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	// Read exactly 2 full rows = 8 data chunks = 2 MB.
-	run(e, func(p *sim.Proc) { a.ReadAt(p, 0, 2*mb) })
+	run(e, func(p *sim.Proc) { a.ReadAt(ioreq.Reader(p), 0, 2*mb) })
 	var total int64
 	for _, d := range ds {
 		total += d.Stats.BytesRead
@@ -175,7 +176,7 @@ func TestRAID5FullStripeWriteParityOverhead(t *testing.T) {
 	ds := disks(e, 5)
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	// Write 4 full rows: 4 MB data ⇒ 4 MB data + 1 MB parity on media.
-	run(e, func(p *sim.Proc) { a.WriteAt(p, 0, 4*mb) })
+	run(e, func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 4*mb) })
 	var total, reads int64
 	for _, d := range ds {
 		total += d.Stats.BytesWritten
@@ -195,7 +196,7 @@ func TestRAID5SmallWriteRMW(t *testing.T) {
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	// A single 4 KB write within one chunk: classic small-write penalty,
 	// 2 reads (old data, old parity) + 2 writes (new data, new parity).
-	run(e, func(p *sim.Proc) { a.WriteAt(p, 0, 4*kb) })
+	run(e, func(p *sim.Proc) { a.WriteAt(ioreq.Writer(p), 0, 4*kb) })
 	var reads, writes, bRead, bWritten int64
 	for _, d := range ds {
 		reads += d.Stats.Reads
@@ -243,11 +244,11 @@ func TestRAID5DataMappingNoParityCollision(t *testing.T) {
 func TestRAID5SequentialReadFasterThanJBOD(t *testing.T) {
 	e := sim.NewEngine()
 	j := NewJBOD(e, "j", asBlockDevs(disks(e, 1))...)
-	tJ := run(e, func(p *sim.Proc) { j.ReadAt(p, 0, 64*mb) })
+	tJ := run(e, func(p *sim.Proc) { j.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	e2 := sim.NewEngine()
 	r5 := NewRAID5(e2, "r5", 256*kb, asBlockDevs(disks(e2, 5))...)
-	tR := run(e2, func(p *sim.Proc) { r5.ReadAt(p, 0, 64*mb) })
+	tR := run(e2, func(p *sim.Proc) { r5.ReadAt(ioreq.Reader(p), 0, 64*mb) })
 
 	if tR >= tJ {
 		t.Fatalf("RAID5 read (%v) not faster than JBOD (%v)", tR, tJ)
@@ -259,8 +260,8 @@ func TestFlushAllMembers(t *testing.T) {
 	ds := disks(e, 3)
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(ds)...)
 	run(e, func(p *sim.Proc) {
-		a.WriteAt(p, 0, 2*mb)
-		a.Flush(p)
+		a.WriteAt(ioreq.Writer(p), 0, 2*mb)
+		a.Flush(ioreq.Meta(p))
 	})
 	// No assertion on time; just ensure it completes and is idempotent.
 	run2 := sim.NewEngine()
@@ -330,7 +331,7 @@ func BenchmarkRAID5LargeWrite(b *testing.B) {
 	a := NewRAID5(e, "r5", 256*kb, asBlockDevs(disks(e, 5))...)
 	e.Spawn("w", func(p *sim.Proc) {
 		for i := 0; i < b.N; i++ {
-			a.WriteAt(p, int64(i%100)*4*mb, 4*mb)
+			a.WriteAt(ioreq.Writer(p), int64(i%100)*4*mb, 4*mb)
 		}
 	})
 	b.ResetTimer()

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -47,6 +48,8 @@ func (a *Array) FailedMembers() []int {
 // overlaps foreground I/O. The reconstruction reads the survivors
 // (the healthy mirror on RAID 1; every surviving disk of the row on
 // RAID 5) and writes the result to spare, chunk by chunk.
+//
+//lint:ignore reqpath rebuild is the maintenance plane, not a request path: its I/O belongs to no application request, so there is no span stack or op class to thread
 func (a *Array) Rebuild(p *sim.Proc, spare device.BlockDev, cfg RebuildConfig) error {
 	if a.level != RAID1 && a.level != RAID5 {
 		return fmt.Errorf("raid %q: %v does not rebuild", a.name, a.level)
@@ -72,12 +75,13 @@ func (a *Array) Rebuild(p *sim.Proc, spare device.BlockDev, cfg RebuildConfig) e
 	}
 
 	a.rec.Add("rebuilds_started", 1)
+	r := ioreq.Writer(p)
 	start := p.Now()
 	for done := int64(0); done < total; {
 		n := min64(chunk, total-done)
 		off := done
-		a.reconstructChunk(p, idx, off, n)
-		spare.WriteAt(p, off, n)
+		a.reconstructChunk(r, idx, off, n)
+		spare.WriteAt(r, off, n)
 		done += n
 		a.rec.Add("rebuild_bytes", n)
 		if cfg.Rate > 0 {
@@ -100,10 +104,10 @@ func (a *Array) Rebuild(p *sim.Proc, spare device.BlockDev, cfg RebuildConfig) e
 
 // reconstructChunk reads the data needed to recompute one extent of
 // the failed member idx from the survivors.
-func (a *Array) reconstructChunk(p *sim.Proc, idx int, off, n int64) {
+func (a *Array) reconstructChunk(r *ioreq.Request, idx int, off, n int64) {
 	switch a.level {
 	case RAID1:
-		a.members[a.healthyMirror()].ReadAt(p, off, n)
+		a.members[a.healthyMirror()].ReadAt(r, off, n)
 	case RAID5:
 		// The lost chunk is the XOR of the same physical extent on
 		// every surviving member (data or parity alike); read them in
@@ -114,8 +118,8 @@ func (a *Array) reconstructChunk(p *sim.Proc, idx int, off, n int64) {
 				continue
 			}
 			m := a.members[i]
-			fns = append(fns, func(c *sim.Proc) { m.ReadAt(c, off, n) })
+			fns = append(fns, func(c *sim.Proc) { m.ReadAt(r.WithProc(c), off, n) })
 		}
-		sim.Fork(p, "rebuild", fns...)
+		sim.Fork(r.Proc(), "rebuild", fns...)
 	}
 }

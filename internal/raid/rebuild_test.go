@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ioeval/internal/device"
+	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
 )
 
@@ -63,7 +64,7 @@ func TestRebuildRAID5RestoresArray(t *testing.T) {
 	}
 	// Post-rebuild I/O must serve healthy (no reconstruction on reads).
 	before := ds[0].Stats.BytesRead
-	e.Spawn("io", func(p *sim.Proc) { a.ReadAt(p, 0, mb) })
+	e.Spawn("io", func(p *sim.Proc) { a.ReadAt(ioreq.Reader(p), 0, mb) })
 	e.Run()
 	if amp := ds[0].Stats.BytesRead - before; amp > mb {
 		t.Fatalf("healthy read amplified: member 0 read %d for %d", amp, mb)

@@ -77,6 +77,10 @@ type Cell struct {
 	// Levels carries the per-level measured-vs-characterized rows the
 	// evaluation produced (the Fig. 10 used-% inputs).
 	Levels []telemetry.LevelRate `json:"levels,omitempty"`
+	// Path is the cell's span-side report: per-request time-in-level
+	// attribution, the slowest-level verdict and its agreement with the
+	// used-% inference, and the conservation check.
+	Path *core.PathReport `json:"path,omitempty"`
 	// Telemetry summarizes the cell's per-component registry snapshots
 	// by I/O-path level.
 	Telemetry []LevelSummary `json:"telemetry,omitempty"`
@@ -109,6 +113,8 @@ func newCell(config, app string, ev *core.Evaluation) *Cell {
 		}
 	}
 	c.Levels = ev.TelemetryReport().Levels
+	pr := ev.PathReport()
+	c.Path = &pr
 	c.Telemetry = summarizeByLevel(ev.Components())
 	return c
 }

@@ -132,6 +132,16 @@ func TestSweepDeterminism(t *testing.T) {
 		if len(rep.Cells) != len(grid.Configs)*len(grid.Apps) {
 			t.Fatalf("%d workers: %d cells", r.workers, len(rep.Cells))
 		}
+		// Span aggregation rides in every cell: the byte-compare below
+		// only proves spans deterministic if they are actually there.
+		for i, c := range rep.Cells {
+			if c.Path == nil || !c.Path.HasSpans {
+				t.Fatalf("%d workers: cell %d has no span data; the determinism check would be vacuous", r.workers, i)
+			}
+			if !c.Path.Conserved {
+				t.Errorf("%d workers: cell %d violates span conservation (drift %v)", r.workers, i, c.Path.Drift)
+			}
+		}
 	}
 	if !bytes.Equal(runs[0].json, runs[1].json) {
 		t.Errorf("JSON reports differ between 1 and 8 workers:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",

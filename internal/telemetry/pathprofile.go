@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"encoding/json"
+
+	"ioeval/internal/sim"
+)
+
+// NumLevels is the number of I/O-path levels (the Level enum).
+const NumLevels = 8
+
+// Levels lists every level in path order (the Level enum order).
+var Levels = [NumLevels]Level{
+	LevelLibrary, LevelGlobalFS, LevelLocalFS, LevelCache,
+	LevelBlock, LevelDevice, LevelNetwork, LevelFault,
+}
+
+// NumClasses is the number of operation classes.
+const NumClasses = 3
+
+// Classes lists every operation class in enum order.
+var Classes = [NumClasses]OpClass{ClassRead, ClassWrite, ClassMeta}
+
+// PathCell accumulates the spans one (level, class) pair received
+// from completed requests.
+type PathCell struct {
+	// Spans is the number of spans popped at this level.
+	Spans int64 `json:"spans"`
+	// Busy is the summed wall duration of those spans (entry to exit,
+	// including time spent in lower levels).
+	Busy sim.Duration `json:"busy_ns"`
+	// Self is the summed self time: span duration minus the union of
+	// its child spans — time attributable to this level alone.
+	Self sim.Duration `json:"self_ns"`
+	// SelfRemote is the portion of Self from spans opened beneath a
+	// global-filesystem span — server-backend work done on behalf of
+	// remote requests. CharacterizedSelf folds it into the network-FS
+	// group rather than the compute node's local-FS group.
+	SelfRemote sim.Duration `json:"self_remote_ns"`
+	// Lat is the distribution of per-span wall durations.
+	Lat Histogram `json:"latency"`
+}
+
+// PathTop accumulates request-root spans of one class: the spans
+// opened where the application entered the I/O stack.
+type PathTop struct {
+	Spans int64        `json:"spans"`
+	Busy  sim.Duration `json:"busy_ns"`
+}
+
+// PathProfile is the span-side counterpart of the used-% table: exact
+// time-in-level attribution aggregated over completed requests. Where
+// the paper's evaluation phase divides measured by characterized
+// rates to guess the binding level, the profile measures it — each
+// request's spans say precisely where its time went.
+type PathProfile struct {
+	// Cells[level][class] aggregates all spans at that level/class.
+	Cells [NumLevels][NumClasses]PathCell
+	// Top[class] aggregates root spans: Top totals equal the summed
+	// wall time requests spent inside the stack (the conservation
+	// invariant checks Top against the trace's I/O time).
+	Top [NumClasses]PathTop
+	// Tags counts fault-plane marks (degraded reads, slow disks,
+	// server stalls) over all requests.
+	Tags map[string]int64
+}
+
+// Observe folds one popped span into the profile.
+func (p *PathProfile) Observe(level Level, class OpClass, busy, self sim.Duration, top, remote bool) {
+	c := &p.Cells[level][class]
+	c.Spans++
+	c.Busy += busy
+	c.Self += self
+	if remote {
+		c.SelfRemote += self
+	}
+	c.Lat.observe(busy, 1)
+	if top {
+		p.Top[class].Spans++
+		p.Top[class].Busy += busy
+	}
+}
+
+// AddTag counts a fault-plane mark.
+func (p *PathProfile) AddTag(name string) {
+	if p.Tags == nil {
+		p.Tags = map[string]int64{}
+	}
+	p.Tags[name]++
+}
+
+// Cell returns the accumulator for one (level, class) pair.
+func (p PathProfile) Cell(level Level, class OpClass) PathCell {
+	return p.Cells[level][class]
+}
+
+// SelfAt returns the level's self time summed over the data classes
+// (read + write; meta excluded, matching the used-% table's focus on
+// data transfer).
+func (p PathProfile) SelfAt(level Level) sim.Duration {
+	return p.Cells[level][ClassRead].Self + p.Cells[level][ClassWrite].Self
+}
+
+// RemoteSelfAt returns the level's remote (server-backend) self time
+// over the data classes.
+func (p PathProfile) RemoteSelfAt(level Level) sim.Duration {
+	return p.Cells[level][ClassRead].SelfRemote + p.Cells[level][ClassWrite].SelfRemote
+}
+
+// TopBusy returns root-span wall time summed over the given classes.
+func (p PathProfile) TopBusy(classes ...OpClass) sim.Duration {
+	var t sim.Duration
+	for _, c := range classes {
+		t += p.Top[c].Busy
+	}
+	return t
+}
+
+// SlowestLevel returns the level where requests spent the most self
+// time (read + write), and whether any data span was recorded at all.
+// The fault pseudo-level is excluded: it tags causes, it is not a
+// place on the path.
+func (p PathProfile) SlowestLevel() (Level, bool) {
+	best, bestSelf, any := LevelLibrary, sim.Duration(-1), false
+	for _, l := range Levels {
+		if l == LevelFault {
+			continue
+		}
+		self := p.SelfAt(l)
+		if p.Cells[l][ClassRead].Spans+p.Cells[l][ClassWrite].Spans > 0 {
+			any = true
+		}
+		if self > bestSelf {
+			best, bestSelf = l, self
+		}
+	}
+	return best, any
+}
+
+// CharacterizedSelf groups per-level self time onto the paper's three
+// characterized levels, so the span verdict is directly comparable to
+// the used-% table. The network folds into global-fs (its hops serve
+// the global filesystem's RPCs), and so does the remote share of the
+// lower levels: local-fs/cache/block/device self time spent beneath a
+// global-FS span is a file server's backend working for remote
+// clients — the characterization measures that stack as part of the
+// network-FS level. Only the non-remote remainder of the lower levels
+// is the compute node's own local-FS path.
+func (p PathProfile) CharacterizedSelf() map[Level]sim.Duration {
+	lower := [...]Level{LevelLocalFS, LevelCache, LevelBlock, LevelDevice}
+	out := map[Level]sim.Duration{
+		LevelLibrary:  p.SelfAt(LevelLibrary),
+		LevelGlobalFS: p.SelfAt(LevelGlobalFS) + p.SelfAt(LevelNetwork),
+		LevelLocalFS:  0,
+	}
+	for _, l := range lower {
+		remote := p.RemoteSelfAt(l)
+		out[LevelGlobalFS] += remote
+		out[LevelLocalFS] += p.SelfAt(l) - remote
+	}
+	return out
+}
+
+// pathCellJSON is one non-empty cell in the export format.
+type pathCellJSON struct {
+	Level Level     `json:"level"`
+	Class string    `json:"class"`
+	Cell  *PathCell `json:"cell"`
+}
+
+// pathProfileJSON is the stable export format: non-empty cells in
+// fixed (level, class) order, root totals per class, sorted tags.
+type pathProfileJSON struct {
+	Cells []pathCellJSON      `json:"cells"`
+	Top   map[string]*PathTop `json:"top"`
+	Tags  map[string]int64    `json:"tags,omitempty"`
+}
+
+// MarshalJSON renders the profile deterministically: cells iterate in
+// enum order and map keys are sorted by encoding/json, so equal
+// profiles produce byte-identical output (the sweep determinism tests
+// rely on this).
+func (p PathProfile) MarshalJSON() ([]byte, error) {
+	out := pathProfileJSON{Top: map[string]*PathTop{}}
+	for li, l := range Levels {
+		for ci, class := range Classes {
+			cell := p.Cells[li][ci]
+			if cell.Spans == 0 {
+				continue
+			}
+			c := cell
+			out.Cells = append(out.Cells, pathCellJSON{Level: l, Class: class.String(), Cell: &c})
+		}
+	}
+	for ci, class := range Classes {
+		if p.Top[ci].Spans != 0 {
+			t := p.Top[ci]
+			out.Top[class.String()] = &t
+		}
+	}
+	out.Tags = p.Tags
+	return json.Marshal(out)
+}
