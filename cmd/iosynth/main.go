@@ -1,0 +1,213 @@
+// Command iosynth runs declarative synthetic workloads — phase-graph
+// specs compiled by internal/workload/synth — through the paper's
+// full methodology: characterize the cluster, evaluate the spec under
+// the tracer, and report the used-percentage tables, optionally side
+// by side with a fault scenario.
+//
+// Run a spec:
+//
+//	iosynth -spec workload.json [-platform aohyper|clusterA]
+//	        [-org jbod|raid1|raid5] [-pfs N] [-quick]
+//	        [-fault scenario] [-spans] [-metrics out.json] [-utilization]
+//
+// Emit a built-in generator's spec (the hand-coded apps re-expressed
+// in the DSL) for editing and re-running:
+//
+//	iosynth -emit btio-full|btio-simple|madbench-shared|madbench-unique
+//	        [-procs N] [-quick] [-out workload.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/fault"
+	"ioeval/internal/sim"
+	"ioeval/internal/stats"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/madbench"
+	"ioeval/internal/workload/synth"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "synthetic-workload spec (JSON) to evaluate")
+	emit := flag.String("emit", "", "write a generator's spec instead of running: btio-full, btio-simple, madbench-shared or madbench-unique")
+	out := flag.String("out", "", "output file for -emit (default stdout)")
+	platform := flag.String("platform", "aohyper", "cluster to simulate: aohyper or clusterA")
+	orgName := flag.String("org", "raid5", "Aohyper device organization: jbod, raid1 or raid5")
+	procs := flag.Int("procs", 16, "MPI processes for -emit generators")
+	pfsNodes := flag.Int("pfs", 0, "deploy a PVFS-like parallel FS over N I/O nodes and run against it")
+	quick := flag.Bool("quick", false, "reduced characterization and generator problem sizes")
+	faultName := flag.String("fault", "", "also evaluate under a fault scenario: "+strings.Join(fault.BuiltinNames(), ", "))
+	spans := flag.Bool("spans", false, "print the span-based path report")
+	metrics := flag.String("metrics", "", "write the telemetry report to this JSON file")
+	utilization := flag.Bool("utilization", false, "print the cluster utilization report after evaluation")
+	flag.Parse()
+
+	if *emit != "" {
+		if err := emitSpec(*emit, *procs, *quick, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *specPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	spec, err := synth.LoadSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := synth.Compile(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	org, err := parseOrg(*orgName)
+	if err != nil {
+		fatal(err)
+	}
+	build := func() *cluster.Cluster {
+		var cfg cluster.Config
+		if *platform == "clusterA" {
+			cfg = cluster.ClusterA().Cfg
+		} else {
+			cfg = cluster.Aohyper(org).Cfg
+		}
+		cfg.PFSIONodes = *pfsNodes
+		return cluster.New(cfg)
+	}
+
+	fmt.Println("== Phase 1: characterization (system side) ==")
+	charCfg := core.DefaultCharacterizeConfig()
+	charCfg.UsePFS = *pfsNodes > 0
+	if *quick {
+		charCfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
+		charCfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
+		charCfg.LocalFileSize = 512 << 20
+		charCfg.GlobalFileSize = 512 << 20
+		charCfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
+		charCfg.LibFileSize = 256 << 20
+		charCfg.LibProcs = 4
+	}
+	opts := []core.SessionOption{core.WithCharacterizeConfig(charCfg)}
+	if *faultName != "" {
+		plan, err := fault.Builtin(*faultName)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithFaultPlan(plan))
+	}
+	sess := core.NewSession(build, opts...)
+	ch, err := sess.Characterization()
+	if err != nil {
+		fatal(err)
+	}
+	for _, level := range core.Levels() {
+		fmt.Println(core.FormatPerfTable(ch.Table(level)))
+	}
+
+	declR, declW := spec.DeclaredBytes()
+	fmt.Printf("== Phase 3: evaluating spec %s (%d ranks, %d phases, %s read / %s written declared) ==\n\n",
+		app.Name(), spec.Procs, len(spec.Phases), stats.IBytes(declR), stats.IBytes(declW))
+	rep, err := sess.Run(app)
+	if err != nil {
+		fatal(err)
+	}
+	ev := rep.Evaluation
+	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
+	fmt.Println(core.FormatEvaluation(ev))
+	if *spans {
+		fmt.Println(core.FormatPathReport(ev.PathReport()))
+	}
+	if rep.Degraded != nil {
+		fmt.Printf("== Phase 3 (degraded): evaluation under fault scenario %q ==\n", rep.Scenario)
+		fmt.Println(core.FormatEvaluation(rep.Degraded))
+		if *spans {
+			fmt.Println(core.FormatPathReport(rep.Degraded.PathReport()))
+		}
+		fmt.Println("Healthy vs degraded:")
+		fmt.Println(core.FormatUsedComparison(ev.Used(), rep.Degraded.Used()))
+	}
+	if *utilization {
+		fmt.Println(rep.Utilization)
+		if rep.Degraded != nil {
+			fmt.Println("Utilization under fault scenario:")
+			fmt.Println(rep.DegradedUtilization)
+		}
+	}
+	if *metrics != "" {
+		if err := ev.TelemetryReport().WriteFile(*metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(telemetry report written to %s)\n", *metrics)
+	}
+}
+
+// emitSpec writes one of the built-in generators' specs.
+func emitSpec(name string, procs int, quick bool, out string) error {
+	var spec *synth.Spec
+	switch name {
+	case "btio-full", "btio-simple":
+		class := btio.ClassC
+		if quick {
+			class = btio.ClassA
+		}
+		st := btio.Full
+		if name == "btio-simple" {
+			st = btio.Simple
+		}
+		spec = synth.BTIOSpec(btio.Config{Class: class, Procs: procs, Subtype: st, ComputeScale: 1})
+	case "madbench-shared", "madbench-unique":
+		ft := madbench.Shared
+		if name == "madbench-unique" {
+			ft = madbench.Unique
+		}
+		kpix := 18
+		if quick {
+			kpix = 4
+		}
+		spec = synth.MadbenchSpec(madbench.Config{Procs: procs, KPix: kpix, FileType: ft, BusyWork: sim.Second})
+	default:
+		return fmt.Errorf("unknown generator %q (want btio-full, btio-simple, madbench-shared or madbench-unique)", name)
+	}
+	if out == "" {
+		return spec.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := spec.WriteJSON(f); err != nil {
+		_ = f.Close() // the write error takes precedence
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s spec to %s\n", name, out)
+	return nil
+}
+
+func parseOrg(s string) (cluster.Organization, error) {
+	switch s {
+	case "jbod":
+		return cluster.JBOD, nil
+	case "raid1":
+		return cluster.RAID1, nil
+	case "raid5":
+		return cluster.RAID5, nil
+	}
+	return 0, fmt.Errorf("unknown organization %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iosynth:", err)
+	os.Exit(1)
+}

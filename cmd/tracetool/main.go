@@ -42,6 +42,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "print the timeline")
 	csvOut := flag.String("csv", "", "export raw events as CSV to this file")
 	phasesCSV := flag.String("phases-csv", "", "export detected phases as CSV to this file")
+	inferOut := flag.String("infer-spec", "", "infer a synthetic-workload spec (runnable via iosynth) from the trace and write it to this JSON file")
 	quick := flag.Bool("quick", true, "reduced problem sizes for capture")
 	flag.Parse()
 
@@ -122,6 +123,17 @@ func main() {
 			if err := writeFile(*phasesCSV, func(w io.Writer) error { return tr.PhaseCSV(w, ranks) }); err != nil {
 				fatal(err)
 			}
+		}
+		if *inferOut != "" {
+			spec, err := trace.InferSpec(tr, *in)
+			if err != nil {
+				fatal(err)
+			}
+			if err := writeFile(*inferOut, spec.WriteJSON); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "inferred %d-phase spec for %d ranks to %s\n",
+				len(spec.Phases), spec.Procs, *inferOut)
 		}
 
 	default:

@@ -119,6 +119,15 @@ func TestReqPathAnalyzer(t *testing.T) {
 	checkFixture(t, []*Analyzer{ReqPath()}, "cache")
 }
 
+// TestSynthPlaneFixture pins the analyzers' view of the synthetic-
+// workload layer: reqpath must not flag *sim.Proc on application-layer
+// entry points (the engine's Run/rank procedures are the MPI idiom),
+// while determinism and unitsafety still bind — phase chains must not
+// leak map order and spec byte fields must not mix unit suffixes.
+func TestSynthPlaneFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{ReqPath(), Determinism(), UnitSafety()}, "synthplane")
+}
+
 func TestProbeConformAnalyzer(t *testing.T) {
 	checkFixture(t, []*Analyzer{ProbeConform()}, "telemetry", "device", "wiring")
 }

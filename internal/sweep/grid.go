@@ -6,6 +6,9 @@ import (
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
 	"ioeval/internal/fault"
+	"ioeval/internal/mpiio"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/synth"
 )
 
 // Grid is the cross-product a sweep evaluates: every configuration ×
@@ -45,6 +48,34 @@ type GridSpec struct {
 	Scenarios []fault.Plan
 	// Apps is the workload axis.
 	Apps []AppSpec
+	// Specs extends the workload axis with declarative synthetic
+	// workloads (internal/workload/synth): each spec becomes one cell
+	// column, compiled freshly per evaluation. An invalid spec fails
+	// its cells with the compiler's structured error rather than
+	// aborting grid expansion.
+	Specs []*synth.Spec
+}
+
+// specApp adapts one synthetic spec to the workload axis, deferring
+// compilation to evaluation time (cells run concurrently; Compile is
+// cheap and yields an independent App per call).
+type specApp struct{ spec *synth.Spec }
+
+func (a specApp) Name() string {
+	if a.spec.Name != "" {
+		return a.spec.Name
+	}
+	return "synthetic"
+}
+
+func (a specApp) Procs() int { return a.spec.Procs }
+
+func (a specApp) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) {
+	app, err := synth.Compile(a.spec)
+	if err != nil {
+		return workload.Result{}, err
+	}
+	return app.Run(c, tr)
 }
 
 // Grid expands the spec into the explicit configuration × workload
@@ -52,7 +83,14 @@ type GridSpec struct {
 // parallel-FS cells, so rankings read as the paper's configuration
 // labels.
 func (s GridSpec) Grid() Grid {
-	g := Grid{Apps: s.Apps}
+	g := Grid{Apps: append([]AppSpec(nil), s.Apps...)}
+	for _, sp := range s.Specs {
+		app := specApp{spec: sp}
+		g.Apps = append(g.Apps, AppSpec{
+			Name: app.Name(),
+			New:  func() workload.App { return app },
+		})
+	}
 	for _, base := range s.Platforms {
 		orgs := s.Orgs
 		if len(orgs) == 0 {

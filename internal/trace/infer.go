@@ -1,0 +1,439 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"ioeval/internal/mpiio"
+	"ioeval/internal/workload/synth"
+)
+
+// InferSpec derives a declarative phase-graph spec from a recorded
+// timeline, so a captured trace becomes a replayable synthetic
+// workload. The inference folds each rank's events into steps,
+// requires the ranks to be congruent (same step kinds in the same
+// order — the SPMD shape every supported workload has), segments the
+// run at barriers, and rolls repeated iteration blocks into looped
+// phases with a constant per-iteration offset stride.
+//
+// Inference is byte-exact but not always layout- or timing-exact; its
+// limits (all documented in DESIGN.md §12):
+//
+//   - Collective events carry only each rank's total contribution, so
+//     a scattered collective access replays as one contiguous extent
+//     per rank of the same size.
+//   - Vector events carry Count/Stride/Span, not the element list; a
+//     non-uniform vector replays as uniformly strided blocks of the
+//     mean size (plus a remainder-sized final block), preserving both
+//     the operation count and the byte count exactly.
+//   - Traces exported to CSV drop Stride/Span entirely, so re-imported
+//     vectors replay as contiguous blocks.
+//   - Message destinations are not traced; sends replay to rank+1.
+//   - Storage selection is not traced; every file replays on NFS,
+//     with collective buffering enabled iff the trace holds collective
+//     operations on the file.
+//   - Compute durations and message counts are taken from rank 0.
+func InferSpec(t *Tracer, name string) (*synth.Spec, error) {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("trace: infer: empty trace")
+	}
+	np := 0
+	ranks := map[int]bool{}
+	for _, ev := range evs {
+		ranks[ev.Rank] = true
+		if ev.Rank >= np {
+			np = ev.Rank + 1
+		}
+	}
+	if len(ranks) != np {
+		return nil, fmt.Errorf("trace: infer: %d distinct ranks but max rank %d (non-contiguous)", len(ranks), np-1)
+	}
+
+	files, fileOf, err := inferFiles(evs, np)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fold each rank's events into steps.
+	perRank := make([][]rawStep, np)
+	for _, ev := range evs {
+		perRank[ev.Rank] = foldEvent(perRank[ev.Rank], ev, fileOf)
+	}
+
+	// Congruence: rank 0 is the template; every rank must follow the
+	// same step sequence.
+	steps := perRank[0]
+	for r := 1; r < np; r++ {
+		if len(perRank[r]) != len(steps) {
+			return nil, fmt.Errorf("trace: infer: rank %d has %d steps, rank 0 has %d (ranks not congruent)",
+				r, len(perRank[r]), len(steps))
+		}
+		for i := range steps {
+			a, b := steps[i], perRank[r][i]
+			if a.op != b.op || a.file != b.file || a.collective != b.collective || a.syncAfter != b.syncAfter {
+				return nil, fmt.Errorf("trace: infer: step %d diverges between rank 0 (%s %s) and rank %d (%s %s)",
+					i, a.op, a.file, r, b.op, b.file)
+			}
+		}
+	}
+
+	spec := &synth.Spec{Name: name, Procs: np, Files: files}
+	for _, seg := range segmentAtBarriers(steps) {
+		spec.Phases = append(spec.Phases, rollSegment(seg, perRank, np))
+	}
+	for i := range spec.Phases {
+		spec.Phases[i].Name = fmt.Sprintf("p%d", i)
+		if i+1 < len(spec.Phases) {
+			spec.Phases[i].Next = fmt.Sprintf("p%d", i+1)
+		}
+	}
+	spec.Start = spec.Phases[0].Name
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: infer: trace shape not expressible: %w", err)
+	}
+	return spec, nil
+}
+
+// rawStep is one folded per-rank step, carrying its index range into
+// the rank's step list so rollSegment can reach every rank's version.
+type rawStep struct {
+	op         string
+	file       string // logical file name ("" for non-I/O)
+	collective bool
+	syncAfter  bool
+	access     []synth.AccessSpec
+	computeNS  int64
+	messages   int
+	msgBytes   int64
+}
+
+// foldEvent appends (or merges) one event onto a rank's step list.
+func foldEvent(steps []rawStep, ev mpiio.Event, fileOf map[string]string) []rawStep {
+	switch ev.Op {
+	case mpiio.OpOpen, mpiio.OpClose:
+		return steps // implicit in the synthetic engine
+	case mpiio.OpSync:
+		// A sync right after a write of the same file is that write's
+		// SyncAfter (MADbench2's IOMODE=SYNC shape).
+		if n := len(steps); n > 0 && steps[n-1].op == synth.OpWrite &&
+			steps[n-1].file == fileOf[ev.File] && !steps[n-1].syncAfter {
+			steps[n-1].syncAfter = true
+			return steps
+		}
+		return append(steps, rawStep{op: synth.OpSync, file: fileOf[ev.File]})
+	case mpiio.OpCompute:
+		if ev.T1 <= ev.T0 {
+			return steps // zero-duration: nothing to replay
+		}
+		return append(steps, rawStep{op: synth.OpCompute, computeNS: int64(ev.T1 - ev.T0)})
+	case mpiio.OpComm:
+		if n := len(steps); n > 0 && steps[n-1].op == synth.OpSend && steps[n-1].msgBytes == ev.Bytes {
+			steps[n-1].messages++
+			return steps
+		}
+		return append(steps, rawStep{op: synth.OpSend, messages: 1, msgBytes: ev.Bytes})
+	case mpiio.OpBarrier:
+		return append(steps, rawStep{op: synth.OpBarrier})
+	case mpiio.OpWrite, mpiio.OpWriteAll, mpiio.OpRead, mpiio.OpReadAll:
+		op := synth.OpWrite
+		if ev.Op == mpiio.OpRead || ev.Op == mpiio.OpReadAll {
+			op = synth.OpRead
+		}
+		return append(steps, rawStep{
+			op:         op,
+			file:       fileOf[ev.File],
+			collective: ev.Op == mpiio.OpWriteAll || ev.Op == mpiio.OpReadAll,
+			access:     accessFromEvent(ev),
+		})
+	}
+	return steps
+}
+
+// accessFromEvent rebuilds an access list from one I/O event,
+// preserving the operation count and byte count exactly. Non-uniform
+// vectors (Stride 0 with Count > 1) become contiguous mean-size
+// blocks; a non-zero byte remainder widens the final block.
+func accessFromEvent(ev mpiio.Event) []synth.AccessSpec {
+	if ev.Bytes == 0 && ev.Offset < 0 {
+		return nil // empty collective contribution
+	}
+	if ev.Count <= 1 {
+		return []synth.AccessSpec{{OffsetBytes: ev.Offset, BlockBytes: ev.Bytes}}
+	}
+	count := int64(ev.Count)
+	block := ev.Bytes / count
+	stride := ev.Stride
+	if stride <= 0 {
+		// Recover a uniform stride from the span when it fits exactly;
+		// otherwise replay the vector as contiguous blocks.
+		if ev.Span > block && (ev.Span-block)%(count-1) == 0 {
+			stride = (ev.Span - block) / (count - 1)
+		} else {
+			stride = block
+		}
+	}
+	rem := ev.Bytes - block*count
+	if rem == 0 {
+		return []synth.AccessSpec{{
+			OffsetBytes: ev.Offset, BlockBytes: block,
+			Dims: []synth.DimSpec{{Count: ev.Count, StrideBytes: stride}},
+		}}
+	}
+	// Count-1 uniform blocks plus one final block absorbing the
+	// remainder: element count and byte count both stay exact.
+	return []synth.AccessSpec{
+		{
+			OffsetBytes: ev.Offset, BlockBytes: block,
+			Dims: []synth.DimSpec{{Count: ev.Count - 1, StrideBytes: stride}},
+		},
+		{OffsetBytes: ev.Offset + (count-1)*stride, BlockBytes: block + rem},
+	}
+}
+
+// inferFiles derives the FileSpec list and the event-file → logical
+// name mapping. Files touched by exactly one rank whose names share a
+// prefix plus the rank as a ".%04d" suffix collapse into one per-rank
+// file (MADbench2's UNIQUE layout); everything else is shared.
+func inferFiles(evs []mpiio.Event, np int) ([]synth.FileSpec, map[string]string, error) {
+	type info struct {
+		ranks      map[int]bool
+		collective bool
+		order      int
+	}
+	byFile := map[string]*info{}
+	var order []string
+	for _, ev := range evs {
+		if ev.File == "" {
+			continue
+		}
+		fi := byFile[ev.File]
+		if fi == nil {
+			fi = &info{ranks: map[int]bool{}, order: len(order)}
+			byFile[ev.File] = fi
+			order = append(order, ev.File)
+		}
+		fi.ranks[ev.Rank] = true
+		if ev.Op == mpiio.OpWriteAll || ev.Op == mpiio.OpReadAll {
+			fi.collective = true
+		}
+	}
+
+	// Group single-rank files by "<prefix>.%04d" naming.
+	type group struct {
+		members    map[int]string // rank → file
+		collective bool
+		order      int
+	}
+	groups := map[string]*group{}
+	for f, fi := range byFile {
+		if len(fi.ranks) != 1 {
+			continue
+		}
+		var rank int
+		for r := range fi.ranks {
+			rank = r
+		}
+		suffix := fmt.Sprintf(".%04d", rank)
+		if !strings.HasSuffix(f, suffix) {
+			continue
+		}
+		prefix := strings.TrimSuffix(f, suffix)
+		g := groups[prefix]
+		if g == nil {
+			g = &group{members: map[int]string{}, order: fi.order}
+			groups[prefix] = g
+		}
+		g.members[rank] = f
+		g.collective = g.collective || fi.collective
+		if fi.order < g.order {
+			g.order = fi.order
+		}
+	}
+
+	fileOf := map[string]string{}
+	var specs []synth.FileSpec
+	named := map[string]bool{}
+	for _, f := range order {
+		if named[f] {
+			continue
+		}
+		fi := byFile[f]
+		// Per-rank group: complete only when every rank has a member.
+		if len(fi.ranks) == 1 {
+			suffix := fmt.Sprintf(".%04d", firstRank(fi.ranks))
+			if strings.HasSuffix(f, suffix) {
+				prefix := strings.TrimSuffix(f, suffix)
+				if g := groups[prefix]; g != nil && len(g.members) == np {
+					name := fmt.Sprintf("f%d", len(specs))
+					specs = append(specs, synth.FileSpec{
+						Name: name, Path: prefix, PerRank: true,
+						CollectiveBuffering: g.collective,
+					})
+					for _, member := range g.members {
+						fileOf[member] = name
+						named[member] = true
+					}
+					continue
+				}
+			}
+		}
+		name := fmt.Sprintf("f%d", len(specs))
+		specs = append(specs, synth.FileSpec{Name: name, Path: f, CollectiveBuffering: fi.collective})
+		fileOf[f] = name
+		named[f] = true
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("trace: infer: no file operations in trace")
+	}
+	return specs, fileOf, nil
+}
+
+func firstRank(m map[int]bool) int {
+	r := -1
+	for k := range m {
+		if r < 0 || k < r {
+			r = k
+		}
+	}
+	return r
+}
+
+// segmentAtBarriers splits the template step list into segments whose
+// boundaries are barrier steps; each barrier becomes its own
+// single-step segment (its phase replays the rendezvous).
+func segmentAtBarriers(steps []rawStep) [][]int {
+	var segs [][]int
+	var cur []int
+	for i, st := range steps {
+		if st.op == synth.OpBarrier {
+			if len(cur) > 0 {
+				segs = append(segs, cur)
+				cur = nil
+			}
+			segs = append(segs, []int{i})
+			continue
+		}
+		cur = append(cur, i)
+	}
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+	}
+	return segs
+}
+
+// rollSegment compresses a segment into one phase: the smallest
+// repeating step block whose successive repetitions are congruent up
+// to a constant offset shift becomes the phase body with Loop set and
+// LoopStrideBytes carrying the shift; a segment with no such block
+// stays a Loop-1 phase of unrolled steps.
+func rollSegment(seg []int, perRank [][]rawStep, np int) synth.PhaseSpec {
+	n := len(seg)
+	for l := 1; l <= n/2; l++ {
+		if n%l != 0 {
+			continue
+		}
+		m := n / l
+		if delta, ok := blockDelta(seg, perRank, np, l, m); ok {
+			return synth.PhaseSpec{Loop: m, Steps: buildSteps(seg[:l], perRank, np, delta)}
+		}
+	}
+	return synth.PhaseSpec{Steps: buildSteps(seg, perRank, np, nil)}
+}
+
+// blockDelta checks whether the segment's m blocks of l steps are
+// congruent with a constant per-block offset shift per step, and
+// returns the per-step shifts.
+func blockDelta(seg []int, perRank [][]rawStep, np, l, m int) ([]int64, bool) {
+	delta := make([]int64, l)
+	for pos := 0; pos < l; pos++ {
+		base := seg[pos]
+		for b := 1; b < m; b++ {
+			other := seg[b*l+pos]
+			for r := 0; r < np; r++ {
+				a, c := perRank[r][base], perRank[r][other]
+				if a.op != c.op || a.file != c.file || a.collective != c.collective ||
+					a.syncAfter != c.syncAfter || a.computeNS != c.computeNS ||
+					a.messages != c.messages || a.msgBytes != c.msgBytes {
+					return nil, false
+				}
+				if a.op != synth.OpWrite && a.op != synth.OpRead {
+					continue
+				}
+				d, ok := accessShift(a.access, c.access)
+				if !ok {
+					return nil, false
+				}
+				if b == 1 && r == 0 {
+					delta[pos] = d
+				}
+				// Shift must be uniform across ranks and linear in b.
+				if d != delta[pos]*int64(b) {
+					return nil, false
+				}
+			}
+		}
+		if delta[pos] < 0 {
+			return nil, false // spec strides are non-negative
+		}
+	}
+	return delta, true
+}
+
+// accessShift returns the constant offset shift turning a into c, if
+// the lists are congruent (same shapes, uniformly shifted offsets).
+func accessShift(a, c []synth.AccessSpec) (int64, bool) {
+	if len(a) != len(c) {
+		return 0, false
+	}
+	if len(a) == 0 {
+		return 0, true
+	}
+	shift := c[0].OffsetBytes - a[0].OffsetBytes
+	for i := range a {
+		if c[i].OffsetBytes-a[i].OffsetBytes != shift || a[i].BlockBytes != c[i].BlockBytes ||
+			len(a[i].Dims) != len(c[i].Dims) {
+			return 0, false
+		}
+		for j := range a[i].Dims {
+			if a[i].Dims[j] != c[i].Dims[j] {
+				return 0, false
+			}
+		}
+	}
+	return shift, true
+}
+
+// buildSteps materializes StepSpecs for one phase body from the
+// template indices, attaching each rank's access list and the rolled
+// loop stride (nil when the phase does not loop).
+func buildSteps(idx []int, perRank [][]rawStep, np int, delta []int64) []synth.StepSpec {
+	var out []synth.StepSpec
+	for pos, i := range idx {
+		t := perRank[0][i]
+		st := synth.StepSpec{Op: t.op}
+		switch t.op {
+		case synth.OpWrite, synth.OpRead:
+			st.File = t.file
+			st.Collective = t.collective
+			st.SyncAfter = t.syncAfter
+			st.PerRankAccess = make([][]synth.AccessSpec, np)
+			for r := 0; r < np; r++ {
+				st.PerRankAccess[r] = perRank[r][i].access
+			}
+			if delta != nil {
+				st.LoopStrideBytes = delta[pos]
+			}
+		case synth.OpCompute:
+			st.ComputeNS = t.computeNS
+		case synth.OpSend:
+			st.ToRankOffset = 1 // destinations are not traced
+			st.Messages = t.messages
+			st.MessageBytes = t.msgBytes
+		case synth.OpSync:
+			st.File = t.file
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -135,6 +135,9 @@ func (a *App) Name() string {
 // Procs implements workload.App.
 func (a *App) Procs() int { return a.cfg.Procs }
 
+// Config returns the (defaulted) configuration the app runs.
+func (a *App) Config() Config { return a.cfg }
+
 // Dumps returns the number of solution dumps in the run.
 func (a *App) Dumps() int { return a.cfg.Class.Steps / a.cfg.Class.WriteInterval }
 
@@ -160,17 +163,65 @@ func (a *App) cells(rank int) []cell {
 	return out
 }
 
+// GridRange is one Cartesian sub-block of the solution grid owned by
+// a rank: [X0,X0+NX) × [Y0,Y0+NY) × [Z0,Z0+NZ) in grid points.
+type GridRange struct {
+	X0, NX int
+	Y0, NY int
+	Z0, NZ int
+}
+
+// BytesPerPoint is the record unit of the solution file: five
+// double-precision words per mesh point.
+const BytesPerPoint = bytesPerPoint
+
+// Decomposition returns the rank's owned sub-blocks under diagonal
+// multi-partitioning, in dump emission order. Together with
+// BytesPerPoint and the class N this fully determines the rank's file
+// accesses, which is how the synthetic re-expression of BT-IO derives
+// its access lists without duplicating the partitioning code.
+func (a *App) Decomposition(rank int) []GridRange {
+	out := make([]GridRange, 0, a.q)
+	for _, cl := range a.cells(rank) {
+		out = append(out, GridRange{
+			X0: a.pfx[cl.cx], NX: a.xs[cl.cx],
+			Y0: a.pfx[cl.cy], NY: a.xs[cl.cy],
+			Z0: a.pfx[cl.cz], NZ: a.xs[cl.cz],
+		})
+	}
+	return out
+}
+
+// FaceBytes returns the size of one boundary-exchange message (a cell
+// face of the largest cell).
+func (a *App) FaceBytes() int64 {
+	return int64(a.xs[0]) * int64(a.xs[0]) * bytesPerPoint
+}
+
+// MessagesPerDump returns the boundary-exchange messages each rank
+// sends between dumps: 24 per time step (the paper observes ~120 per
+// write phase at WriteInterval 5).
+func (a *App) MessagesPerDump() int { return 24 * a.cfg.Class.WriteInterval }
+
+// ComputePerDump returns the modeled per-rank computation time between
+// dumps (0 when ComputeScale is 0).
+func (a *App) ComputePerDump() sim.Duration {
+	if a.cfg.ComputeScale <= 0 {
+		return 0
+	}
+	perRank := float64(a.cfg.Class.ComputeTotal) / float64(a.cfg.Procs) / float64(a.Dumps())
+	return sim.Duration(perRank * a.cfg.ComputeScale)
+}
+
 // dumpVecs builds the rank's records for the dump based at byte
 // offset base: one vector element per (z, y) line of each owned cell.
 func (a *App) dumpVecs(rank int, base int64) []fs.IOVec {
 	n := int64(a.cfg.Class.N)
 	var vecs []fs.IOVec
-	for _, cl := range a.cells(rank) {
-		x0, nx := int64(a.pfx[cl.cx]), int64(a.xs[cl.cx])
-		y0, ny := a.pfx[cl.cy], a.xs[cl.cy]
-		z0, nz := a.pfx[cl.cz], a.xs[cl.cz]
-		for z := z0; z < z0+nz; z++ {
-			for y := y0; y < y0+ny; y++ {
+	for _, g := range a.Decomposition(rank) {
+		x0, nx := int64(g.X0), int64(g.NX)
+		for z := g.Z0; z < g.Z0+g.NZ; z++ {
+			for y := g.Y0; y < g.Y0+g.NY; y++ {
 				off := base + ((int64(z)*n+int64(y))*n+x0)*bytesPerPoint
 				vecs = append(vecs, fs.IOVec{Off: off, Len: nx * bytesPerPoint})
 			}
@@ -201,16 +252,12 @@ func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) 
 		mounts, hints)
 
 	dumps := a.Dumps()
-	computePerDump := sim.Duration(0)
-	if a.cfg.ComputeScale > 0 {
-		perRank := float64(a.cfg.Class.ComputeTotal) / float64(np) / float64(dumps)
-		computePerDump = sim.Duration(perRank * a.cfg.ComputeScale)
-	}
+	computePerDump := a.ComputePerDump()
 	// Boundary-exchange bytes per dump: each rank exchanges cell faces
 	// with neighbours every step (the paper observes ~120 messages per
 	// write phase at 16 procs: 24 sends per step × 5 steps).
-	faceBytes := int64(a.xs[0]) * int64(a.xs[0]) * bytesPerPoint
-	msgsPerDump := 24 * a.cfg.Class.WriteInterval
+	faceBytes := a.FaceBytes()
+	msgsPerDump := a.MessagesPerDump()
 
 	var errs []error
 	readTimes := make([]sim.Duration, np)

@@ -1,4 +1,4 @@
-package btio
+package btio_test
 
 import (
 	"testing"
@@ -7,15 +7,16 @@ import (
 	"ioeval/internal/mpiio"
 	"ioeval/internal/sim"
 	"ioeval/internal/trace"
+	"ioeval/internal/workload/btio"
 )
 
 // quickClass is a reduced class for fast tests (4 dumps).
-var quickClass = Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5, ComputeTotal: 10 * sim.Second}
+var quickClass = btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5, ComputeTotal: 10 * sim.Second}
 
 func TestDecompositionMatchesPaperTable2(t *testing.T) {
 	// Class C, 16 procs: 6561 records per process per dump, sizes 1600
 	// and 1640 bytes (the paper's 1.56 KB and 1.6 KB).
-	a := New(Config{Class: ClassC, Procs: 16, Subtype: Simple})
+	a := btio.New(btio.Config{Class: btio.ClassC, Procs: 16, Subtype: btio.Simple})
 	// Per-rank counts vary by ±1 around 6561 with the uneven 41/40
 	// cell split; the total is exact.
 	var perDump int
@@ -30,7 +31,7 @@ func TestDecompositionMatchesPaperTable2(t *testing.T) {
 		t.Fatalf("records per dump (all ranks) = %d, want %d", perDump, 16*6561)
 	}
 	sizes := map[int64]int{}
-	for _, v := range a.dumpVecs(3, 0) {
+	for _, v := range a.DumpVecs(3, 0) {
 		sizes[v.Len]++
 	}
 	if len(sizes) > 2 {
@@ -47,9 +48,9 @@ func TestDecompositionMatchesPaperTable2(t *testing.T) {
 
 func TestDecompositionMatchesPaperTable5(t *testing.T) {
 	// Class C, 64 procs: 800- and 840-byte records.
-	a := New(Config{Class: ClassC, Procs: 64, Subtype: Simple})
+	a := btio.New(btio.Config{Class: btio.ClassC, Procs: 64, Subtype: btio.Simple})
 	sizes := map[int64]int{}
-	for _, v := range a.dumpVecs(17, 0) {
+	for _, v := range a.DumpVecs(17, 0) {
 		sizes[v.Len]++
 	}
 	if sizes[800] == 0 || sizes[840] == 0 {
@@ -58,7 +59,7 @@ func TestDecompositionMatchesPaperTable5(t *testing.T) {
 }
 
 func TestDumpBytesClassC(t *testing.T) {
-	a := New(Config{Class: ClassC, Procs: 16})
+	a := btio.New(btio.Config{Class: btio.ClassC, Procs: 16})
 	want := int64(162) * 162 * 162 * 40
 	if got := a.DumpBytes(); got != want {
 		t.Fatalf("dump bytes = %d, want %d (~170MB)", got, want)
@@ -69,11 +70,11 @@ func TestCellsCoverGridExactly(t *testing.T) {
 	// Union of all ranks' records for one dump must cover the dump
 	// bytes exactly once.
 	for _, procs := range []int{4, 16} {
-		a := New(Config{Class: Class{Name: "t", N: 12, Steps: 5, WriteInterval: 5}, Procs: procs})
+		a := btio.New(btio.Config{Class: btio.Class{Name: "t", N: 12, Steps: 5, WriteInterval: 5}, Procs: procs})
 		covered := map[int64]int{}
 		for r := 0; r < procs; r++ {
-			for _, v := range a.dumpVecs(r, 0) {
-				for b := v.Off; b < v.Off+v.Len; b += bytesPerPoint {
+			for _, v := range a.DumpVecs(r, 0) {
+				for b := v.Off; b < v.Off+v.Len; b += btio.BytesPerPoint {
 					covered[b]++
 				}
 			}
@@ -96,13 +97,13 @@ func TestNonSquareProcsPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(Config{Class: ClassA, Procs: 6})
+	btio.New(btio.Config{Class: btio.ClassA, Procs: 6})
 }
 
 func TestFullRunProducesPaperOpCounts(t *testing.T) {
 	c := cluster.Aohyper(cluster.RAID5)
 	tr := trace.New()
-	a := New(Config{Class: quickClass, Procs: 4, Subtype: Full})
+	a := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full})
 	res, err := a.Run(c, tr)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -127,7 +128,7 @@ func TestFullRunProducesPaperOpCounts(t *testing.T) {
 func TestSimpleRunProducesPaperOpCounts(t *testing.T) {
 	c := cluster.Aohyper(cluster.JBOD)
 	tr := trace.New()
-	a := New(Config{Class: quickClass, Procs: 4, Subtype: Simple})
+	a := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Simple})
 	if _, err := a.Run(c, tr); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -139,16 +140,16 @@ func TestSimpleRunProducesPaperOpCounts(t *testing.T) {
 }
 
 func TestFullFasterThanSimple(t *testing.T) {
-	run := func(st Subtype) sim.Duration {
+	run := func(st btio.Subtype) sim.Duration {
 		c := cluster.Aohyper(cluster.RAID5)
-		a := New(Config{Class: quickClass, Procs: 4, Subtype: st})
+		a := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: st})
 		res, err := a.Run(c, nil)
 		if err != nil {
 			t.Fatalf("run: %v", err)
 		}
 		return res.IOTime
 	}
-	full, simple := run(Full), run(Simple)
+	full, simple := run(btio.Full), run(btio.Simple)
 	if simple < 2*full {
 		t.Fatalf("simple I/O time (%v) not ≫ full (%v)", simple, full)
 	}
@@ -159,7 +160,7 @@ func TestPhasesMatchPaperStructure(t *testing.T) {
 	// compute/comm) and 1 read phase (Fig. 8's description).
 	c := cluster.Aohyper(cluster.RAID5)
 	tr := trace.New()
-	a := New(Config{Class: quickClass, Procs: 4, Subtype: Full, ComputeScale: 0.1})
+	a := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full, ComputeScale: 0.1})
 	if _, err := a.Run(c, tr); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -182,7 +183,7 @@ func TestPhasesMatchPaperStructure(t *testing.T) {
 func TestComputeScaleIncreasesExecNotIO(t *testing.T) {
 	run := func(scale float64) (exec, io sim.Duration) {
 		c := cluster.Aohyper(cluster.RAID5)
-		a := New(Config{Class: quickClass, Procs: 4, Subtype: Full, ComputeScale: scale})
+		a := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full, ComputeScale: scale})
 		res, err := a.Run(c, nil)
 		if err != nil {
 			t.Fatalf("run: %v", err)

@@ -1,0 +1,8 @@
+package btio
+
+import "ioeval/internal/fs"
+
+// DumpVecs exposes the per-rank record layout to the external test
+// package (btio_test must be external: it imports trace, which now
+// reaches back here through the synth re-expression generators).
+func (a *App) DumpVecs(rank int, base int64) []fs.IOVec { return a.dumpVecs(rank, base) }

@@ -101,6 +101,9 @@ func (a *App) Name() string {
 // Procs implements workload.App.
 func (a *App) Procs() int { return a.cfg.Procs }
 
+// Config returns the (defaulted) configuration the app runs.
+func (a *App) Config() Config { return a.cfg }
+
 // SliceBytes returns the per-process matrix slice (162 MB for 18 KPIX
 // on 16 processes — Table VIII).
 func (a *App) SliceBytes() int64 {
@@ -157,10 +160,8 @@ func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) 
 	var errs []error
 	// Accumulated time inside each function's reads/writes, per rank —
 	// MADbench2 itself reports exactly these (S_w, W_r, W_w, C_r).
-	durs := map[string][]sim.Duration{}
-	for _, k := range []string{"S_w", "W_r", "W_w", "C_r"} {
-		durs[k] = make([]sim.Duration, np)
-	}
+	ra := workload.NewRateAggregator(np)
+	ra.Declare("S_w", "W_r", "W_w", "C_r")
 
 	for rank := 0; rank < np; rank++ {
 		rank := rank
@@ -185,7 +186,7 @@ func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) 
 			timed := func(key string, fn func()) {
 				t0 := p.Now()
 				fn()
-				durs[key][rank] += sim.Duration(p.Now() - t0)
+				ra.Add(key, rank, sim.Duration(p.Now()-t0), slice)
 			}
 
 			// syncWrite performs one matrix write; in SYNC I/O mode
@@ -227,24 +228,12 @@ func (a *App) Run(c *cluster.Cluster, tr mpiio.Tracer) (workload.Result, error) 
 		return workload.Result{}, errs[0]
 	}
 
-	res := workload.Result{ExecTime: sim.Duration(end), PhaseRates: map[string]float64{}}
-	phaseBytes := int64(bins) * slice * int64(np)
-	for key, perRank := range durs {
-		var worst sim.Duration
-		for _, d := range perRank {
-			if d > worst {
-				worst = d
-			}
-		}
-		if s := worst.Seconds(); s > 0 {
-			// Ranks run in parallel: aggregate rate is the total bytes
-			// of the function over the slowest rank's time in it.
-			res.PhaseRates[key] = float64(phaseBytes) / s
-		}
-	}
+	// Ranks run in parallel: each key's aggregate rate is the total
+	// bytes of the function over the slowest rank's time in it.
+	res := workload.Result{ExecTime: sim.Duration(end), PhaseRates: ra.Rates()}
 	for r := 0; r < np; r++ {
-		read := durs["W_r"][r] + durs["C_r"][r]
-		write := durs["S_w"][r] + durs["W_w"][r]
+		read := ra.Duration("W_r", r) + ra.Duration("C_r", r)
+		write := ra.Duration("S_w", r) + ra.Duration("W_w", r)
 		if read > res.ReadTime {
 			res.ReadTime = read
 		}

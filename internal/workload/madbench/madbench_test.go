@@ -1,4 +1,4 @@
-package madbench
+package madbench_test
 
 import (
 	"testing"
@@ -6,6 +6,7 @@ import (
 	"ioeval/internal/cluster"
 	"ioeval/internal/mpiio"
 	"ioeval/internal/trace"
+	"ioeval/internal/workload/madbench"
 )
 
 const mb = int64(1) << 20
@@ -13,11 +14,11 @@ const mb = int64(1) << 20
 func TestSliceBytesMatchesPaperTable8(t *testing.T) {
 	// 18 KPIX ⇒ 18432² doubles = 2.53 GiB; /16 procs = 162 MiB,
 	// /64 procs = 40.5 MiB — the paper's block sizes.
-	a16 := New(Config{Procs: 16, KPix: 18})
+	a16 := madbench.New(madbench.Config{Procs: 16, KPix: 18})
 	if got := a16.SliceBytes(); got != 162*mb {
 		t.Fatalf("16-proc slice = %d, want %d", got, 162*mb)
 	}
-	a64 := New(Config{Procs: 64, KPix: 18})
+	a64 := madbench.New(madbench.Config{Procs: 64, KPix: 18})
 	if got := a64.SliceBytes(); got*2 != 81*mb {
 		t.Fatalf("64-proc slice = %d, want 40.5MB", got)
 	}
@@ -29,7 +30,7 @@ func TestNonSquareProcsPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(Config{Procs: 12})
+	madbench.New(madbench.Config{Procs: 12})
 }
 
 func TestSharedRequiresNFS(t *testing.T) {
@@ -38,16 +39,16 @@ func TestSharedRequiresNFS(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	New(Config{Procs: 4, FileType: Shared, UseLocal: true})
+	madbench.New(madbench.Config{Procs: 4, FileType: madbench.Shared, UseLocal: true})
 }
 
 func TestOpCountsMatchPaperStructure(t *testing.T) {
 	// Per process: 16 writes (8 in S, 8 in W) and 16 reads (8 in W,
 	// 8 in C); with 4 procs: 64 each. UNIQUE ⇒ 4 files.
-	for _, ft := range []FileType{Unique, Shared} {
+	for _, ft := range []madbench.FileType{madbench.Unique, madbench.Shared} {
 		c := cluster.Aohyper(cluster.RAID5)
 		tr := trace.New()
-		a := New(Config{Procs: 4, KPix: 2, Bins: 8, FileType: ft})
+		a := madbench.New(madbench.Config{Procs: 4, KPix: 2, Bins: 8, FileType: ft})
 		if _, err := a.Run(c, tr); err != nil {
 			t.Fatalf("%v run: %v", ft, err)
 		}
@@ -56,7 +57,7 @@ func TestOpCountsMatchPaperStructure(t *testing.T) {
 			t.Fatalf("%v: w=%d r=%d, want 64 each", ft, p.NumWrites, p.NumReads)
 		}
 		wantFiles := 1
-		if ft == Unique {
+		if ft == madbench.Unique {
 			wantFiles = 4
 		}
 		if p.NumFiles != wantFiles {
@@ -74,7 +75,7 @@ func TestThreeIOPhases(t *testing.T) {
 	// phase (C). First phase must be writes, last must be reads.
 	c := cluster.Aohyper(cluster.RAID5)
 	tr := trace.New()
-	a := New(Config{Procs: 4, KPix: 2, Bins: 8, FileType: Shared})
+	a := madbench.New(madbench.Config{Procs: 4, KPix: 2, Bins: 8, FileType: madbench.Shared})
 	if _, err := a.Run(c, tr); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -93,7 +94,7 @@ func TestThreeIOPhases(t *testing.T) {
 
 func TestPhaseRatesReported(t *testing.T) {
 	c := cluster.Aohyper(cluster.RAID5)
-	a := New(Config{Procs: 4, KPix: 2, Bins: 4, FileType: Shared})
+	a := madbench.New(madbench.Config{Procs: 4, KPix: 2, Bins: 4, FileType: madbench.Shared})
 	res, err := a.Run(c, nil)
 	if err != nil {
 		t.Fatalf("run: %v", err)
@@ -113,7 +114,7 @@ func TestPhaseRatesReported(t *testing.T) {
 
 func TestUniqueLocalRunsOnNodeDisks(t *testing.T) {
 	c := cluster.Aohyper(cluster.JBOD)
-	a := New(Config{Procs: 4, KPix: 2, Bins: 4, FileType: Unique, UseLocal: true})
+	a := madbench.New(madbench.Config{Procs: 4, KPix: 2, Bins: 4, FileType: madbench.Unique, UseLocal: true})
 	if _, err := a.Run(c, nil); err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -134,11 +135,11 @@ func TestUniqueLocalRunsOnNodeDisks(t *testing.T) {
 func TestBusyWorkIncreasesExecOnly(t *testing.T) {
 	run := func(busy bool) (exec, io float64) {
 		c := cluster.Aohyper(cluster.RAID5)
-		cfg := Config{Procs: 4, KPix: 2, Bins: 4, FileType: Shared}
+		cfg := madbench.Config{Procs: 4, KPix: 2, Bins: 4, FileType: madbench.Shared}
 		if busy {
 			cfg.BusyWork = 2e9 // 2 s per bin
 		}
-		a := New(cfg)
+		a := madbench.New(cfg)
 		res, err := a.Run(c, nil)
 		if err != nil {
 			t.Fatalf("run: %v", err)

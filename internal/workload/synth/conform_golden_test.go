@@ -1,0 +1,168 @@
+package synth_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
+	"ioeval/internal/nfs"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/madbench"
+	"ioeval/internal/workload/synth"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+	gb = int64(1) << 30
+)
+
+// goldenCluster mirrors core's golden fixture cluster: two compute
+// nodes, RAID5, small disks, so characterization stays quick and the
+// committed fixtures stay small.
+func goldenCluster() *cluster.Cluster {
+	return cluster.New(cluster.Config{
+		Name:         "golden",
+		ComputeNodes: 2,
+		NodeRAM:      256 * mb,
+		NodeDiskCap:  10 * gb,
+		NodeDiskRate: 90e6,
+		IONodeRAM:    256 * mb,
+		IODiskCap:    20 * gb,
+		IODiskRate:   100e6,
+		Org:          cluster.RAID5,
+		StripeUnit:   256 * kb,
+		RAID5Disks:   5,
+		NFSServer:    nfs.DefaultServerParams("golden-nfs"),
+		NFSClient:    nfs.DefaultClientParams("golden-nfs"),
+	})
+}
+
+func goldenCharCfg() core.CharacterizeConfig {
+	return core.CharacterizeConfig{
+		FSBlockSizes:   []int64{64 * kb, mb},
+		FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead},
+		LocalFileSize:  64 * mb,
+		GlobalFileSize: 64 * mb,
+		LibProcs:       2,
+		LibBlockSizes:  []int64{4 * mb},
+		LibTransfer:    256 * kb,
+		LibFileSize:    16 * mb,
+		RandomOps:      128,
+	}
+}
+
+// TestSynthConformEvaluationGolden is the acceptance differential:
+// the synthetic BT-IO spec must reproduce the hand-coded BT-IO
+// *evaluation* — io-time, byte counts, the used-% table, and the
+// span-side PathReport verdict — on the same characterization, and
+// the synthetic side is pinned as a committed golden so drift in
+// either the DSL engine or the evaluation plumbing is caught even
+// when both sides drift together.
+func TestSynthConformEvaluationGolden(t *testing.T) {
+	sess := core.NewSession(goldenCluster, core.WithCharacterizeConfig(goldenCharCfg()))
+	ch, err := sess.Characterization()
+	if err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+
+	quick := btio.Class{Name: "Q", N: 64, Steps: 5, WriteInterval: 5}
+	cfg := btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}
+	evHand, err := core.Evaluate(goldenCluster(), btio.New(cfg), ch)
+	if err != nil {
+		t.Fatalf("evaluate hand: %v", err)
+	}
+	evSynth, err := core.Evaluate(goldenCluster(), synth.MustCompile(synth.BTIOSpec(cfg)), ch)
+	if err != nil {
+		t.Fatalf("evaluate synth: %v", err)
+	}
+
+	// Evaluation text: result table, measurements, used-% verdict.
+	handText := core.FormatEvaluation(evHand)
+	synthText := core.FormatEvaluation(evSynth)
+	if handText != synthText {
+		t.Errorf("evaluation diverges:\n--- hand ---\n%s\n--- synth ---\n%s", handText, synthText)
+	}
+
+	// Span side: the full PathReport (profile, self times, verdicts,
+	// conservation invariant) must match exactly.
+	handPR, err := json.MarshalIndent(evHand.PathReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthPR, err := json.MarshalIndent(evSynth.PathReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(handPR, synthPR) {
+		t.Errorf("path report diverges:\n--- hand ---\n%s\n--- synth ---\n%s", handPR, synthPR)
+	}
+
+	// Telemetry snapshots (per-level counters at phase boundaries).
+	var handTel, synthTel bytes.Buffer
+	if err := evHand.TelemetryReport().WriteJSON(&handTel); err != nil {
+		t.Fatal(err)
+	}
+	if err := evSynth.TelemetryReport().WriteJSON(&synthTel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(handTel.Bytes(), synthTel.Bytes()) {
+		t.Errorf("telemetry report diverges (%d vs %d bytes)", handTel.Len(), synthTel.Len())
+	}
+
+	compareGolden(t, filepath.Join("testdata", "synth_btio_evaluation.golden.txt"), []byte(synthText))
+	compareGolden(t, filepath.Join("testdata", "synth_btio_path_report.golden.json"), append(synthPR, '\n'))
+}
+
+// TestSynthConformMadbenchEvaluation does the same differential for
+// MADbench2 (shared file, phase rates in play) without a golden: the
+// hand-vs-synth equality is the assertion.
+func TestSynthConformMadbenchEvaluation(t *testing.T) {
+	sess := core.NewSession(goldenCluster, core.WithCharacterizeConfig(goldenCharCfg()))
+	ch, err := sess.Characterization()
+	if err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	cfg := madbench.Config{Procs: 4, KPix: 1, Bins: 2, FileType: madbench.Shared}
+	evHand, err := core.Evaluate(goldenCluster(), madbench.New(cfg), ch)
+	if err != nil {
+		t.Fatalf("evaluate hand: %v", err)
+	}
+	evSynth, err := core.Evaluate(goldenCluster(), synth.MustCompile(synth.MadbenchSpec(cfg)), ch)
+	if err != nil {
+		t.Fatalf("evaluate synth: %v", err)
+	}
+	if hand, syn := core.FormatEvaluation(evHand), core.FormatEvaluation(evSynth); hand != syn {
+		t.Errorf("evaluation diverges:\n--- hand ---\n%s\n--- synth ---\n%s", hand, syn)
+	}
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden output; diff the file and rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}

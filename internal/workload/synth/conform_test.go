@@ -1,0 +1,131 @@
+package synth_test
+
+import (
+	"reflect"
+	"testing"
+
+	"ioeval/internal/cluster"
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+	"ioeval/internal/workload"
+	"ioeval/internal/workload/btio"
+	"ioeval/internal/workload/madbench"
+	"ioeval/internal/workload/synth"
+)
+
+// quickClass is the reduced BT-IO class the other workload tests use
+// (4 dumps).
+var quickClass = btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5, ComputeTotal: 10 * sim.Second}
+
+// runTraced runs an app on a fresh cluster with a fresh tracer.
+func runTraced(t *testing.T, build func() *cluster.Cluster, app workload.App) (workload.Result, *trace.Tracer) {
+	t.Helper()
+	tr := trace.New()
+	res, err := app.Run(build(), tr)
+	if err != nil {
+		t.Fatalf("%s: run: %v", app.Name(), err)
+	}
+	return res, tr
+}
+
+// assertConform runs the hand-coded app and its synthetic
+// re-expression on identical fresh clusters and asserts byte-for-byte
+// equality: the full Result (times, bytes, phase rates), the raw
+// event trace (every operation, offset, size, and timestamp), and the
+// derived characterization profile. The simulation is deterministic,
+// so exact equality is the right bar — any drift means the DSL or its
+// engine diverged from the hand-coded semantics.
+func assertConform(t *testing.T, build func() *cluster.Cluster, hand workload.App, spec *synth.Spec) {
+	t.Helper()
+	app, err := synth.Compile(spec)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if app.Name() != hand.Name() || app.Procs() != hand.Procs() {
+		t.Fatalf("identity: synth (%q, %d) vs hand (%q, %d)",
+			app.Name(), app.Procs(), hand.Name(), hand.Procs())
+	}
+
+	handRes, handTr := runTraced(t, build, hand)
+	synthRes, synthTr := runTraced(t, build, app)
+
+	if !reflect.DeepEqual(handRes, synthRes) {
+		t.Errorf("Result diverges:\nhand:  %+v\nsynth: %+v", handRes, synthRes)
+	}
+	he, se := handTr.Events(), synthTr.Events()
+	if len(he) != len(se) {
+		t.Fatalf("event counts diverge: hand %d, synth %d", len(he), len(se))
+	}
+	for i := range he {
+		if he[i] != se[i] {
+			t.Fatalf("event %d diverges:\nhand:  %+v\nsynth: %+v", i, he[i], se[i])
+		}
+	}
+	if !reflect.DeepEqual(handTr.Profile(), synthTr.Profile()) {
+		t.Errorf("Profile diverges:\nhand:  %+v\nsynth: %+v", handTr.Profile(), synthTr.Profile())
+	}
+}
+
+func TestSynthConformBTIOFull(t *testing.T) {
+	cfg := btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		btio.New(cfg), synth.BTIOSpec(cfg))
+}
+
+func TestSynthConformBTIOSimple(t *testing.T) {
+	cfg := btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Simple}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.JBOD) },
+		btio.New(cfg), synth.BTIOSpec(cfg))
+}
+
+func TestSynthConformBTIOComputeComm(t *testing.T) {
+	// Compute delays and boundary-exchange messages shift the timeline;
+	// conformance must hold with them in play.
+	cfg := btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full, ComputeScale: 0.1}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		btio.New(cfg), synth.BTIOSpec(cfg))
+}
+
+func TestSynthConformMadbenchShared(t *testing.T) {
+	cfg := madbench.Config{Procs: 4, KPix: 1, Bins: 2, FileType: madbench.Shared}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		madbench.New(cfg), synth.MadbenchSpec(cfg))
+}
+
+func TestSynthConformMadbenchUnique(t *testing.T) {
+	cfg := madbench.Config{Procs: 4, KPix: 1, Bins: 2, FileType: madbench.Unique,
+		UseLocal: true, BusyWork: 5 * sim.Millisecond}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		madbench.New(cfg), synth.MadbenchSpec(cfg))
+}
+
+func TestSynthConformMadbenchAsync(t *testing.T) {
+	cfg := madbench.Config{Procs: 4, KPix: 1, Bins: 2, FileType: madbench.Shared, AsyncWrites: true}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		madbench.New(cfg), synth.MadbenchSpec(cfg))
+}
+
+// TestSynthConformSpecRoundTrip asserts the DSL is lossless through
+// its own serialization: generator → JSON → ParseSpec must conform
+// just like the in-memory spec (the committed example files are this
+// JSON).
+func TestSynthConformSpecRoundTrip(t *testing.T) {
+	cfg := btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full}
+	var buf writerBuf
+	if err := synth.BTIOSpec(cfg).WriteJSON(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	spec, err := synth.ParseSpec(buf.b)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	assertConform(t, func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		btio.New(cfg), spec)
+}
+
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
