@@ -13,9 +13,12 @@ func DefaultAnalyzers() []*Analyzer {
 		det,
 		LockDiscipline(),
 		ErrCheck(),
-		UnitSafety(),
+		UnitFlow(),
 		ProbeConform(),
 		ReqPath(),
+		SpanBalance(),
+		SeedFlow(),
+		FaultPlan(),
 	}
 }
 

@@ -1,0 +1,452 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks hold
+// statements and the condition/tag expressions that decide their
+// successors; Entry is the first block executed and every
+// terminating path (return, panic, falling off the end) edges into
+// Exit. Deferred calls are collected separately: they run on every
+// exit, including panics, which is exactly how path-sensitive
+// analyzers (spanbalance) must account them.
+type CFG struct {
+	// Name labels the function in dumps and messages.
+	Name string
+	// Blocks lists every block in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the single synthetic sink of all terminating paths. It
+	// holds no nodes.
+	Exit *Block
+	// Defers are the argument calls of every defer statement in the
+	// body, in source order. The builder treats a defer as
+	// unconditionally scheduled — a defer inside a branch is assumed
+	// to run at exit, a deliberate over-approximation analyzers must
+	// take into account.
+	Defers []*ast.CallExpr
+}
+
+// Block is one straight-line run of nodes with its outgoing edges.
+type Block struct {
+	// Index is the block's position in CFG.Blocks.
+	Index int
+	// Kind names the syntactic construct the block was created for
+	// (entry, exit, if.then, for.body, ...), for dump readability.
+	Kind string
+	// Nodes are the statements and decision expressions executed in
+	// order. Decision expressions (if/for conditions, switch tags,
+	// range operands) are the last node of their block.
+	Nodes []ast.Node
+	// Succs are the possible next blocks.
+	Succs []*Block
+	// term, when non-nil, is the node that diverted control away
+	// from the fallthrough path (return/branch/panic), used by
+	// analyzers to cite the offending exit.
+	term ast.Node
+}
+
+// Term returns the statement that terminated the block (a return,
+// branch, or panic), or nil when the block falls through.
+func (b *Block) Term() ast.Node { return b.term }
+
+// BuildCFG constructs the control-flow graph of a function body.
+func BuildCFG(name string, body *ast.BlockStmt) *CFG {
+	g := &CFG{Name: name}
+	b := &cfgBuilder{g: g, labels: map[string]*labelScope{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.edge(b.cur, g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	// Resolve forward gotos.
+	for _, pg := range b.gotos {
+		if ls, ok := b.labels[pg.label]; ok && ls.target != nil {
+			b.edge(pg.from, ls.target)
+		}
+	}
+	return g
+}
+
+// labelScope tracks the blocks a label can transfer control to.
+type labelScope struct {
+	target *Block // the labeled statement itself (goto destination)
+	brk    *Block // break <label> destination
+	cont   *Block // continue <label> destination
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopScope is one enclosing breakable/continuable construct.
+type loopScope struct {
+	brk   *Block
+	cont  *Block // nil for switch/select (not continuable)
+	label string
+}
+
+type cfgBuilder struct {
+	g      *CFG
+	cur    *Block
+	loops  []loopScope
+	labels map[string]*labelScope
+	gotos  []pendingGoto
+	// labeled carries the pending label name between a LabeledStmt
+	// and the loop/switch statement it labels.
+	labeled string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// terminate records the diverting node and parks the builder on a
+// fresh unreachable block for any dead code that follows.
+func (b *cfgBuilder) terminate(n ast.Node) {
+	b.cur.term = n
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, done)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, done)
+		} else {
+			b.edge(cond, done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, body)
+			b.edge(head, done)
+		} else {
+			b.edge(head, body)
+		}
+		b.pushLoop(done, cont, s)
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(head, body)
+		b.edge(head, done)
+		b.pushLoop(done, head, s)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+		}
+		b.switchBody(s.Body, "switch", s)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		b.switchBody(s.Body, "typeswitch", s)
+
+	case *ast.SelectStmt:
+		b.switchBody(s.Body, "select", s)
+
+	case *ast.LabeledStmt:
+		target := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, target)
+		b.cur = target
+		ls, ok := b.labels[s.Label.Name]
+		if !ok {
+			ls = &labelScope{}
+			b.labels[s.Label.Name] = ls
+		}
+		ls.target = target
+		b.labeled = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labeled = ""
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if to := b.branchTarget(s, false); to != nil {
+				b.edge(b.cur, to)
+			}
+			b.terminate(s)
+		case token.CONTINUE:
+			if to := b.branchTarget(s, true); to != nil {
+				b.edge(b.cur, to)
+			}
+			b.terminate(s)
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			b.terminate(s)
+		case token.FALLTHROUGH:
+			// Edge added by switchBody; the statement only ends the
+			// clause.
+			b.cur.Nodes = append(b.cur.Nodes, s)
+		}
+
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.edge(b.cur, b.g.Exit)
+		b.terminate(s)
+
+	case *ast.DeferStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.g.Defers = append(b.g.Defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if call, ok := s.X.(*ast.CallExpr); ok && isPanicCall(call) {
+			b.edge(b.cur, b.g.Exit)
+			b.terminate(s)
+		}
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec,
+		// empty statements: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// pushLoop enters a breakable construct, binding any pending label's
+// break/continue targets to it.
+func (b *cfgBuilder) pushLoop(brk, cont *Block, _ ast.Stmt) {
+	b.loops = append(b.loops, loopScope{brk: brk, cont: cont, label: b.labeled})
+	if b.labeled != "" {
+		ls := b.labels[b.labeled]
+		ls.brk, ls.cont = brk, cont
+		b.labeled = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+// branchTarget resolves break/continue, labeled or not.
+func (b *cfgBuilder) branchTarget(s *ast.BranchStmt, isContinue bool) *Block {
+	if s.Label != nil {
+		if ls, ok := b.labels[s.Label.Name]; ok {
+			if isContinue {
+				return ls.cont
+			}
+			return ls.brk
+		}
+		return nil
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		sc := b.loops[i]
+		if isContinue {
+			if sc.cont != nil {
+				return sc.cont
+			}
+			continue // switch/select: continue binds the loop outside
+		}
+		return sc.brk
+	}
+	return nil
+}
+
+// switchBody builds the clause blocks of a switch, type switch, or
+// select. The dispatching block edges to every clause (and to done
+// when no default clause exists); fallthrough edges link consecutive
+// case bodies.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, kind string, _ ast.Stmt) {
+	head := b.cur
+	done := b.newBlock(kind + ".done")
+	b.pushLoop(done, nil, nil)
+	var clauseBlocks []*Block
+	hasDefault := false
+	for _, cs := range body.List {
+		blk := b.newBlock(kind + ".case")
+		clauseBlocks = append(clauseBlocks, blk)
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			blk.Nodes = append(blk.Nodes, exprNodes(cc.List)...)
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				blk.Nodes = append(blk.Nodes, cc.Comm)
+			}
+		}
+		b.edge(head, blk)
+	}
+	for i, cs := range body.List {
+		blk := clauseBlocks[i]
+		b.cur = blk
+		var list []ast.Stmt
+		switch cc := cs.(type) {
+		case *ast.CaseClause:
+			list = cc.Body
+		case *ast.CommClause:
+			list = cc.Body
+		}
+		fallsThrough := false
+		for _, st := range list {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+		}
+		b.stmtList(list)
+		if fallsThrough && i+1 < len(clauseBlocks) {
+			b.edge(b.cur, clauseBlocks[i+1])
+			b.cur = b.newBlock("unreachable")
+		} else {
+			b.edge(b.cur, done)
+		}
+	}
+	if !hasDefault || len(clauseBlocks) == 0 {
+		b.edge(head, done)
+	}
+	b.popLoop()
+	b.cur = done
+}
+
+// exprNodes widens a []ast.Expr to []ast.Node.
+func exprNodes(list []ast.Expr) []ast.Node {
+	out := make([]ast.Node, len(list))
+	for i, e := range list {
+		out[i] = e
+	}
+	return out
+}
+
+// isPanicCall matches a direct call to the builtin panic. Shadowed
+// panics misclassify — acceptable for a repo that never shadows it.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the graph in the golden format used by the CFG tests:
+// one line per block with its kind, nodes, and successor indices,
+// then the defer list.
+//
+//	func Flush
+//	b0 entry: [r.Push(3, c.name)] [c.Resize(0)] → b5
+//	...
+//	b5 exit:
+//	defer: [r.Pop()]
+func (g *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", g.Name)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.Index, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " [%s]", nodeText(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			parts := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				parts[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, " → %s", strings.Join(parts, " "))
+		}
+		sb.WriteString("\n")
+	}
+	if len(g.Defers) > 0 {
+		sb.WriteString("defer:")
+		for _, d := range g.Defers {
+			fmt.Fprintf(&sb, " [%s]", nodeText(fset, d))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText renders an AST node on one line.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := buf.String()
+	s = strings.ReplaceAll(s, "\n", " ")
+	s = strings.ReplaceAll(s, "\t", "")
+	return s
+}

@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the CFG golden files under testdata/cfg")
+
+// parseFuncCFG parses a single function declaration and builds its
+// control-flow graph. The CFG builder is purely syntactic, so no type
+// checking is needed.
+func parseFuncCFG(t *testing.T, src string) (*token.FileSet, *CFG) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", "package p\n\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, BuildCFG(fd.Name.Name, fd.Body)
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil
+}
+
+// kindEdges renders every edge of the graph as "fromKind->toKind", for
+// shape assertions that survive block renumbering.
+func kindEdges(g *CFG) map[string]bool {
+	edges := map[string]bool{}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			edges[blk.Kind+"->"+s.Kind] = true
+		}
+	}
+	return edges
+}
+
+// TestCFGShapes drives the builder over every control construct the
+// span/seed analyzers must traverse, asserting the structural edges
+// of each shape and comparing the full dump against a golden file
+// (regenerate with: go test ./internal/lint -run TestCFGShapes -update).
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// edges that must exist, as "fromKind->toKind"
+		edges []string
+		// edges that must NOT exist
+		absent []string
+		defers int
+	}{
+		{
+			name: "if_else",
+			src: `func IfElse(x int) int {
+	if x > 0 {
+		return 1
+	} else {
+		x--
+	}
+	return x
+}`,
+			edges: []string{"entry->if.then", "entry->if.else", "if.then->exit", "if.else->if.done", "if.done->exit"},
+			// The then-arm returns, so it must not fall through to done.
+			absent: []string{"if.then->if.done", "entry->if.done"},
+		},
+		{
+			name: "if_no_else",
+			src: `func IfNoElse(x int) int {
+	if x > 0 {
+		x++
+	}
+	return x
+}`,
+			edges: []string{"entry->if.then", "entry->if.done", "if.then->if.done"},
+		},
+		{
+			name: "for_break_continue",
+			src: `func Loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			break
+		}
+		if i == 5 {
+			continue
+		}
+		s += i
+	}
+	return s
+}`,
+			edges: []string{
+				"entry->for.head", "for.head->for.body", "for.head->for.done",
+				"if.then->for.done", // break
+				"if.then->for.post", // continue
+				"for.post->for.head", "for.done->exit",
+			},
+		},
+		{
+			name: "range",
+			src: `func Sum(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`,
+			edges: []string{"entry->range.head", "range.head->range.body", "range.head->range.done", "range.body->range.head"},
+		},
+		{
+			name: "switch_fallthrough",
+			src: `func Classify(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x--
+	default:
+		x = 0
+	}
+	return x
+}`,
+			edges: []string{"entry->switch.case", "switch.case->switch.case", "switch.case->switch.done"},
+			// A default clause exists, so the head cannot skip to done.
+			absent: []string{"entry->switch.done"},
+		},
+		{
+			name: "typeswitch_no_default",
+			src: `func Kind(y interface{}) int {
+	switch v := y.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	}
+	return 0
+}`,
+			edges: []string{"entry->typeswitch.case", "entry->typeswitch.done", "typeswitch.case->exit"},
+		},
+		{
+			name: "select_default",
+			src: `func Poll(ch chan int) int {
+	x := 0
+	select {
+	case v := <-ch:
+		x = v
+	default:
+		x = -1
+	}
+	return x
+}`,
+			edges:  []string{"entry->select.case", "select.case->select.done"},
+			absent: []string{"entry->select.done"},
+		},
+		{
+			name: "defer_early_return",
+			src: `func Guarded(x int) int {
+	defer cleanup()
+	if x > 0 {
+		return x
+	}
+	return 0
+}`,
+			edges:  []string{"entry->if.then", "if.then->exit", "if.done->exit"},
+			defers: 1,
+		},
+		{
+			name: "goto_forward",
+			src: `func Jump(x int) int {
+	if x > 0 {
+		goto done
+	}
+	x++
+done:
+	return x
+}`,
+			edges: []string{"entry->if.then", "if.then->label.done", "if.done->label.done", "label.done->exit"},
+		},
+		{
+			name: "labeled_break",
+			src: `func Nested(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+j > 4 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`,
+			// The labeled break must exit BOTH loops: from the inner
+			// body's if.then straight to the outer loop's done block.
+			edges: []string{"if.then->for.done"},
+		},
+		{
+			name: "panic_terminates",
+			src: `func MustPos(x int) int {
+	if x == 0 {
+		panic("zero")
+	}
+	return x
+}`,
+			edges:  []string{"if.then->exit"},
+			absent: []string{"if.then->if.done"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fset, g := parseFuncCFG(t, tc.src)
+			edges := kindEdges(g)
+			for _, e := range tc.edges {
+				if !edges[e] {
+					t.Errorf("missing edge %s\n%s", e, g.Dump(fset))
+				}
+			}
+			for _, e := range tc.absent {
+				if edges[e] {
+					t.Errorf("unwanted edge %s\n%s", e, g.Dump(fset))
+				}
+			}
+			if got := len(g.Defers); got != tc.defers {
+				t.Errorf("got %d deferred calls, want %d", got, tc.defers)
+			}
+
+			golden := filepath.Join("testdata", "cfg", tc.name+".golden")
+			dump := g.Dump(fset)
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(dump), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if dump != string(want) {
+				t.Errorf("dump differs from %s (regenerate with -update if intended)\ngot:\n%s\nwant:\n%s", golden, dump, want)
+			}
+		})
+	}
+}
+
+// TestCFGEntryExitInvariants pins the structural contract every
+// analyzer relies on: Blocks[0] is Entry, the last block is Exit,
+// Exit holds no nodes and has no successors.
+func TestCFGEntryExitInvariants(t *testing.T) {
+	_, g := parseFuncCFG(t, `func F(x int) int {
+	for i := 0; i < x; i++ {
+		if i == 2 {
+			return i
+		}
+	}
+	return 0
+}`)
+	if g.Blocks[0] != g.Entry {
+		t.Error("Blocks[0] is not Entry")
+	}
+	if g.Blocks[len(g.Blocks)-1] != g.Exit {
+		t.Error("last block is not Exit")
+	}
+	if len(g.Exit.Nodes) != 0 || len(g.Exit.Succs) != 0 {
+		t.Error("Exit must hold no nodes and have no successors")
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			if s.Index < 0 || s.Index >= len(g.Blocks) || g.Blocks[s.Index] != s {
+				t.Errorf("b%d has a successor with a dangling index %d", blk.Index, s.Index)
+			}
+		}
+	}
+}

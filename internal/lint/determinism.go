@@ -31,7 +31,8 @@ func Determinism() *Analyzer {
 	}
 }
 
-func determinismRun(p *Package) []Diagnostic {
+func determinismRun(pass *Pass) []Diagnostic {
+	p := pass.Package
 	var out []Diagnostic
 	for _, f := range p.Files {
 		funcScopes(f, func(body *ast.BlockStmt) {

@@ -29,7 +29,8 @@ func ErrCheck() *Analyzer {
 	}
 }
 
-func errCheckRun(p *Package) []Diagnostic {
+func errCheckRun(pass *Pass) []Diagnostic {
+	p := pass.Package
 	var out []Diagnostic
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {

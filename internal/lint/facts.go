@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Facts is the module-wide fact store: analyzers export facts about
+// a package's API (keyed by the defining object and a fact kind)
+// while packages are visited in dependency order, and consume facts
+// of callees when analyzing callers. The store is the mechanism that
+// lets a per-package analyzer reason across package boundaries — "this
+// function returns a wall-clock-tainted value", "this helper opens a
+// span it does not close", "this function arms a fault plan" — without
+// whole-program analysis.
+type Facts struct {
+	m map[factKey]Fact
+}
+
+// Fact is one exported statement about an object. Facts must render
+// deterministically (String) so the store can be serialized for
+// debugging and golden-testing.
+type Fact interface{ String() string }
+
+type factKey struct {
+	obj  types.Object
+	kind string
+}
+
+// NewFacts returns an empty store.
+func NewFacts() *Facts { return &Facts{m: map[factKey]Fact{}} }
+
+// Export records a fact about obj under the analyzer-chosen kind,
+// replacing any previous fact of that kind.
+func (fs *Facts) Export(obj types.Object, kind string, fact Fact) {
+	fs.m[factKey{obj: obj, kind: kind}] = fact
+}
+
+// Get returns the fact of the given kind exported for obj, if any.
+func (fs *Facts) Get(obj types.Object, kind string) (Fact, bool) {
+	f, ok := fs.m[factKey{obj: obj, kind: kind}]
+	return f, ok
+}
+
+// Len returns the number of stored facts.
+func (fs *Facts) Len() int { return len(fs.m) }
+
+// Dump serializes the store deterministically, one fact per line:
+//
+//	<pkgpath>.<object> <kind> = <fact>
+//
+// sorted by package path, object name, then kind. iolint -facts
+// prints it; tests golden it.
+func (fs *Facts) Dump() string {
+	type row struct{ pkg, obj, kind, val string }
+	rows := make([]row, 0, len(fs.m))
+	for k, f := range fs.m {
+		pkg := "_"
+		if k.obj.Pkg() != nil {
+			pkg = k.obj.Pkg().Path()
+		}
+		name := k.obj.Name()
+		if fn, ok := k.obj.(*types.Func); ok {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				name = recvTypeName(sig.Recv().Type()) + "." + name
+			}
+		}
+		rows = append(rows, row{pkg: pkg, obj: name, kind: k.kind, val: f.String()})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.pkg != b.pkg {
+			return a.pkg < b.pkg
+		}
+		if a.obj != b.obj {
+			return a.obj < b.obj
+		}
+		return a.kind < b.kind
+	})
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s.%s %s = %s\n", r.pkg, r.obj, r.kind, r.val)
+	}
+	return b.String()
+}
+
+// recvTypeName names a method receiver type compactly ("*Cache" →
+// "Cache").
+func recvTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// ComputeFacts runs every analyzer's Facts hook over the packages in
+// module dependency order (imports before importers), so a hook
+// analyzing a caller can read the facts its callees' packages
+// exported. Runner.Run calls it implicitly when no pre-computed
+// store is supplied; BenchmarkLintModule calls it explicitly to
+// price the fact pass.
+func ComputeFacts(pkgs []*Package, analyzers []*Analyzer) *Facts {
+	facts := NewFacts()
+	ordered := dependencyOrder(pkgs)
+	for _, az := range analyzers {
+		if az.Facts == nil {
+			continue
+		}
+		for _, p := range ordered {
+			if az.AppliesTo != nil && !az.AppliesTo(p.Path) {
+				continue
+			}
+			az.Facts(&Pass{Package: p, Facts: facts})
+		}
+	}
+	return facts
+}
+
+// dependencyOrder topologically sorts the packages so every package
+// follows the packages it imports (restricted to the given set).
+// Ties and roots keep import-path order, so the result is
+// deterministic.
+func dependencyOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	paths := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	var out []*Package
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		imps := p.Types.Imports()
+		impPaths := make([]string, 0, len(imps))
+		for _, imp := range imps {
+			impPaths = append(impPaths, imp.Path())
+		}
+		sort.Strings(impPaths)
+		for _, ip := range impPaths {
+			visit(ip)
+		}
+		state[path] = 2
+		out = append(out, p)
+	}
+	for _, path := range paths {
+		visit(path)
+	}
+	return out
+}

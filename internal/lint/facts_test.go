@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDependencyOrder pins that ComputeFacts visits imports before
+// importers regardless of input order: seedflow imports seedsrc, so
+// seedsrc must be analyzed first even when listed last.
+func TestDependencyOrder(t *testing.T) {
+	loader := fixtures()
+	src, err := loader.Load("seedsrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := loader.Load("seedflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := dependencyOrder([]*Package{sink, src})
+	if len(ordered) != 2 || ordered[0] != src || ordered[1] != sink {
+		paths := make([]string, len(ordered))
+		for i, p := range ordered {
+			paths[i] = p.Path
+		}
+		t.Errorf("dependencyOrder = %v, want [seedsrc seedflow]", paths)
+	}
+}
+
+// TestCrossPackageFacts proves the fact chain the seedflow acceptance
+// fixture relies on: analyzing seedsrc exports a wall-taint fact for
+// LaunderedStamp, which the sink package's pass can read back.
+func TestCrossPackageFacts(t *testing.T) {
+	loader := fixtures()
+	src, err := loader.Load("seedsrc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink, err := loader.Load("seedflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := ComputeFacts([]*Package{sink, src}, []*Analyzer{SeedFlow()})
+	obj := src.Types.Scope().Lookup("LaunderedStamp")
+	if obj == nil {
+		t.Fatal("seedsrc.LaunderedStamp not found")
+	}
+	fact, ok := facts.Get(obj, seedFactKind)
+	if !ok {
+		t.Fatal("no seedflow fact exported for seedsrc.LaunderedStamp")
+	}
+	if s := fact.String(); !strings.Contains(s, "wall") {
+		t.Errorf("LaunderedStamp fact = %s, want a wall-tainted result", s)
+	}
+}
+
+// TestFactsDumpDeterministic pins the serialization contract: the
+// dump is sorted, stable across runs, and renders methods with their
+// receiver type.
+func TestFactsDumpDeterministic(t *testing.T) {
+	loader := fixtures()
+	pkgs := make([]*Package, 0, 2)
+	for _, dir := range []string{"fault", "faultplan"} {
+		p, err := loader.Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	a := ComputeFacts(pkgs, DefaultAnalyzers()).Dump()
+	b := ComputeFacts([]*Package{pkgs[1], pkgs[0]}, DefaultAnalyzers()).Dump()
+	if a != b {
+		t.Errorf("dumps differ across input orders:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, "fixture/internal/fault.Apply faultplan = consumes(p1)") {
+		t.Errorf("dump lacks the fault.Apply consumer fact:\n%s", a)
+	}
+	lines := strings.Split(strings.TrimRight(a, "\n"), "\n")
+	for i := 1; i < len(lines); i++ {
+		if lines[i-1] > lines[i] {
+			t.Errorf("dump is not sorted at line %d: %q > %q", i, lines[i-1], lines[i])
+		}
+	}
+}
+
+// TestFactsExportReplaces pins last-writer-wins per (object, kind).
+func TestFactsExportReplaces(t *testing.T) {
+	loader := fixtures()
+	p, err := loader.Load("fault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := p.Types.Scope().Lookup("Apply")
+	fs := NewFacts()
+	fs.Export(obj, "k", PlanConsumerFact{Params: 1})
+	fs.Export(obj, "k", PlanConsumerFact{Params: 2})
+	if fs.Len() != 1 {
+		t.Errorf("Len = %d, want 1", fs.Len())
+	}
+	f, _ := fs.Get(obj, "k")
+	if f.String() != (PlanConsumerFact{Params: 2}).String() {
+		t.Errorf("fact = %s, want the replacement", f)
+	}
+}

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit is one replacement of the source range [Pos, End) with
+// NewText. Pos == End inserts.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// SuggestedFix is a machine-applicable resolution of a finding: a
+// message and a set of non-overlapping edits. cmd/iolint -fix
+// applies every suggested fix of every finding, refuses overlapping
+// edits, and gofmts the result, so applying fixes is idempotent: a
+// second run produces zero findings and zero diffs.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// withFix attaches a fix to a diagnostic (constructor helper).
+func withFix(d Diagnostic, msg string, edits ...TextEdit) Diagnostic {
+	d.Fixes = append(d.Fixes, SuggestedFix{Message: msg, Edits: edits})
+	return d
+}
+
+// FixResult is the outcome of ApplyFixes: the new gofmt-clean
+// content of every file at least one edit touched, and the number of
+// fixes folded in.
+type FixResult struct {
+	// Files maps filename to its fixed, formatted content.
+	Files map[string][]byte
+	// Applied counts the suggested fixes applied.
+	Applied int
+}
+
+// ApplyFixes merges the suggested fixes of all diagnostics into
+// per-file edit lists, refuses dirty overlaps (two edits touching
+// the same bytes — applying either would invalidate the other's
+// offsets, so the whole run is rejected rather than guessing), and
+// returns the edited files formatted with gofmt. Identical duplicate
+// edits (two findings proposing the same insertion) are deduplicated
+// rather than refused. readFile defaults to os.ReadFile.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, readFile func(string) ([]byte, error)) (*FixResult, error) {
+	if readFile == nil {
+		readFile = os.ReadFile
+	}
+	type fileEdit struct {
+		start, end int
+		text       string
+	}
+	perFile := map[string][]fileEdit{}
+	applied := 0
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				start := fset.Position(e.Pos)
+				end := fset.Position(e.End)
+				if start.Filename == "" || start.Filename != end.Filename || end.Offset < start.Offset {
+					return nil, fmt.Errorf("lint: invalid edit range for %s fix at %s", d.Check, start)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename], fileEdit{start: start.Offset, end: end.Offset, text: e.NewText})
+			}
+			applied++
+		}
+	}
+	if applied == 0 {
+		return &FixResult{Files: map[string][]byte{}}, nil
+	}
+	out := &FixResult{Files: map[string][]byte{}, Applied: applied}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		// Dedupe identical edits, then refuse any remaining overlap.
+		deduped := edits[:0]
+		for i, e := range edits {
+			if i > 0 && e == edits[i-1] {
+				continue
+			}
+			deduped = append(deduped, e)
+		}
+		edits = deduped
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end || (edits[i].start == edits[i-1].start && edits[i-1].start == edits[i-1].end && edits[i].start == edits[i].end) {
+				return nil, fmt.Errorf("lint: refusing overlapping fixes in %s (edits at offsets %d and %d); apply one, re-run, repeat",
+					name, edits[i-1].start, edits[i].start)
+			}
+		}
+		src, err := readFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		var buf []byte
+		last := 0
+		for _, e := range edits {
+			if e.end > len(src) {
+				return nil, fmt.Errorf("lint: edit past end of %s (offset %d > %d)", name, e.end, len(src))
+			}
+			buf = append(buf, src[last:e.start]...)
+			buf = append(buf, e.text...)
+			last = e.end
+		}
+		buf = append(buf, src[last:]...)
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, fmt.Errorf("lint: fixed %s does not parse (broken fix): %w", name, err)
+		}
+		out.Files[name] = formatted
+	}
+	return out, nil
+}

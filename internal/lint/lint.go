@@ -4,24 +4,37 @@
 // characterization tables and sweep reports regardless of worker
 // count — rests on invariants (no wall clock or unseeded randomness
 // in the simulated stack, no map-iteration order leaking into
-// reports, no mutex held across exported calls) that ordinary tests
-// can only spot-check. The analyzers in this package machine-check
-// them on every build.
+// reports, no mutex held across exported calls, balanced spans on
+// every control-flow path) that ordinary tests can only spot-check.
+// The analyzers in this package machine-check them on every build.
+//
+// Since iolint v2 the framework is a small dataflow engine rather
+// than a per-statement walker: analyzers can request a per-function
+// control-flow graph (Pass.FuncCFG), export facts about a package's
+// exported API into a module-wide store (Analyzer.Facts, computed in
+// dependency order so callee facts exist before callers are
+// analyzed), and attach SuggestedFixes that cmd/iolint -fix applies
+// as non-overlapping, gofmt-clean textual edits.
 //
 // A finding can be silenced at the site with a justified directive:
 //
 //	//lint:ignore <check> <reason>
 //
-// placed on the flagged line or the line directly above it. A
-// directive without a reason is itself reported (check "directive"):
-// the suppression policy is that every silenced finding documents why
-// the invariant holds anyway.
+// A directive on its own line suppresses findings of that check on
+// the next line; a directive trailing code suppresses findings on
+// its own line only. A directive without a reason is itself reported
+// (check "directive"), and a well-formed directive that suppresses
+// nothing is reported too (check "directive-unused"): the
+// suppression policy is that every silenced finding documents why
+// the invariant holds anyway, and stale suppressions rot into
+// blind spots.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"os"
 	"sort"
 	"strings"
 )
@@ -36,12 +49,64 @@ type Diagnostic struct {
 	// Message states the violated invariant and, where possible, the
 	// fix.
 	Message string
+	// Fixes are machine-applicable edits that resolve the finding.
+	// Empty when no safe automatic fix exists.
+	Fixes []SuggestedFix
 }
 
 // String renders the diagnostic in the conventional
 // file:line:col: check: message form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Pass is the per-package view handed to an analyzer run: the parsed
+// and type-checked package plus the module-wide fact store and a
+// memoized CFG builder.
+type Pass struct {
+	*Package
+	// Facts is the module-wide store. During Analyzer.Facts hooks it
+	// is being populated in dependency order (facts of imported
+	// packages are already present); during Run it is complete.
+	Facts *Facts
+
+	cfgs map[*ast.FuncDecl]*CFG
+}
+
+// FuncCFG returns the control-flow graph of a declared function's
+// body, memoized per pass. fd.Body must be non-nil.
+func (pass *Pass) FuncCFG(fd *ast.FuncDecl) *CFG {
+	if pass.cfgs == nil {
+		pass.cfgs = map[*ast.FuncDecl]*CFG{}
+	}
+	if g, ok := pass.cfgs[fd]; ok {
+		return g
+	}
+	g := BuildCFG(funcName(fd), fd.Body)
+	pass.cfgs[fd] = g
+	return g
+}
+
+// funcName renders a FuncDecl's name with its receiver type, e.g.
+// "(*Cache).Flush".
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return fmt.Sprintf("(%s).%s", typeText(fd.Recv.List[0].Type), fd.Name.Name)
+}
+
+// typeText renders a receiver type expression compactly.
+func typeText(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return "*" + typeText(e.X)
+	case *ast.IndexExpr:
+		return typeText(e.X)
+	}
+	return "?"
 }
 
 // Analyzer is one named invariant check.
@@ -53,20 +118,29 @@ type Analyzer struct {
 	// analyzer protects.
 	Doc string
 	// AppliesTo, when non-nil, restricts which import paths the
-	// runner feeds to Run; a nil filter means every package.
+	// runner feeds to Run and Facts; a nil filter means every package.
 	AppliesTo func(pkgPath string) bool
+	// Facts, when non-nil, runs over every package in module
+	// dependency order before any Run, exporting facts about the
+	// package's API into the shared store. A package's hook may read
+	// facts its imports exported.
+	Facts func(pass *Pass)
 	// Run inspects one package. Exactly one of Run and RunModule is
 	// set.
-	Run func(p *Package) []Diagnostic
+	Run func(pass *Pass) []Diagnostic
 	// RunModule inspects the whole package set at once, for checks
 	// that need a cross-package view (e.g. "is this probe registered
 	// anywhere?").
-	RunModule func(pkgs []*Package) []Diagnostic
+	RunModule func(passes []*Pass) []Diagnostic
 }
 
 // DirectiveCheck is the pseudo-check name under which malformed
 // //lint:ignore directives are reported.
 const DirectiveCheck = "directive"
+
+// DirectiveUnusedCheck is the pseudo-check name under which
+// well-formed directives that suppress nothing are reported.
+const DirectiveUnusedCheck = "directive-unused"
 
 // ignorePrefix starts every suppression directive.
 const ignorePrefix = "//lint:ignore"
@@ -76,6 +150,11 @@ type directive struct {
 	pos    token.Position
 	check  string
 	reason string
+	// target is the single line the directive suppresses: its own
+	// line when the comment trails code, the next line when the
+	// comment stands alone.
+	target int
+	used   bool
 }
 
 // Runner applies a set of analyzers to a set of packages and folds
@@ -83,27 +162,48 @@ type directive struct {
 type Runner struct {
 	// Analyzers run in order; diagnostics are merged and sorted.
 	Analyzers []*Analyzer
+	// Facts, when non-nil, is a pre-computed fact store (e.g. cached
+	// from a previous run over the same packages). When nil, Run
+	// computes facts itself.
+	Facts *Facts
 }
 
-// Run executes every analyzer over the packages, drops findings
-// suppressed by well-formed //lint:ignore directives, reports
-// malformed directives, and returns the remainder sorted by position
-// then check name — a deterministic order, as this tool preaches.
+// Run executes every analyzer over the packages — fact hooks first,
+// in module dependency order, then the per-package and module-wide
+// runs — drops findings suppressed by well-formed //lint:ignore
+// directives, reports malformed and unused directives, and returns
+// the remainder sorted by position then check name — a deterministic
+// order, as this tool preaches.
 func (r *Runner) Run(pkgs []*Package) []Diagnostic {
+	facts := r.Facts
+	if facts == nil {
+		facts = ComputeFacts(pkgs, r.Analyzers)
+		// Keep the store for callers that want to inspect it (-facts)
+		// or reuse it over the same packages (the warm-cache bench).
+		r.Facts = facts
+	}
+	passes := make([]*Pass, len(pkgs))
+	for i, p := range pkgs {
+		passes[i] = &Pass{Package: p, Facts: facts}
+	}
 	var diags []Diagnostic
 	for _, az := range r.Analyzers {
 		if az.RunModule != nil {
-			diags = append(diags, az.RunModule(pkgs)...)
+			diags = append(diags, az.RunModule(passes)...)
 			continue
 		}
-		for _, p := range pkgs {
-			if az.AppliesTo != nil && !az.AppliesTo(p.Path) {
+		for _, pass := range passes {
+			if az.AppliesTo != nil && !az.AppliesTo(pass.Path) {
 				continue
 			}
-			diags = append(diags, az.Run(p)...)
+			diags = append(diags, az.Run(pass)...)
 		}
 	}
-	diags = applyDirectives(pkgs, diags)
+	active := map[string]bool{DirectiveCheck: true, DirectiveUnusedCheck: true}
+	for _, az := range r.Analyzers {
+		active[az.Name] = true
+	}
+	diags = applyDirectives(pkgs, diags, active)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -124,10 +224,14 @@ func (r *Runner) Run(pkgs []*Package) []Diagnostic {
 }
 
 // applyDirectives filters diags through the packages' ignore
-// directives and appends a finding for each malformed directive.
-func applyDirectives(pkgs []*Package, diags []Diagnostic) []Diagnostic {
-	var valid []directive
+// directives, appends a finding for each malformed directive, and
+// appends a finding for each well-formed directive that suppressed
+// nothing (only for checks the runner actually ran, so a partial
+// analyzer set does not misreport suppressions of the others).
+func applyDirectives(pkgs []*Package, diags []Diagnostic, active map[string]bool) []Diagnostic {
+	var valid []*directive
 	var out []Diagnostic
+	lines := newLineCache()
 	for _, p := range pkgs {
 		for _, f := range p.Files {
 			for _, cg := range f.Comments {
@@ -147,7 +251,11 @@ func applyDirectives(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 						})
 						continue
 					}
-					valid = append(valid, directive{pos: pos, check: check, reason: reason})
+					target := pos.Line + 1
+					if lines.trailsCode(pos) {
+						target = pos.Line
+					}
+					valid = append(valid, &directive{pos: pos, check: check, reason: reason, target: target})
 				}
 			}
 		}
@@ -157,7 +265,47 @@ func applyDirectives(pkgs []*Package, diags []Diagnostic) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+	for _, dir := range valid {
+		if !dir.used && active[dir.check] {
+			out = append(out, Diagnostic{
+				Pos:   dir.pos,
+				Check: DirectiveUnusedCheck,
+				Message: fmt.Sprintf("directive suppresses no %s finding on line %d; delete it or fix the check name",
+					dir.check, dir.target),
+			})
+		}
+	}
 	return out
+}
+
+// lineCache lazily reads source files to decide whether a comment
+// trails code on its line.
+type lineCache struct{ files map[string][]string }
+
+func newLineCache() *lineCache { return &lineCache{files: map[string][]string{}} }
+
+// trailsCode reports whether anything but whitespace precedes the
+// given position on its source line. On read failure it reports
+// false (the directive is treated as standalone).
+func (lc *lineCache) trailsCode(pos token.Position) bool {
+	lines, ok := lc.files[pos.Filename]
+	if !ok {
+		data, err := os.ReadFile(pos.Filename)
+		if err != nil {
+			lines = nil
+		} else {
+			lines = strings.Split(string(data), "\n")
+		}
+		lc.files[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) || pos.Line < 1 {
+		return false
+	}
+	prefix := lines[pos.Line-1]
+	if pos.Column-1 < len(prefix) {
+		prefix = prefix[:pos.Column-1]
+	}
+	return strings.TrimSpace(prefix) != ""
 }
 
 // cutDirective extracts the payload of an ignore directive from a
@@ -176,18 +324,20 @@ func cutDirective(comment string) (string, bool) {
 }
 
 // suppressed reports whether a directive for the diagnostic's check
-// sits on the same line or the line directly above it, in the same
-// file.
-func suppressed(dirs []directive, d Diagnostic) bool {
+// targets the diagnostic's line in the same file, marking the
+// directive used.
+func suppressed(dirs []*directive, d Diagnostic) bool {
+	hit := false
 	for _, dir := range dirs {
 		if dir.check != d.Check || dir.pos.Filename != d.Pos.Filename {
 			continue
 		}
-		if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
-			return true
+		if dir.target == d.Pos.Line {
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // diag is the shared constructor analyzers use: it resolves the

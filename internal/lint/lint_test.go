@@ -43,8 +43,14 @@ func suppressLines(t *testing.T) (file string, markers map[string]int) {
 		if strings.TrimSpace(line) == "//lint:ignore determinism" {
 			markers["malformed-directive"] = i + 1
 		}
+		if strings.Contains(line, "too far from the finding") {
+			markers["far-away-directive"] = i + 1
+		}
+		if strings.Contains(line, "the wall clock is the finding under test") {
+			markers["multi-finding"] = i + 1
+		}
 	}
-	if len(markers) != 4 {
+	if len(markers) != 6 {
 		t.Fatalf("fixture markers incomplete: %v", markers)
 	}
 	return file, markers
@@ -52,15 +58,20 @@ func suppressLines(t *testing.T) (file string, markers map[string]int) {
 
 // TestSuppression drives the //lint:ignore mechanism end to end:
 // well-formed directives (above-line and same-line) silence exactly
-// their finding, a directive for another check does not, and a
-// reason-less directive is reported under the "directive" check.
+// the named check's findings on exactly their target line, a
+// directive for another check does not, a reason-less directive is
+// reported under the "directive" check, and a well-formed directive
+// that suppresses nothing is reported under "directive-unused". The
+// multi-finding line pins the per-check scoping: one line carrying a
+// determinism and a unitflow finding keeps the determinism one when
+// the directive names unitflow.
 func TestSuppression(t *testing.T) {
 	file, markers := suppressLines(t)
 	p, err := fixtures().Load("suppress")
 	if err != nil {
 		t.Fatal(err)
 	}
-	runner := &Runner{Analyzers: []*Analyzer{Determinism()}}
+	runner := &Runner{Analyzers: []*Analyzer{Determinism(), UnitFlow()}}
 	diags := runner.Run([]*Package{p})
 
 	got := map[string][]int{}
@@ -75,15 +86,40 @@ func TestSuppression(t *testing.T) {
 		markers["unsuppressed-wrong-check"],
 		markers["unsuppressed-malformed"],
 		markers["unsuppressed-far-away"],
+		markers["multi-finding"],
 	}
 	if !equalInts(got[DeterminismCheck], wantDet) {
 		t.Errorf("determinism findings on lines %v, want %v", got[DeterminismCheck], wantDet)
 	}
+	if len(got[UnitFlowCheck]) != 0 {
+		t.Errorf("unitflow findings on lines %v; the multi-finding directive should suppress them", got[UnitFlowCheck])
+	}
 	if !equalInts(got[DirectiveCheck], []int{markers["malformed-directive"]}) {
 		t.Errorf("directive findings on lines %v, want [%d]", got[DirectiveCheck], markers["malformed-directive"])
 	}
-	if extra := len(diags) - len(wantDet) - 1; extra != 0 {
+	if !equalInts(got[DirectiveUnusedCheck], []int{markers["far-away-directive"]}) {
+		t.Errorf("directive-unused findings on lines %v, want [%d]", got[DirectiveUnusedCheck], markers["far-away-directive"])
+	}
+	if extra := len(diags) - len(wantDet) - 2; extra != 0 {
 		t.Errorf("%d unexpected extra diagnostics:\n%s", extra, formatDiags(diags))
+	}
+}
+
+// TestUnusedDirectiveInactiveCheck pins the gating: a directive for a
+// check the runner did not execute must not be reported as unused —
+// the wrong-check directive names errcheck, and errcheck is not in
+// the analyzer set above.
+func TestUnusedDirectiveInactiveCheck(t *testing.T) {
+	_, markers := suppressLines(t)
+	p, err := fixtures().Load("suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &Runner{Analyzers: []*Analyzer{Determinism(), UnitFlow()}}
+	for _, d := range runner.Run([]*Package{p}) {
+		if d.Check == DirectiveUnusedCheck && d.Pos.Line != markers["far-away-directive"] {
+			t.Errorf("unexpected directive-unused finding: %s", d)
+		}
 	}
 }
 
@@ -120,7 +156,7 @@ func TestRunnerOrderDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runner := &Runner{Analyzers: []*Analyzer{Determinism(), ErrCheck(), UnitSafety()}}
+	runner := &Runner{Analyzers: []*Analyzer{Determinism(), ErrCheck(), UnitFlow()}}
 	a := formatDiags(runner.Run([]*Package{p}))
 	b := formatDiags(runner.Run([]*Package{p}))
 	if a != b {

@@ -51,6 +51,7 @@ type Loader struct {
 	stdSource types.Importer // GOROOT source (fallback), created lazily
 
 	pkgs    map[string]*Package
+	failed  map[string]error
 	loading map[string]bool
 }
 
@@ -85,6 +86,7 @@ func NewTreeLoader(modPath, modDir string) *Loader {
 		fset:    fset,
 		std:     importer.Default(),
 		pkgs:    map[string]*Package{},
+		failed:  map[string]error{},
 		loading: map[string]bool{},
 	}
 }
@@ -139,10 +141,15 @@ func (l *Loader) Load(relDir string) (*Package, error) {
 
 // LoadAll walks the module tree and loads every package in it,
 // skipping testdata trees and hidden or underscore-prefixed
-// directories. Packages return sorted by import path.
-func (l *Loader) LoadAll() ([]*Package, error) {
+// directories. Loading is lenient: a package that fails to parse or
+// type-check is recorded as an error and skipped, so one broken
+// directory does not hide findings in the rest of the tree (the CLI
+// turns a non-empty error list into exit 2). Packages return sorted
+// by import path; errors in walk order.
+func (l *Loader) LoadAll() ([]*Package, []error) {
 	var out []*Package
-	err := filepath.WalkDir(l.modDir, func(p string, d os.DirEntry, err error) error {
+	var errs []error
+	walkErr := filepath.WalkDir(l.modDir, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
 		}
@@ -162,16 +169,17 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		}
 		pkg, err := l.Load(rel)
 		if err != nil {
-			return err
+			errs = append(errs, err)
+			return nil
 		}
 		out = append(out, pkg)
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	if walkErr != nil {
+		errs = append(errs, walkErr)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
-	return out, nil
+	return out, errs
 }
 
 // hasGoFiles reports whether dir directly contains at least one
@@ -199,20 +207,29 @@ func isLintableFile(name string) bool {
 }
 
 // load parses and type-checks the package in dir under importPath,
-// memoizing by import path and detecting import cycles.
+// memoizing both successes and failures by import path (a broken
+// package imported by many others reports one error, not one per
+// importer) and detecting import cycles.
 func (l *Loader) load(dir, importPath string) (*Package, error) {
 	if p, ok := l.pkgs[importPath]; ok {
 		return p, nil
+	}
+	if err, ok := l.failed[importPath]; ok {
+		return nil, err
 	}
 	if l.loading[importPath] {
 		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
 	}
 	l.loading[importPath] = true
 	defer delete(l.loading, importPath)
+	fail := func(err error) (*Package, error) {
+		l.failed[importPath] = err
+		return nil, err
+	}
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w", err)
+		return fail(fmt.Errorf("lint: %w", err))
 	}
 	var files []*ast.File
 	for _, e := range entries {
@@ -221,12 +238,12 @@ func (l *Loader) load(dir, importPath string) (*Package, error) {
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			return fail(fmt.Errorf("lint: %w", err))
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		return fail(fmt.Errorf("lint: no Go files in %s", dir))
 	}
 
 	info := &types.Info{
@@ -239,7 +256,7 @@ func (l *Loader) load(dir, importPath string) (*Package, error) {
 	conf := types.Config{Importer: l}
 	tpkg, err := conf.Check(importPath, l.fset, files, info)
 	if err != nil {
-		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+		return fail(fmt.Errorf("lint: type-check %s: %w", importPath, err))
 	}
 	p := &Package{
 		Path:    importPath,

@@ -34,7 +34,8 @@ type lockCall struct {
 	read bool   // RLock rather than Lock
 }
 
-func lockDisciplineRun(p *Package) []Diagnostic {
+func lockDisciplineRun(pass *Pass) []Diagnostic {
+	p := pass.Package
 	var out []Diagnostic
 	for _, f := range p.Files {
 		funcScopes(f, func(body *ast.BlockStmt) {

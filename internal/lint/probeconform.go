@@ -37,7 +37,11 @@ func ProbeConform() *Analyzer {
 	}
 }
 
-func probeConformRun(pkgs []*Package) []Diagnostic {
+func probeConformRun(passes []*Pass) []Diagnostic {
+	pkgs := make([]*Package, len(passes))
+	for i, pass := range passes {
+		pkgs[i] = pass.Package
+	}
 	registered := registeredProbeTypes(pkgs)
 	var out []Diagnostic
 	for _, p := range pkgs {

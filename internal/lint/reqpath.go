@@ -20,37 +20,36 @@ var reqPathPackages = map[string]bool{
 	"nfs": true, "pfs": true, "netsim": true,
 }
 
-// ReqPath returns the analyzer enforcing the request-path contract:
-// exported entry points of the layers below the I/O library take
-// *ioreq.Request instead of *sim.Proc, and any function that opens a
-// span (ioreq.Request.Push) also closes it (Pop, usually deferred) —
-// an unbalanced push corrupts the span stack for every caller above.
+// ReqPath returns the analyzer enforcing the request-path signature
+// contract: exported entry points of the layers below the I/O
+// library take *ioreq.Request instead of *sim.Proc. Span begin/end
+// balance — formerly a syntactic any-Pop-in-the-body check here — is
+// enforced path-sensitively by the spanbalance analyzer.
 func ReqPath() *Analyzer {
 	return &Analyzer{
 		Name: ReqPathCheck,
 		Doc: "Reports exported functions in the layers below the I/O library " +
 			"(device/raid/cache/fs/nfs/pfs/netsim) that take a *sim.Proc " +
-			"parameter instead of *ioreq.Request, and functions in any layer " +
-			"package that call Request.Push without a matching Request.Pop.",
+			"parameter instead of *ioreq.Request, losing spans, op class, " +
+			"and fault tags for the whole descent.",
 		Run: reqPathRun,
 	}
 }
 
-func reqPathRun(p *Package) []Diagnostic {
+func reqPathRun(pass *Pass) []Diagnostic {
+	p := pass.Package
 	base := path.Base(p.Path)
+	if !reqPathPackages[base] {
+		return nil
+	}
 	var out []Diagnostic
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
 				continue
 			}
-			if reqPathPackages[base] && fd.Name.IsExported() {
-				out = append(out, checkProcParams(p, base, fd)...)
-			}
-			if layerPackages[base] || reqPathPackages[base] {
-				out = append(out, checkSpanBalance(p, base, fd)...)
-			}
+			out = append(out, checkProcParams(p, base, fd)...)
 		}
 	}
 	return out
@@ -70,67 +69,6 @@ func checkProcParams(p *Package, base string, fd *ast.FuncDecl) []Diagnostic {
 	return out
 }
 
-// checkSpanBalance flags a function body that pushes a span on an
-// ioreq.Request but contains no Pop call at all (deferred Pops inside
-// function literals count — that is the usual `defer r.Pop()` shape
-// after an early-return guard).
-func checkSpanBalance(p *Package, base string, fd *ast.FuncDecl) []Diagnostic {
-	if isPushHelper(p, fd) {
-		return nil
-	}
-	pushes, pops := 0, 0
-	var firstPush ast.Node
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !isRequestPtr(p.Info.TypeOf(sel.X)) {
-			return true
-		}
-		switch sel.Sel.Name {
-		case "Push":
-			if firstPush == nil {
-				firstPush = call
-			}
-			pushes++
-		case "Pop":
-			pops++
-		}
-		return true
-	})
-	if pushes > 0 && pops == 0 {
-		return []Diagnostic{diag(p, firstPush.Pos(), ReqPathCheck,
-			"%s.%s opens a span (Request.Push) but never calls Request.Pop; an unbalanced push corrupts the span stack for every caller above",
-			base, fd.Name.Name)}
-	}
-	return nil
-}
-
-// isPushHelper recognizes the span-open helper idiom: a function
-// whose entire body is a single Request.Push statement (layers define
-// one per component so the level and component name live in one
-// place; every caller pairs the helper with `defer r.Pop()`). The
-// balance contract binds the helper's callers, which this check
-// cannot see through — a helper call without a Pop goes unflagged,
-// the price of the idiom.
-func isPushHelper(p *Package, fd *ast.FuncDecl) bool {
-	if len(fd.Body.List) != 1 {
-		return false
-	}
-	expr, ok := fd.Body.List[0].(*ast.ExprStmt)
-	if !ok {
-		return false
-	}
-	call, ok := expr.X.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	return ok && sel.Sel.Name == "Push" && isRequestPtr(p.Info.TypeOf(sel.X))
-}
-
 // isProcPtr matches *sim.Proc (by package name, so fixture trees with
 // their own sim package conform).
 func isProcPtr(t types.Type) bool {
@@ -140,6 +78,11 @@ func isProcPtr(t types.Type) bool {
 // isRequestPtr matches *ioreq.Request.
 func isRequestPtr(t types.Type) bool {
 	return isNamedPtr(t, "ioreq", "Request")
+}
+
+// isRecorderRef matches *telemetry.Recorder.
+func isRecorderRef(t types.Type) bool {
+	return isNamedPtr(t, "telemetry", "Recorder")
 }
 
 // isNamedPtr matches a pointer to pkg.Name.

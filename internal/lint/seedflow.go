@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// SeedFlowCheck is the name of the seedflow analyzer.
+const SeedFlowCheck = "seedflow"
+
+// seedFactKind keys taint facts in the store.
+const seedFactKind = "seedflow"
+
+// taint is the seedflow lattice value: whether a value derives from
+// the wall clock, and which of the enclosing function's parameters
+// it derives from (a bitmask, so caller-side argument taint can be
+// substituted through the callee's fact).
+type taint struct {
+	wall   bool
+	params uint64
+}
+
+func (t taint) union(o taint) taint {
+	return taint{wall: t.wall || o.wall, params: t.params | o.params}
+}
+
+func (t taint) empty() bool { return !t.wall && t.params == 0 }
+
+func (t taint) String() string {
+	var parts []string
+	if t.wall {
+		parts = append(parts, "wall")
+	}
+	for i := 0; i < 64; i++ {
+		if t.params&(1<<i) != 0 {
+			parts = append(parts, fmt.Sprintf("p%d", i))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// SeedTaintFact summarizes a function for its callers: which results
+// carry wall-clock taint (intrinsically, or conditionally via a
+// parameter — laundering), and which parameters flow into a
+// trace/telemetry sink inside the function.
+type SeedTaintFact struct {
+	// Results holds one taint per result value.
+	Results []taint
+	// SinkParams is the bitmask of parameters that reach a
+	// report-plane sink inside the function (possibly via callees).
+	SinkParams uint64
+}
+
+// String implements Fact.
+func (f SeedTaintFact) String() string {
+	parts := make([]string, len(f.Results))
+	for i, t := range f.Results {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("taint(results=[%s], sinks=%s)",
+		strings.Join(parts, " "), taint{params: f.SinkParams})
+}
+
+// SeedFlow returns the taint-analysis analyzer enforcing that values
+// reaching the report plane (the trace and telemetry packages) never
+// derive from the wall clock: the methodology's tables are
+// byte-identical across runs only if every recorded quantity is a
+// function of the simulated clock and injected seeds. Taint is
+// tracked through assignments, returns, and cross-package calls via
+// facts, so a wall-clock value laundered through an intermediate
+// function in another package is still caught at the sink.
+func SeedFlow() *Analyzer {
+	return &Analyzer{
+		Name: SeedFlowCheck,
+		Doc: "Reports wall-clock-derived values (time.Now/Since/Until, however " +
+			"many assignments, returns, and cross-package calls removed) that " +
+			"reach a trace/telemetry sink. Report-plane inputs must derive " +
+			"from the engine clock or an injected seed, never the host clock.",
+		Facts: seedFlowFacts,
+		Run:   seedFlowRun,
+	}
+}
+
+// sinkPackage reports whether a package (by import path) is part of
+// the report plane. Matching by base name lets fixture trees with
+// their own trace/telemetry packages conform.
+func sinkPackage(pkgPath string) bool {
+	base := path.Base(pkgPath)
+	return base == "trace" || base == "telemetry"
+}
+
+// seedFlowFacts computes per-function taint facts for the package,
+// iterating to a fixpoint so intra-package call chains converge.
+// Packages are visited in dependency order, so callee facts from
+// other packages are already present.
+func seedFlowFacts(pass *Pass) {
+	for iter := 0; iter < 4; iter++ {
+		changed := false
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fact := analyzeSeedFlow(pass, fd, true, nil)
+				if prev, ok := pass.Facts.Get(fn, seedFactKind); !ok || prev.String() != fact.String() {
+					pass.Facts.Export(fn, seedFactKind, fact)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+func seedFlowRun(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeSeedFlow(pass, fd, false, &out)
+		}
+	}
+	return out
+}
+
+// seedEnv is the per-function taint environment.
+type seedEnv struct {
+	pass *Pass
+	vars map[types.Object]taint
+}
+
+// analyzeSeedFlow runs the dataflow over one function body. In fact
+// mode (symbolic) parameters carry their own bit, so the resulting
+// fact expresses conditional taint; in diagnose mode parameters are
+// concrete (untainted) and wall-tainted sink arguments are reported
+// into diags.
+func analyzeSeedFlow(pass *Pass, fd *ast.FuncDecl, symbolic bool, diags *[]Diagnostic) SeedTaintFact {
+	env := &seedEnv{pass: pass, vars: map[types.Object]taint{}}
+	sig, _ := pass.Info.Defs[fd.Name].Type().(*types.Signature)
+	if symbolic && sig != nil {
+		for i := 0; i < sig.Params().Len() && i < 64; i++ {
+			env.vars[sig.Params().At(i)] = taint{params: 1 << i}
+		}
+	}
+	// Two propagation passes so taint crosses use-before-def cycles
+	// (loop-carried variables), then one observation pass.
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			env.propagate(n)
+			return true
+		})
+	}
+	fact := SeedTaintFact{}
+	if sig != nil {
+		fact.Results = make([]taint, sig.Results().Len())
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 && sig != nil {
+				// Bare return with named results.
+				for i := 0; i < sig.Results().Len(); i++ {
+					fact.Results[i] = fact.Results[i].union(env.vars[sig.Results().At(i)])
+				}
+				return true
+			}
+			for i, e := range n.Results {
+				t := env.exprTaint(e)
+				if len(n.Results) == 1 && len(fact.Results) > 1 {
+					// return f() forwarding a tuple.
+					for j := range fact.Results {
+						fact.Results[j] = fact.Results[j].union(t)
+					}
+					return true
+				}
+				if i < len(fact.Results) {
+					fact.Results[i] = fact.Results[i].union(t)
+				}
+			}
+		case *ast.CallExpr:
+			for _, idx := range sinkArgs(env, n) {
+				t := env.exprTaint(n.Args[idx])
+				fact.SinkParams |= t.params
+				if !symbolic && t.wall && diags != nil {
+					*diags = append(*diags, diag(pass.Package, n.Args[idx].Pos(), SeedFlowCheck,
+						"wall-clock-tainted value reaches report-plane sink %s; characterization tables are byte-identical only if every recorded quantity derives from the engine clock or an injected seed",
+						types.ExprString(n.Fun)))
+				}
+			}
+		}
+		return true
+	})
+	return fact
+}
+
+// sinkArgs returns the argument indices of a call that land in the
+// report plane: every argument when the callee is defined in a
+// trace/telemetry package, plus the callee's SinkParams fact.
+func sinkArgs(env *seedEnv, call *ast.CallExpr) []int {
+	obj := calleeObj(env.pass.Package, call)
+	if obj == nil {
+		return nil
+	}
+	var out []int
+	if obj.Pkg() != nil && sinkPackage(obj.Pkg().Path()) && obj.Pkg().Path() != env.pass.Path {
+		for i := range call.Args {
+			out = append(out, i)
+		}
+		return out
+	}
+	if f, ok := env.pass.Facts.Get(obj, seedFactKind); ok {
+		fact := f.(SeedTaintFact)
+		for i := range call.Args {
+			if i < 64 && fact.SinkParams&(1<<i) != 0 {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// propagate folds one statement into the environment.
+func (env *seedEnv) propagate(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		env.assign(n.Lhs, n.Rhs)
+	case *ast.ValueSpec:
+		if len(n.Values) == 0 {
+			return
+		}
+		lhs := make([]ast.Expr, len(n.Names))
+		for i, id := range n.Names {
+			lhs[i] = id
+		}
+		env.assign(lhs, n.Values)
+	case *ast.RangeStmt:
+		t := env.exprTaint(n.X)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				env.taintObj(id, t)
+			}
+		}
+	}
+}
+
+// assign applies lhs = rhs pairs, including tuple assignment from a
+// single call.
+func (env *seedEnv) assign(lhs, rhs []ast.Expr) {
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// Tuple: per-result taints when the callee has a fact,
+		// otherwise the call's blended taint for every element.
+		taints := env.callResultTaints(rhs[0], len(lhs))
+		for i, l := range lhs {
+			if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+				env.taintObj(id, taints[i])
+			}
+		}
+		return
+	}
+	for i := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" {
+			env.taintObj(id, env.exprTaint(rhs[i]))
+		}
+	}
+}
+
+// taintObj unions a taint into an identifier's object.
+func (env *seedEnv) taintObj(id *ast.Ident, t taint) {
+	obj := env.pass.Info.Defs[id]
+	if obj == nil {
+		obj = env.pass.Info.Uses[id]
+	}
+	if obj == nil || t.empty() {
+		return
+	}
+	env.vars[obj] = env.vars[obj].union(t)
+}
+
+// callResultTaints resolves per-result taints of a call expression.
+func (env *seedEnv) callResultTaints(e ast.Expr, n int) []taint {
+	out := make([]taint, n)
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		t := env.exprTaint(e)
+		for i := range out {
+			out[i] = t
+		}
+		return out
+	}
+	if obj := calleeObj(env.pass.Package, call); obj != nil {
+		if f, ok := env.pass.Facts.Get(obj, seedFactKind); ok {
+			fact := f.(SeedTaintFact)
+			for i := range out {
+				if i < len(fact.Results) {
+					out[i] = env.resolve(fact.Results[i], call)
+				}
+			}
+			return out
+		}
+	}
+	t := env.exprTaint(call)
+	for i := range out {
+		out[i] = t
+	}
+	return out
+}
+
+// resolve substitutes a callee fact's parameter bits with the taints
+// of the actual arguments at this call site.
+func (env *seedEnv) resolve(t taint, call *ast.CallExpr) taint {
+	out := taint{wall: t.wall}
+	for i, arg := range call.Args {
+		if i < 64 && t.params&(1<<i) != 0 {
+			out = out.union(env.exprTaint(arg))
+		}
+	}
+	return out
+}
+
+// exprTaint evaluates the taint of an expression under the current
+// environment.
+func (env *seedEnv) exprTaint(e ast.Expr) taint {
+	p := env.pass.Package
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := p.Info.Uses[e]
+		if obj == nil {
+			obj = p.Info.Defs[e]
+		}
+		return env.vars[obj]
+	case *ast.ParenExpr:
+		return env.exprTaint(e.X)
+	case *ast.UnaryExpr:
+		return env.exprTaint(e.X)
+	case *ast.StarExpr:
+		return env.exprTaint(e.X)
+	case *ast.BinaryExpr:
+		return env.exprTaint(e.X).union(env.exprTaint(e.Y))
+	case *ast.IndexExpr:
+		return env.exprTaint(e.X).union(env.exprTaint(e.Index))
+	case *ast.SliceExpr:
+		return env.exprTaint(e.X)
+	case *ast.TypeAssertExpr:
+		return env.exprTaint(e.X)
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
+				return taint{}
+			}
+		}
+		return env.exprTaint(e.X)
+	case *ast.CompositeLit:
+		t := taint{}
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t = t.union(env.exprTaint(kv.Value))
+				continue
+			}
+			t = t.union(env.exprTaint(el))
+		}
+		return t
+	case *ast.CallExpr:
+		return env.callTaint(e)
+	}
+	return taint{}
+}
+
+// callTaint evaluates a call (or conversion) expression.
+func (env *seedEnv) callTaint(call *ast.CallExpr) taint {
+	p := env.pass.Package
+	// Conversions carry their operand's taint.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return env.exprTaint(call.Args[0])
+		}
+		return taint{}
+	}
+	// The wall-clock sources.
+	if pkgPath, name, ok := packageLevelCallee(p, call); ok && pkgPath == "time" {
+		switch name {
+		case "Now", "Since", "Until":
+			return taint{wall: true}
+		}
+	}
+	obj := calleeObj(p, call)
+	// Builtins: len/cap of a tainted value is a structural property,
+	// not a tainted quantity; append and everything else propagates.
+	if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+		switch obj.Name() {
+		case "len", "cap", "make", "new":
+			return taint{}
+		}
+	}
+	if obj != nil {
+		if f, ok := env.pass.Facts.Get(obj, seedFactKind); ok {
+			fact := f.(SeedTaintFact)
+			out := taint{}
+			for _, rt := range fact.Results {
+				out = out.union(env.resolve(rt, call))
+			}
+			return out
+		}
+	}
+	// Unknown callee (stdlib, interface method): conservatively blend
+	// the receiver and arguments — laundering through fmt/strconv
+	// must not wash taint away.
+	out := taint{}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, isIdent := sel.X.(*ast.Ident); !isIdent || !isPkgName(p, id) {
+			out = out.union(env.exprTaint(sel.X))
+		}
+	}
+	for _, arg := range call.Args {
+		out = out.union(env.exprTaint(arg))
+	}
+	return out
+}
+
+// isPkgName reports whether an identifier names an imported package.
+func isPkgName(p *Package, id *ast.Ident) bool {
+	_, ok := p.Info.Uses[id].(*types.PkgName)
+	return ok
+}

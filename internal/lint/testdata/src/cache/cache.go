@@ -26,18 +26,19 @@ func (c *Cache) WriteAt(p *sim.Proc, off, n int64) int64 { // want reqpath "take
 
 // Flush opens a span but forgets to close it.
 func (c *Cache) Flush(r *ioreq.Request) {
-	r.Push(3, c.name) // want reqpath "never calls Request.Pop"
+	r.Push(3, c.name) // want spanbalance "not closed on every path"
 	c.Resize(0)
 }
 
-// span is the push-only helper idiom: a single-Push body that callers
-// pair with `defer r.Pop()`. The analyzer deliberately skips it.
+// span is the push-only helper idiom: a single-Push body exported to
+// callers as a span fact, so they account the open at the call site
+// and pair it with `defer r.Pop()`.
 func (c *Cache) span(r *ioreq.Request) {
 	r.Push(3, c.name)
 }
 
-// Drop pops behind an early-return guard inside a deferred literal —
-// the balance check accepts any Pop in the body.
+// Drop closes inside a deferred literal — the path-sensitive check
+// credits the deferred Pop on every exit the defer is scheduled on.
 func (c *Cache) Drop(r *ioreq.Request) {
 	r.Push(3, c.name)
 	defer func() { r.Pop() }()

@@ -1,0 +1,72 @@
+// Package faultplan exercises the fault-plan hygiene analyzer:
+// non-empty Plan literals must set Name and Seed, span faults must
+// carry a Duration, and every constructed plan must reach
+// fault.Apply, possibly through intermediate consumers tracked via
+// facts.
+package faultplan
+
+import "fixture/internal/fault"
+
+// Good builds a complete plan and arms it.
+func Good(c *fault.Cluster) *fault.Injector {
+	pl := fault.Plan{
+		Name:   "disk-fail",
+		Seed:   1,
+		Events: []fault.Event{{At: 1, Kind: fault.DiskFail}},
+	}
+	return fault.Apply(c, pl)
+}
+
+// arm forwards its plan to Apply; the consumer fact makes callers of
+// arm as armed as callers of Apply.
+func arm(c *fault.Cluster, pl fault.Plan) *fault.Injector {
+	return fault.Apply(c, pl)
+}
+
+// GoodForwarded arms through the intermediate consumer.
+func GoodForwarded(c *fault.Cluster) *fault.Injector {
+	return arm(c, fault.Plan{
+		Name:   "flap",
+		Seed:   7,
+		Events: []fault.Event{{Kind: fault.NetFlap, Duration: 400}},
+	})
+}
+
+// GoodEmpty is the healthy baseline: the zero plan is exempt.
+func GoodEmpty(c *fault.Cluster) *fault.Injector {
+	return fault.Apply(c, fault.Plan{})
+}
+
+// BadMissing sets neither Name nor Seed.
+func BadMissing(c *fault.Cluster) *fault.Injector {
+	pl := fault.Plan{ // want faultplan "does not set Name" want faultplan "does not set Seed"
+		Events: []fault.Event{{Kind: fault.DiskFail}},
+	}
+	return fault.Apply(c, pl)
+}
+
+// BadDuration schedules a flap with no Duration: a zero-length
+// outage.
+func BadDuration(c *fault.Cluster) *fault.Injector {
+	pl := fault.Plan{
+		Name:   "flap",
+		Seed:   3,
+		Events: []fault.Event{{Kind: fault.NetFlap}}, // want faultplan "does not set Duration"
+	}
+	return fault.Apply(c, pl)
+}
+
+// describe reads the plan without consuming it, so its fact marks
+// the parameter not-consumed.
+func describe(pl fault.Plan) string { return pl.Name }
+
+// BadUnarmed constructs a plan that is only ever described, never
+// armed: its events can never fire.
+func BadUnarmed() string {
+	pl := fault.Plan{ // want faultplan "never armed"
+		Name:   "lost",
+		Seed:   4,
+		Events: []fault.Event{{Kind: fault.NFSStall, Duration: 100}},
+	}
+	return describe(pl)
+}

@@ -1,0 +1,50 @@
+// Package seedflow exercises the wall-clock taint analyzer: values
+// reaching the report plane (the telemetry package) must not derive
+// from time.Now, however many assignments, intermediate functions,
+// and package boundaries sit between source and sink.
+package seedflow
+
+import (
+	"fixture/internal/seedsrc"
+	"fixture/internal/telemetry"
+)
+
+// relay is a same-package intermediate; its fact says "result 0
+// carries whatever parameter 0 carried".
+func relay(v float64) float64 { return v }
+
+// record forwards its parameter to a sink; its fact marks parameter
+// 0 as sink-reaching.
+func record(v float64) {
+	telemetry.Observe(v)
+}
+
+// GoodTick records a deterministic value.
+func GoodTick() {
+	telemetry.Observe(relay(seedsrc.Tick()))
+}
+
+// BadDirect records the wall clock outright.
+func BadDirect() {
+	telemetry.Observe(seedsrc.Stamp()) // want seedflow "wall-clock-tainted"
+}
+
+// BadLaundered records a wall-clock value laundered through an
+// intermediate function in another package — the cross-package fact
+// chain (Stamp → passthrough → LaunderedStamp) keeps the taint.
+func BadLaundered() {
+	telemetry.Observe(relay(seedsrc.LaunderedStamp())) // want seedflow "wall-clock-tainted"
+}
+
+// BadAssigned launders through locals and arithmetic.
+func BadAssigned() {
+	t := seedsrc.Stamp()
+	u := t/1e9 + 1
+	telemetry.Observe(u) // want seedflow "wall-clock-tainted"
+}
+
+// BadViaSinkParam reaches the sink inside a callee: record's fact
+// says its parameter lands in the report plane.
+func BadViaSinkParam() {
+	record(seedsrc.Stamp()) // want seedflow "wall-clock-tainted"
+}

@@ -1,0 +1,25 @@
+// Package seedsrc is the taint-source side of the seedflow fixtures:
+// it reads the wall clock behind exported functions, including one
+// that launders the value through an intermediate before it crosses
+// the package boundary.
+package seedsrc
+
+import "time"
+
+// Stamp returns a raw wall-clock timestamp (the taint source).
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// LaunderedStamp hides the wall-clock read behind an intermediate
+// local and function: the taint must survive both.
+func LaunderedStamp() float64 {
+	v := Stamp()
+	return passthrough(v)
+}
+
+// passthrough is the intermediate the taint flows through.
+func passthrough(v float64) float64 { return v }
+
+// Tick returns a deterministic engine-style value (untainted).
+func Tick() float64 { return 42 }

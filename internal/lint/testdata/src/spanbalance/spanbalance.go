@@ -1,0 +1,137 @@
+// Package spanbalance exercises the CFG-based span-balance analyzer:
+// every Push/Enter must reach a Pop/Exit on every control-flow path,
+// with defers credited only on paths that actually schedule them and
+// single-statement helpers made transparent through facts.
+package spanbalance
+
+import (
+	"errors"
+
+	"fixture/internal/ioreq"
+	"fixture/internal/telemetry"
+)
+
+var errFail = errors.New("fail")
+
+// Layer is a fixture component with the helper idiom.
+type Layer struct {
+	name string
+	rec  *telemetry.Recorder
+}
+
+// span is the push-only helper; the analyzer exports it as a span
+// fact instead of flagging its unbalanced body.
+func (l *Layer) span(r *ioreq.Request) {
+	r.Push(3, l.name)
+}
+
+// GoodDefer is the idiomatic shape: helper open, deferred close.
+func (l *Layer) GoodDefer(r *ioreq.Request, n int64) int64 {
+	l.span(r)
+	defer r.Pop()
+	return n
+}
+
+// GoodManual closes explicitly on both paths.
+func (l *Layer) GoodManual(r *ioreq.Request, fail bool) error {
+	r.Push(3, l.name)
+	if fail {
+		r.Pop()
+		return errFail
+	}
+	r.Pop()
+	return nil
+}
+
+// GoodPanic panics after the defer is scheduled: defers run during
+// the unwind, so the span still closes.
+func (l *Layer) GoodPanic(r *ioreq.Request, bad bool) {
+	l.span(r)
+	defer r.Pop()
+	if bad {
+		panic("boom")
+	}
+}
+
+// GoodDeferredLit closes through a deferred literal.
+func (l *Layer) GoodDeferredLit(r *ioreq.Request) {
+	r.Push(3, l.name)
+	defer func() {
+		l.rec.Exit()
+		r.Pop()
+	}()
+	l.rec.Enter()
+}
+
+// BadEarlyReturn leaks the span on the error path.
+func (l *Layer) BadEarlyReturn(r *ioreq.Request, fail bool) error {
+	r.Push(3, l.name) // want spanbalance "not closed on every path"
+	if fail {
+		return errFail
+	}
+	r.Pop()
+	return nil
+}
+
+// BadHelperNoPop is the old syntactic blind spot: the open hides in
+// the helper and nothing ever closes it. The fact makes the call
+// site accountable.
+func (l *Layer) BadHelperNoPop(r *ioreq.Request) {
+	l.span(r) // want spanbalance "not closed on every path"
+}
+
+// BadPanicFirst can panic before the defer is scheduled, so the
+// unwind path leaks the span.
+func (l *Layer) BadPanicFirst(r *ioreq.Request, bad bool) {
+	r.Push(3, l.name) // want spanbalance "not closed on every path"
+	if bad {
+		panic("boom")
+	}
+	defer r.Pop()
+}
+
+// BadDoubleClose pops twice on the fail path.
+func (l *Layer) BadDoubleClose(r *ioreq.Request, fail bool) {
+	r.Push(3, l.name)
+	if fail {
+		r.Pop()
+	}
+	r.Pop() // want spanbalance "not open on every path reaching this point"
+}
+
+// BadLoop opens inside the loop body without closing in the same
+// iteration: the depth grows with the trip count, and the paths that
+// exit early leave spans open.
+func (l *Layer) BadLoop(r *ioreq.Request, n int) {
+	for i := 0; i < n; i++ {
+		r.Push(3, l.name) // want spanbalance "inside a loop" want spanbalance "not closed on every path"
+	}
+}
+
+// BadGauge raises the concurrency gauge and skips the Exit on the
+// error path.
+func (l *Layer) BadGauge(fail bool) error {
+	l.rec.Enter() // want spanbalance "not closed on every path"
+	if fail {
+		return errFail
+	}
+	l.rec.Exit()
+	return nil
+}
+
+// GoodLit opens and closes inside a non-deferred literal: the
+// literal is its own scope and balances.
+func (l *Layer) GoodLit(r *ioreq.Request) func() {
+	return func() {
+		r.Push(3, l.name)
+		defer r.Pop()
+	}
+}
+
+// BadLit leaks inside a returned closure: the literal's own CFG is
+// checked.
+func (l *Layer) BadLit(r *ioreq.Request) func() {
+	return func() {
+		r.Push(3, l.name) // want spanbalance "not closed on every path"
+	}
+}

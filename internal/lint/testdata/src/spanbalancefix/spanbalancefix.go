@@ -1,0 +1,48 @@
+// Package spanbalancefix holds only span leaks whose suggested fix —
+// inserting `defer <subject>.<Close>()` right after the open — fully
+// resolves the finding. The fix test applies every fix and asserts
+// the rewritten package is gofmt-clean and re-lints with zero
+// findings.
+package spanbalancefix
+
+import (
+	"errors"
+
+	"fixture/internal/ioreq"
+	"fixture/internal/telemetry"
+)
+
+var errFail = errors.New("fail")
+
+// Layer is a fixture component.
+type Layer struct {
+	name string
+	rec  *telemetry.Recorder
+}
+
+// span is the push-only helper, exported as a fact.
+func (l *Layer) span(r *ioreq.Request) {
+	r.Push(3, l.name)
+}
+
+// LeakDirect never closes the span it opens.
+func (l *Layer) LeakDirect(r *ioreq.Request, n int64) int64 {
+	r.Push(3, l.name) // want spanbalance "not closed on every path"
+	return n
+}
+
+// LeakHelper opens through the helper and never closes, on either
+// path.
+func (l *Layer) LeakHelper(r *ioreq.Request, fail bool) error {
+	l.span(r) // want spanbalance "not closed on every path"
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// LeakGauge raises the concurrency gauge and forgets to lower it.
+func (l *Layer) LeakGauge(n int) int {
+	l.rec.Enter() // want spanbalance "not closed on every path"
+	return n * 2
+}

@@ -30,9 +30,18 @@ func Malformed() int64 {
 	return time.Now().UnixNano() // unsuppressed-malformed
 }
 
-// FarAway is NOT silenced: the directive is two lines up.
+// FarAway is NOT silenced: the directive is two lines up — and since
+// it therefore suppresses nothing, the directive itself is reported
+// as unused.
 func FarAway() int64 {
 	//lint:ignore determinism fixture: too far from the finding
 
 	return time.Now().UnixNano() // unsuppressed-far-away
+}
+
+// MultiFinding has two findings of different checks on one line; the
+// trailing directive silences only the named check (unitflow) and
+// leaves the determinism finding standing.
+func MultiFinding(sizeBytes, quotaKiB int64) int64 {
+	return sizeBytes + quotaKiB + time.Now().UnixNano() //lint:ignore unitflow fixture: the unit mix is deliberate, the wall clock is the finding under test
 }

@@ -67,5 +67,5 @@ func StampSpec(s *Spec) string {
 // mixedUnits slips a KiB-suffixed stride into a bytes slot — the
 // classic off-by-1024 the spec fields' *_bytes naming exists to stop.
 func mixedUnits(blockBytes, strideKiB int64) int64 {
-	return blockBytes + strideKiB // want unitsafety "mixes Bytes and KiB"
+	return blockBytes + strideKiB // want unitflow "mixes Bytes and KiB"
 }

@@ -15,6 +15,15 @@ type Recorder struct{ component string }
 // Snapshot implements Probe.
 func (r *Recorder) Snapshot() Snapshot { return Snapshot{Component: r.component} }
 
+// Enter raises the recorder's concurrency gauge (span open).
+func (r *Recorder) Enter() {}
+
+// Exit lowers the gauge (span close).
+func (r *Recorder) Exit() {}
+
+// Observe records one report-plane value (a seedflow sink).
+func Observe(v float64) {}
+
 // Registry is an ordered probe collection.
 type Registry struct{ probes []Probe }
 

@@ -1,0 +1,75 @@
+// Package unitflow exercises the flow-sensitive unit analyzer:
+// arithmetic and assignments mixing size-unit name suffixes, with
+// units tracked through suffix-less locals.
+package unitflow
+
+func toBytes(vKiB int64) int64 { return vKiB << 10 }
+
+// Good stays within one unit or converts through a helper whose name
+// states the result unit.
+func Good(fileBytes, blockBytes, quotaKiB int64) int64 {
+	total := fileBytes + blockBytes
+	total += toBytes(quotaKiB)
+	if blockBytes > fileBytes {
+		return fileBytes
+	}
+	return total
+}
+
+// Bad mixes suffixes in comparisons and arithmetic.
+func Bad(fileBytes, quotaKiB int64) int64 {
+	if fileBytes > quotaKiB { // want unitflow "mixes"
+		return fileBytes - quotaKiB // want unitflow "mixes"
+	}
+	return fileBytes
+}
+
+// BadAssign smuggles a value across units through an assignment.
+func BadAssign(fileBytes int64) int64 {
+	sizeMiB := fileBytes // want unitflow "mixes"
+	return sizeMiB
+}
+
+// BadDecl does the same through a var declaration.
+func BadDecl(fileBytes int64) int64 {
+	var sizeKiB = fileBytes // want unitflow "mixes"
+	return sizeKiB
+}
+
+// BadFlow launders the unit through a suffix-less local: q has no
+// suffix, but the KiB it was initialized from flows with it.
+func BadFlow(quotaKiB, limitBytes int64) bool {
+	q := quotaKiB
+	return q > limitBytes // want unitflow "mixes"
+}
+
+// GoodFlowCleared multiplies by an untyped constant, which clears the
+// unit — the explicit-conversion escape hatch the autofix emits.
+func GoodFlowCleared(quotaKiB int64) int64 {
+	var totalBytes int64
+	totalBytes = quotaKiB * 1024
+	return totalBytes
+}
+
+// GoodReassigned loses its unit when overwritten from an unknown
+// source, so later comparisons are not flagged.
+func GoodReassigned(quotaKiB, limitBytes, raw int64) bool {
+	q := quotaKiB
+	q = raw
+	return q > limitBytes
+}
+
+// spec has a byte-denominated field.
+type spec struct {
+	BlockBytes int64
+}
+
+// BadField fills a Bytes struct field from a KiB value.
+func BadField(szKiB int64) spec {
+	return spec{BlockBytes: szKiB} // want unitflow "mixes"
+}
+
+// Scaled multiplies by a unitless factor: allowed.
+func Scaled(fileBytes int64, replicas int) int64 {
+	return fileBytes * int64(replicas)
+}

@@ -1,0 +1,38 @@
+// Package unitflowfix holds only unit mismatches with an exact
+// integer conversion (larger unit flowing into a smaller slot), so
+// every finding carries a multiply-by-factor fix. The fix test
+// applies them all and asserts the rewritten package is gofmt-clean
+// and re-lints with zero findings.
+package unitflowfix
+
+// spec has a byte-denominated field.
+type spec struct {
+	BlockBytes int64
+}
+
+// AssignKiB flows a KiB quantity into a Bytes slot.
+func AssignKiB(quotaKiB int64) int64 {
+	var totalBytes int64
+	totalBytes = quotaKiB // want unitflow "mixes Bytes and KiB"
+	return totalBytes
+}
+
+// DeclMiB initializes a Bytes variable from a MiB value.
+func DeclMiB(winMiB int64) int64 {
+	var sizeBytes = winMiB // want unitflow "mixes Bytes and MiB"
+	return sizeBytes
+}
+
+// FieldKB fills a Bytes field from a decimal-KB value.
+func FieldKB(limitKB int64) spec {
+	return spec{BlockBytes: limitKB} // want unitflow "mixes Bytes and KB"
+}
+
+// FlowKiB launders the unit through a suffix-less local before it
+// lands in a Bytes slot.
+func FlowKiB(quotaKiB int64) int64 {
+	q := quotaKiB
+	var outBytes int64
+	outBytes = q // want unitflow "mixes Bytes and KiB"
+	return outBytes
+}
