@@ -6,16 +6,20 @@
 // Usage:
 //
 //	beffio [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
-//	       [-procs 8] [-bytes 64]
+//	       [-procs 8] [-bytes 64] [-store DIR]
+//
+// With -store, the cluster's characterized library-level table (from
+// the content-addressed store, computed on a first miss) is printed
+// alongside the fresh run.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/bench"
-	"ioeval/internal/cluster"
+	"ioeval/internal/core"
 	"ioeval/internal/stats"
 )
 
@@ -24,32 +28,25 @@ func main() {
 	orgName := flag.String("org", "raid5", "Aohyper device organization")
 	procs := flag.Int("procs", 8, "processes")
 	bytesMB := flag.Int64("bytes", 64, "MiB per rank per measurement")
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	var c *cluster.Cluster
-	if *platform == "clusterA" {
-		c = cluster.ClusterA()
-	} else {
-		switch *orgName {
-		case "jbod":
-			c = cluster.Aohyper(cluster.JBOD)
-		case "raid1":
-			c = cluster.Aohyper(cluster.RAID1)
-		case "raid5":
-			c = cluster.Aohyper(cluster.RAID5)
-		default:
-			fmt.Fprintf(os.Stderr, "beffio: unknown organization %q\n", *orgName)
-			os.Exit(1)
-		}
+	org, err := cliutil.ParseOrg(*orgName)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
+	build, err := cliutil.ClusterBuilder(*platform, org, 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	c := build()
 
 	sum, err := bench.RunBeffIO(c, bench.BeffIOConfig{
 		Procs:        *procs,
 		BytesPerRank: *bytesMB << 20,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "beffio:", err)
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
 
 	fmt.Printf("b_eff_io-like run — %s, %d procs, %d MiB/rank per pattern\n\n",
@@ -62,4 +59,22 @@ func main() {
 	}
 	fmt.Println(tb.String())
 	fmt.Printf("b_eff_io = %s\n", stats.MBs(sum.BeffIO))
+
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		sess := core.NewSession(build,
+			core.WithStore(st),
+			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
+		ch, err := sess.Characterization()
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Println("Stored library-level baseline:")
+		fmt.Println(core.FormatPerfTable(ch.Table(core.LevelIOLib)))
+		fmt.Println(cliutil.StoreSummary(st))
+	}
 }

@@ -6,14 +6,18 @@
 //
 //	btio [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
 //	     [-class A|B|C] [-procs 16] [-subtype full|simple] [-timeline]
+//	     [-metrics out.json] [-store DIR]
+//
+// With -store, the run is additionally evaluated against the cluster's
+// characterization (looked up in — or computed into — the
+// content-addressed store) and the used-percentage table is printed.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"ioeval/internal/cluster"
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/core"
 	"ioeval/internal/stats"
 	"ioeval/internal/trace"
@@ -27,24 +31,19 @@ func main() {
 	procs := flag.Int("procs", 16, "MPI processes (square)")
 	subtype := flag.String("subtype", "full", "I/O subtype: full or simple")
 	timeline := flag.Bool("timeline", false, "render the Jumpshot-style trace timeline")
-	metrics := flag.String("metrics", "", "write the telemetry report (per-phase component snapshots) to this JSON file")
+	metrics := cliutil.MetricsFlag(flag.CommandLine)
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	var c *cluster.Cluster
-	if *platform == "clusterA" {
-		c = cluster.ClusterA()
-	} else {
-		switch *orgName {
-		case "jbod":
-			c = cluster.Aohyper(cluster.JBOD)
-		case "raid1":
-			c = cluster.Aohyper(cluster.RAID1)
-		case "raid5":
-			c = cluster.Aohyper(cluster.RAID5)
-		default:
-			fatal(fmt.Errorf("unknown organization %q", *orgName))
-		}
+	org, err := cliutil.ParseOrg(*orgName)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
+	build, err := cliutil.ClusterBuilder(*platform, org, 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	c := build()
 
 	class := btio.ClassC
 	switch *className {
@@ -53,18 +52,19 @@ func main() {
 	case "B":
 		class = btio.ClassB
 	}
-	st := btio.Full
+	sub := btio.Full
 	if *subtype == "simple" {
-		st = btio.Simple
+		sub = btio.Simple
 	}
 
-	app := btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1})
+	cfg := btio.Config{Class: class, Procs: *procs, Subtype: sub, ComputeScale: 1}
+	app := btio.New(cfg)
 	tr := trace.New()
 	ps := trace.NewPhaseSnapshotter(c.Eng, c.Telemetry, tr, 0)
 	fmt.Printf("running %s on %s ...\n\n", app.Name(), c.Cfg.Name)
 	res, err := app.Run(c, ps)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 
 	var tb stats.Table
@@ -89,18 +89,29 @@ func main() {
 		fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
 	}
 
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		sess := core.NewSession(build,
+			core.WithStore(st),
+			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
+		ev, err := sess.Evaluate(btio.New(cfg))
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Println(core.FormatEvaluation(ev))
+		fmt.Println(cliutil.StoreSummary(st))
+	}
+
 	if *metrics != "" {
 		rep := c.TelemetryReport()
 		rep.App = app.Name()
 		rep.Phases = ps.Finish()
-		if err := rep.WriteFile(*metrics); err != nil {
-			fatal(err)
+		if err := cliutil.WriteMetrics(*metrics, rep, st); err != nil {
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(telemetry report written to %s)\n", *metrics)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "btio:", err)
-	os.Exit(1)
 }

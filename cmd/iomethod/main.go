@@ -7,23 +7,23 @@
 //
 //	iomethod [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
 //	         [-app btio|madbench] [-procs N] [-subtype full|simple]
-//	         [-filetype unique|shared] [-quick] [-fault scenario] [-spans]
+//	         [-filetype unique|shared] [-quick] [-fault scenario] [-seed N]
+//	         [-spans] [-store DIR]
 //
 // With -fault, the application is evaluated twice — healthy and under
 // the named fault scenario — and the used-% tables are reported side
-// by side.
+// by side. With -store, the characterization is looked up in (and
+// persisted to) the content-addressed store, so repeated runs against
+// the same configuration skip phase 1 entirely.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"ioeval/internal/bench"
-	"ioeval/internal/cluster"
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/core"
-	"ioeval/internal/fault"
 	"ioeval/internal/sim"
 	"ioeval/internal/workload"
 	"ioeval/internal/workload/btio"
@@ -43,24 +43,20 @@ func main() {
 	pfsNodes := flag.Int("pfs", 0, "deploy a PVFS-like parallel FS over N I/O nodes and run against it")
 	saveChar := flag.String("save-char", "", "write the characterization to this JSON file")
 	loadChar := flag.String("load-char", "", "reuse a characterization from this JSON file (skips phase 1 system side)")
-	metrics := flag.String("metrics", "", "write the telemetry report (per-level rates, per-phase component snapshots) to this JSON file")
-	faultName := flag.String("fault", "", "also evaluate under a fault scenario: "+strings.Join(fault.BuiltinNames(), ", "))
-	spans := flag.Bool("spans", false, "print the span-based path report (per-level time attribution cross-checked against the used-% verdict)")
+	metrics := cliutil.MetricsFlag(flag.CommandLine)
+	faultName := cliutil.FaultFlag(flag.CommandLine)
+	seed := cliutil.SeedFlag(flag.CommandLine)
+	spans := cliutil.SpansFlag(flag.CommandLine)
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	org, err := parseOrg(*orgName)
+	org, err := cliutil.ParseOrg(*orgName)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
-	build := func() *cluster.Cluster {
-		var cfg cluster.Config
-		if *platform == "clusterA" {
-			cfg = cluster.ClusterA().Cfg
-		} else {
-			cfg = cluster.Aohyper(org).Cfg
-		}
-		cfg.PFSIONodes = *pfsNodes
-		return cluster.New(cfg)
+	build, err := cliutil.ClusterBuilder(*platform, org, *pfsNodes)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
 	usePFS := *pfsNodes > 0
 
@@ -69,54 +65,43 @@ func main() {
 
 	fmt.Println("== Phase 1: characterization (system side) ==")
 	opts := []core.SessionOption{}
-	if *faultName != "" {
-		plan, err := fault.Builtin(*faultName)
-		if err != nil {
-			fatal(err)
-		}
-		opts = append(opts, core.WithFaultPlan(plan))
+	plan, err := cliutil.FaultPlan(*faultName, *seed)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if plan != nil {
+		opts = append(opts, core.WithFaultPlan(*plan))
+	}
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		opts = append(opts, core.WithStore(st))
 	}
 	if *loadChar != "" {
 		f, err := os.Open(*loadChar)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		ch, err := core.ReadCharacterizationJSON(f)
 		_ = f.Close() // read-only; a close error cannot lose data
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(loaded characterization of %s from %s)\n", ch.Config, *loadChar)
 		opts = append(opts, core.WithCharacterization(ch))
 	} else {
-		cfg := core.DefaultCharacterizeConfig()
-		cfg.UsePFS = usePFS
-		if *quick {
-			cfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
-			cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
-			cfg.LocalFileSize = 512 << 20
-			cfg.GlobalFileSize = 512 << 20
-			cfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
-			cfg.LibFileSize = 256 << 20
-			cfg.LibProcs = 4
-		}
-		opts = append(opts, core.WithCharacterizeConfig(cfg))
+		opts = append(opts, core.WithCharacterizeConfig(cliutil.CharConfig(*quick, usePFS)))
 	}
 	sess := core.NewSession(build, opts...)
 	ch, err := sess.Characterization()
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	if *saveChar != "" {
-		f, err := os.Create(*saveChar)
-		if err != nil {
-			fatal(err)
-		}
-		if err := ch.WriteJSON(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if err := cliutil.WriteFileFn(*saveChar, ch.WriteJSON); err != nil {
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(characterization saved to %s)\n", *saveChar)
 	}
@@ -131,11 +116,11 @@ func main() {
 		if *quick {
 			class = btio.ClassA
 		}
-		st := btio.Full
+		sub := btio.Full
 		if *subtype == "simple" {
-			st = btio.Simple
+			sub = btio.Simple
 		}
-		app = btio.New(btio.Config{Class: class, Procs: *procs, Subtype: st, ComputeScale: 1, UsePFS: usePFS})
+		app = btio.New(btio.Config{Class: class, Procs: *procs, Subtype: sub, ComputeScale: 1, UsePFS: usePFS})
 	case "madbench":
 		ft := madbench.Shared
 		if *filetype == "unique" {
@@ -149,14 +134,14 @@ func main() {
 	case "flashio":
 		app = flashio.New(flashio.Config{Procs: *procs, Compute: 5 * sim.Second})
 	default:
-		fatal(fmt.Errorf("unknown app %q", *appName))
+		cliutil.Fatal(fmt.Errorf("unknown app %q", *appName))
 	}
 
 	fmt.Printf("== Phase 1: characterization (application side) + Phase 3: evaluation ==\n")
 	fmt.Printf("running %s ...\n\n", app.Name())
 	rep, err := sess.Run(app)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	ev := rep.Evaluation
 	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
@@ -181,26 +166,12 @@ func main() {
 		}
 	}
 	if *metrics != "" {
-		if err := ev.TelemetryReport().WriteFile(*metrics); err != nil {
-			fatal(err)
+		if err := cliutil.WriteMetrics(*metrics, ev.TelemetryReport(), st); err != nil {
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(telemetry report written to %s)\n", *metrics)
 	}
-}
-
-func parseOrg(s string) (cluster.Organization, error) {
-	switch s {
-	case "jbod":
-		return cluster.JBOD, nil
-	case "raid1":
-		return cluster.RAID1, nil
-	case "raid5":
-		return cluster.RAID5, nil
+	if st != nil {
+		fmt.Println(cliutil.StoreSummary(st))
 	}
-	return 0, fmt.Errorf("unknown organization %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "iomethod:", err)
-	os.Exit(1)
 }

@@ -4,16 +4,21 @@
 // Usage:
 //
 //	ior [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
-//	    [-procs 8] [-file 32768] [-xfer 256] [-collective]
+//	    [-procs 8] [-file 32768] [-xfer 256] [-collective] [-store DIR]
+//
+// With -store, the cluster's characterized library-level table (from
+// the content-addressed store, computed on a first miss) is printed
+// alongside the fresh sweep, so one-off runs can be compared against
+// the stored baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/bench"
-	"ioeval/internal/cluster"
+	"ioeval/internal/core"
 	"ioeval/internal/stats"
 )
 
@@ -24,24 +29,18 @@ func main() {
 	fileMB := flag.Int64("file", 32768, "total file size in MiB (paper: 32 GiB)")
 	xferKB := flag.Int64("xfer", 256, "transfer size in KiB")
 	collective := flag.Bool("collective", false, "use collective (two-phase) I/O")
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	var c *cluster.Cluster
-	if *platform == "clusterA" {
-		c = cluster.ClusterA()
-	} else {
-		switch *orgName {
-		case "jbod":
-			c = cluster.Aohyper(cluster.JBOD)
-		case "raid1":
-			c = cluster.Aohyper(cluster.RAID1)
-		case "raid5":
-			c = cluster.Aohyper(cluster.RAID5)
-		default:
-			fmt.Fprintf(os.Stderr, "ior: unknown organization %q\n", *orgName)
-			os.Exit(1)
-		}
+	org, err := cliutil.ParseOrg(*orgName)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
+	build, err := cliutil.ClusterBuilder(*platform, org, 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	c := build()
 
 	results, err := bench.RunIOR(c, bench.IORConfig{
 		Procs:        *procs,
@@ -50,8 +49,7 @@ func main() {
 		Collective:   *collective,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ior:", err)
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
 
 	fmt.Printf("IOR-like sweep — %s, %d procs, %d MiB file, %d KiB transfers, collective=%v\n\n",
@@ -62,4 +60,21 @@ func main() {
 		tb.AddRow(stats.IBytes(r.BlockSize), stats.MBs(r.WriteRate), stats.MBs(r.ReadRate))
 	}
 	fmt.Println(tb.String())
+
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		sess := core.NewSession(build,
+			core.WithStore(st),
+			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
+		ch, err := sess.Characterization()
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Println("Stored library-level baseline:")
+		fmt.Println(core.FormatPerfTable(ch.Table(core.LevelIOLib)))
+		fmt.Println(cliutil.StoreSummary(st))
+	}
 }

@@ -10,23 +10,23 @@
 //	iosweep [-platforms aohyper,clusterA] [-orgs jbod,raid1,raid5]
 //	        [-pfs 0,2,4] [-apps btio-full,btio-simple,madbench-shared,madbench-unique,flashio]
 //	        [-procs N] [-workers N] [-rank io-time|used-pct|throughput]
-//	        [-fault none,disk-fail,...] [-quick] [-json FILE]
+//	        [-fault none,disk-fail,...] [-seed N] [-quick] [-json FILE]
+//	        [-store DIR]
 //
 // -fault adds a fault-scenario axis: each named scenario adds a
 // degraded variant of every cell ("none" is the healthy run), so the
 // ranking shows how each configuration holds up under failure.
+// -store persists characterizations across runs: a warm re-run of
+// the same grid performs zero characterizations and produces a
+// byte-identical report.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strconv"
-	"strings"
 
-	"ioeval/internal/bench"
-	"ioeval/internal/cluster"
-	"ioeval/internal/core"
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/fault"
 	"ioeval/internal/sim"
 	"ioeval/internal/sweep"
@@ -46,119 +46,85 @@ func main() {
 	rankName := flag.String("rank", "io-time", "ranking metric: io-time, used-pct or throughput")
 	quick := flag.Bool("quick", false, "reduced characterization and class A BT-IO (fast demo)")
 	jsonOut := flag.String("json", "", "write the ranked report to this JSON file")
-	faults := flag.String("fault", "", "comma-separated fault scenarios to sweep (none = healthy run): none, "+strings.Join(fault.BuiltinNames(), ", "))
+	faults := cliutil.FaultListFlag(flag.CommandLine)
+	seed := cliutil.SeedFlag(flag.CommandLine)
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
 	rank, err := sweep.ParseMetric(*rankName)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
-	spec := sweep.GridSpec{Char: charConfig(*quick)}
-	for _, p := range split(*platforms) {
-		cfg, err := platformConfig(p)
+	spec := sweep.GridSpec{Char: cliutil.CharConfig(*quick, false)}
+	for _, p := range cliutil.SplitList(*platforms) {
+		cfg, err := cliutil.PlatformConfig(p)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		spec.Platforms = append(spec.Platforms, cfg)
 	}
-	for _, o := range split(*orgs) {
-		org, err := parseOrg(o)
+	for _, o := range cliutil.SplitList(*orgs) {
+		org, err := cliutil.ParseOrg(o)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		spec.Orgs = append(spec.Orgs, org)
 	}
-	for _, s := range split(*pfs) {
+	for _, s := range cliutil.SplitList(*pfs) {
 		n, err := strconv.Atoi(s)
 		if err != nil || n < 0 {
-			fatal(fmt.Errorf("bad -pfs entry %q", s))
+			cliutil.Fatal(fmt.Errorf("bad -pfs entry %q", s))
 		}
 		spec.PFSIONodes = append(spec.PFSIONodes, n)
 	}
-	for _, a := range split(*apps) {
+	for _, a := range cliutil.SplitList(*apps) {
 		app, err := appSpec(a, *procs, *quick)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		spec.Apps = append(spec.Apps, app)
 	}
-	for _, f := range split(*faults) {
+	for _, f := range cliutil.SplitList(*faults) {
 		if f == "none" {
 			spec.Scenarios = append(spec.Scenarios, fault.Plan{})
 			continue
 		}
-		plan, err := fault.Builtin(f)
+		plan, err := cliutil.FaultPlan(f, *seed)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
-		spec.Scenarios = append(spec.Scenarios, plan)
+		spec.Scenarios = append(spec.Scenarios, *plan)
 	}
 
 	grid := spec.Grid()
 	eng := sweep.NewEngine(*workers)
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		eng.SetStore(st)
+	}
 	fmt.Printf("sweeping %d configurations × %d workloads on %d workers ...\n",
 		len(grid.Configs), len(spec.Apps), eng.Workers())
 	rep, err := eng.Run(grid, rank)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	fmt.Println(rep)
 	snap := eng.Snapshot()
 	fmt.Printf("engine: %d characterizations (%d cache hits), %d evaluations (%d cache hits)\n",
 		snap.Counters.Aux["characterizations"], snap.Counters.Aux["char_cache_hits"],
 		snap.Counters.Aux["evaluations"], snap.Counters.Aux["eval_cache_hits"])
+	if st != nil {
+		fmt.Println(cliutil.StoreSummary(st))
+	}
 	if *jsonOut != "" {
 		if err := rep.WriteFile(*jsonOut); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(report written to %s)\n", *jsonOut)
 	}
-}
-
-func split(s string) []string {
-	var out []string
-	for _, f := range strings.Split(s, ",") {
-		if f = strings.TrimSpace(f); f != "" {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
-func platformConfig(name string) (cluster.Config, error) {
-	switch name {
-	case "aohyper":
-		return cluster.Aohyper(cluster.JBOD).Cfg, nil
-	case "clusterA":
-		return cluster.ClusterA().Cfg, nil
-	}
-	return cluster.Config{}, fmt.Errorf("unknown platform %q", name)
-}
-
-func parseOrg(s string) (cluster.Organization, error) {
-	switch s {
-	case "jbod":
-		return cluster.JBOD, nil
-	case "raid1":
-		return cluster.RAID1, nil
-	case "raid5":
-		return cluster.RAID5, nil
-	}
-	return 0, fmt.Errorf("unknown organization %q", s)
-}
-
-func charConfig(quick bool) core.CharacterizeConfig {
-	cfg := core.DefaultCharacterizeConfig()
-	if quick {
-		cfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
-		cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
-		cfg.LocalFileSize = 512 << 20
-		cfg.GlobalFileSize = 512 << 20
-		cfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
-		cfg.LibFileSize = 256 << 20
-		cfg.LibProcs = 4
-	}
-	return cfg
 }
 
 func appSpec(name string, procs int, quick bool) (sweep.AppSpec, error) {
@@ -193,9 +159,4 @@ func appSpec(name string, procs int, quick bool) (sweep.AppSpec, error) {
 		}}, nil
 	}
 	return sweep.AppSpec{}, fmt.Errorf("unknown app %q", name)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "iosweep:", err)
-	os.Exit(1)
 }

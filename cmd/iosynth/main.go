@@ -8,7 +8,8 @@
 //
 //	iosynth -spec workload.json [-platform aohyper|clusterA]
 //	        [-org jbod|raid1|raid5] [-pfs N] [-quick]
-//	        [-fault scenario] [-spans] [-metrics out.json] [-utilization]
+//	        [-fault scenario] [-seed N] [-spans] [-metrics out.json]
+//	        [-store DIR] [-utilization]
 //
 // Emit a built-in generator's spec (the hand-coded apps re-expressed
 // in the DSL) for editing and re-running:
@@ -21,12 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"ioeval/internal/bench"
-	"ioeval/internal/cluster"
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/core"
-	"ioeval/internal/fault"
 	"ioeval/internal/sim"
 	"ioeval/internal/stats"
 	"ioeval/internal/workload/btio"
@@ -43,71 +41,62 @@ func main() {
 	procs := flag.Int("procs", 16, "MPI processes for -emit generators")
 	pfsNodes := flag.Int("pfs", 0, "deploy a PVFS-like parallel FS over N I/O nodes and run against it")
 	quick := flag.Bool("quick", false, "reduced characterization and generator problem sizes")
-	faultName := flag.String("fault", "", "also evaluate under a fault scenario: "+strings.Join(fault.BuiltinNames(), ", "))
-	spans := flag.Bool("spans", false, "print the span-based path report")
-	metrics := flag.String("metrics", "", "write the telemetry report to this JSON file")
 	utilization := flag.Bool("utilization", false, "print the cluster utilization report after evaluation")
+	faultName := cliutil.FaultFlag(flag.CommandLine)
+	seed := cliutil.SeedFlag(flag.CommandLine)
+	spans := cliutil.SpansFlag(flag.CommandLine)
+	metrics := cliutil.MetricsFlag(flag.CommandLine)
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *emit != "" {
 		if err := emitSpec(*emit, *procs, *quick, *out); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		return
 	}
 	if *specPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		cliutil.FatalUsage()
 	}
 
 	spec, err := synth.LoadSpec(*specPath)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	app, err := synth.Compile(spec)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 
-	org, err := parseOrg(*orgName)
+	org, err := cliutil.ParseOrg(*orgName)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
-	build := func() *cluster.Cluster {
-		var cfg cluster.Config
-		if *platform == "clusterA" {
-			cfg = cluster.ClusterA().Cfg
-		} else {
-			cfg = cluster.Aohyper(org).Cfg
-		}
-		cfg.PFSIONodes = *pfsNodes
-		return cluster.New(cfg)
+	build, err := cliutil.ClusterBuilder(*platform, org, *pfsNodes)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
 
 	fmt.Println("== Phase 1: characterization (system side) ==")
-	charCfg := core.DefaultCharacterizeConfig()
-	charCfg.UsePFS = *pfsNodes > 0
-	if *quick {
-		charCfg.FSBlockSizes = []int64{64 << 10, 1 << 20, 4 << 20}
-		charCfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
-		charCfg.LocalFileSize = 512 << 20
-		charCfg.GlobalFileSize = 512 << 20
-		charCfg.LibBlockSizes = []int64{4 << 20, 32 << 20}
-		charCfg.LibFileSize = 256 << 20
-		charCfg.LibProcs = 4
+	opts := []core.SessionOption{core.WithCharacterizeConfig(cliutil.CharConfig(*quick, *pfsNodes > 0))}
+	plan, err := cliutil.FaultPlan(*faultName, *seed)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
-	opts := []core.SessionOption{core.WithCharacterizeConfig(charCfg)}
-	if *faultName != "" {
-		plan, err := fault.Builtin(*faultName)
-		if err != nil {
-			fatal(err)
-		}
-		opts = append(opts, core.WithFaultPlan(plan))
+	if plan != nil {
+		opts = append(opts, core.WithFaultPlan(*plan))
+	}
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		opts = append(opts, core.WithStore(st))
 	}
 	sess := core.NewSession(build, opts...)
 	ch, err := sess.Characterization()
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	for _, level := range core.Levels() {
 		fmt.Println(core.FormatPerfTable(ch.Table(level)))
@@ -118,7 +107,7 @@ func main() {
 		app.Name(), spec.Procs, len(spec.Phases), stats.IBytes(declR), stats.IBytes(declW))
 	rep, err := sess.Run(app)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 	ev := rep.Evaluation
 	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
@@ -143,10 +132,13 @@ func main() {
 		}
 	}
 	if *metrics != "" {
-		if err := ev.TelemetryReport().WriteFile(*metrics); err != nil {
-			fatal(err)
+		if err := cliutil.WriteMetrics(*metrics, ev.TelemetryReport(), st); err != nil {
+			cliutil.Fatal(err)
 		}
 		fmt.Printf("(telemetry report written to %s)\n", *metrics)
+	}
+	if st != nil {
+		fmt.Println(cliutil.StoreSummary(st))
 	}
 }
 
@@ -180,34 +172,9 @@ func emitSpec(name string, procs int, quick bool, out string) error {
 	if out == "" {
 		return spec.WriteJSON(os.Stdout)
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	if err := spec.WriteJSON(f); err != nil {
-		_ = f.Close() // the write error takes precedence
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := cliutil.WriteFileFn(out, spec.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s spec to %s\n", name, out)
 	return nil
-}
-
-func parseOrg(s string) (cluster.Organization, error) {
-	switch s {
-	case "jbod":
-		return cluster.JBOD, nil
-	case "raid1":
-		return cluster.RAID1, nil
-	case "raid5":
-		return cluster.RAID5, nil
-	}
-	return 0, fmt.Errorf("unknown organization %q", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "iosynth:", err)
-	os.Exit(1)
 }

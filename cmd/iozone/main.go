@@ -6,16 +6,21 @@
 //
 //	iozone [-org jbod|raid1|raid5] [-target local|nfs]
 //	       [-file 4096] [-min 32] [-max 16384] [-modes seq,rand,stride]
+//	       [-store DIR]
+//
+// With -store, the cluster's characterized table for the targeted
+// level (from the content-addressed store, computed on a first miss)
+// is printed alongside the fresh sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
+	"ioeval/internal/core"
 	"ioeval/internal/fs"
 	"ioeval/internal/ioreq"
 	"ioeval/internal/sim"
@@ -29,18 +34,12 @@ func main() {
 	minKB := flag.Int64("min", 32, "smallest block size in KiB")
 	maxKB := flag.Int64("max", 16384, "largest block size in KiB")
 	modesArg := flag.String("modes", "seq", "comma list of: seq, rand, stride")
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	var org cluster.Organization
-	switch *orgName {
-	case "jbod":
-		org = cluster.JBOD
-	case "raid1":
-		org = cluster.RAID1
-	case "raid5":
-		org = cluster.RAID5
-	default:
-		fatal(fmt.Errorf("unknown organization %q", *orgName))
+	org, err := cliutil.ParseOrg(*orgName)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
 	c := cluster.Aohyper(org)
 
@@ -50,8 +49,8 @@ func main() {
 	}
 
 	var modes []bench.Mode
-	for _, m := range strings.Split(*modesArg, ",") {
-		switch strings.TrimSpace(m) {
+	for _, m := range cliutil.SplitList(*modesArg) {
+		switch m {
 		case "seq":
 			modes = append(modes, bench.SeqWrite, bench.SeqRead)
 		case "rand":
@@ -59,7 +58,7 @@ func main() {
 		case "stride":
 			modes = append(modes, bench.StrideWrite, bench.StrideRead)
 		default:
-			fatal(fmt.Errorf("unknown mode %q", m))
+			cliutil.Fatal(fmt.Errorf("unknown mode %q", m))
 		}
 	}
 
@@ -80,7 +79,7 @@ func main() {
 		},
 	})
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(err)
 	}
 
 	fmt.Printf("IOzone-like sweep — %s, %s target, file %d MiB\n\n", org, *target, *fileMB)
@@ -91,9 +90,29 @@ func main() {
 			fmt.Sprintf("%.0f", r.IOPS), r.Latency.String())
 	}
 	fmt.Println(tb.String())
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "iozone:", err)
-	os.Exit(1)
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		build, err := cliutil.ClusterBuilder("aohyper", org, 0)
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		sess := core.NewSession(build,
+			core.WithStore(st),
+			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
+		ch, err := sess.Characterization()
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		level := core.LevelLocalFS
+		if *target == "nfs" {
+			level = core.LevelNFS
+		}
+		fmt.Printf("Stored %s baseline:\n", level)
+		fmt.Println(core.FormatPerfTable(ch.Table(level)))
+		fmt.Println(cliutil.StoreSummary(st))
+	}
 }

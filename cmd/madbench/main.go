@@ -6,15 +6,19 @@
 //
 //	madbench [-platform aohyper|clusterA] [-org jbod|raid1|raid5]
 //	         [-procs 16] [-kpix 18] [-bins 8] [-filetype unique|shared]
-//	         [-timeline]
+//	         [-timeline] [-store DIR]
+//
+// With -store, the run is additionally evaluated against the cluster's
+// characterization (looked up in — or computed into — the
+// content-addressed store) and the used-percentage table is printed.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 
-	"ioeval/internal/cluster"
+	"ioeval/cmd/internal/cliutil"
+	"ioeval/internal/core"
 	"ioeval/internal/sim"
 	"ioeval/internal/stats"
 	"ioeval/internal/trace"
@@ -29,39 +33,33 @@ func main() {
 	bins := flag.Int("bins", 8, "component matrices")
 	filetype := flag.String("filetype", "shared", "unique or shared")
 	timeline := flag.Bool("timeline", false, "render the trace timeline")
+	storeDir := cliutil.StoreFlag(flag.CommandLine)
 	flag.Parse()
 
-	var c *cluster.Cluster
-	if *platform == "clusterA" {
-		c = cluster.ClusterA()
-	} else {
-		switch *orgName {
-		case "jbod":
-			c = cluster.Aohyper(cluster.JBOD)
-		case "raid1":
-			c = cluster.Aohyper(cluster.RAID1)
-		case "raid5":
-			c = cluster.Aohyper(cluster.RAID5)
-		default:
-			fmt.Fprintf(os.Stderr, "madbench: unknown organization %q\n", *orgName)
-			os.Exit(1)
-		}
+	org, err := cliutil.ParseOrg(*orgName)
+	if err != nil {
+		cliutil.Fatal(err)
 	}
+	build, err := cliutil.ClusterBuilder(*platform, org, 0)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	c := build()
 
 	ft := madbench.Shared
 	if *filetype == "unique" {
 		ft = madbench.Unique
 	}
-	app := madbench.New(madbench.Config{
+	cfg := madbench.Config{
 		Procs: *procs, KPix: *kpix, Bins: *bins, FileType: ft, BusyWork: sim.Second,
-	})
+	}
+	app := madbench.New(cfg)
 	tr := trace.New()
 	fmt.Printf("running %s on %s (slice %s per op) ...\n\n",
 		app.Name(), c.Cfg.Name, stats.IBytes(app.SliceBytes()))
 	res, err := app.Run(c, tr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "madbench:", err)
-		os.Exit(1)
+		cliutil.Fatal(err)
 	}
 
 	var tb stats.Table
@@ -75,5 +73,21 @@ func main() {
 
 	if *timeline {
 		fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
+	}
+
+	st, err := cliutil.OpenStore(*storeDir)
+	if err != nil {
+		cliutil.Fatal(err)
+	}
+	if st != nil {
+		sess := core.NewSession(build,
+			core.WithStore(st),
+			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
+		ev, err := sess.Evaluate(madbench.New(cfg))
+		if err != nil {
+			cliutil.Fatal(err)
+		}
+		fmt.Println(core.FormatEvaluation(ev))
+		fmt.Println(cliutil.StoreSummary(st))
 	}
 }

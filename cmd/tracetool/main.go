@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"ioeval/cmd/internal/cliutil"
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
 	"ioeval/internal/sim"
@@ -49,7 +50,7 @@ func main() {
 	switch {
 	case *capture != "":
 		if *out == "" {
-			fatal(fmt.Errorf("-capture needs -out"))
+			cliutil.Fatal(fmt.Errorf("-capture needs -out"))
 		}
 		tr := trace.New()
 		var app workload.App
@@ -71,32 +72,32 @@ func main() {
 			}
 			app = madbench.New(madbench.Config{Procs: *procs, KPix: kpix, FileType: madbench.Shared, BusyWork: sim.Second})
 		default:
-			fatal(fmt.Errorf("unknown workload %q", *capture))
+			cliutil.Fatal(fmt.Errorf("unknown workload %q", *capture))
 		}
 		c := cluster.Aohyper(cluster.RAID5)
 		fmt.Fprintf(os.Stderr, "capturing %s ...\n", app.Name())
 		if _, err := app.Run(c, tr); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		defer f.Close()
 		if err := tr.WriteJSON(f); err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(tr.Events()), *out)
 
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		defer f.Close()
 		tr, err := trace.ReadJSON(f)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(err)
 		}
 		if *profile {
 			fmt.Println(core.FormatProfile(*in, tr.Profile()))
@@ -114,47 +115,29 @@ func main() {
 			fmt.Println(trace.Timeline{Width: 110}.Render(tr.Events()))
 		}
 		if *csvOut != "" {
-			if err := writeFile(*csvOut, tr.WriteCSV); err != nil {
-				fatal(err)
+			if err := cliutil.WriteFileFn(*csvOut, tr.WriteCSV); err != nil {
+				cliutil.Fatal(err)
 			}
 		}
 		if *phasesCSV != "" {
 			ranks := tr.Profile().NumProcs
-			if err := writeFile(*phasesCSV, func(w io.Writer) error { return tr.PhaseCSV(w, ranks) }); err != nil {
-				fatal(err)
+			if err := cliutil.WriteFileFn(*phasesCSV, func(w io.Writer) error { return tr.PhaseCSV(w, ranks) }); err != nil {
+				cliutil.Fatal(err)
 			}
 		}
 		if *inferOut != "" {
 			spec, err := trace.InferSpec(tr, *in)
 			if err != nil {
-				fatal(err)
+				cliutil.Fatal(err)
 			}
-			if err := writeFile(*inferOut, spec.WriteJSON); err != nil {
-				fatal(err)
+			if err := cliutil.WriteFileFn(*inferOut, spec.WriteJSON); err != nil {
+				cliutil.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "inferred %d-phase spec for %d ranks to %s\n",
 				len(spec.Phases), spec.Procs, *inferOut)
 		}
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		cliutil.FatalUsage()
 	}
-}
-
-func writeFile(path string, fn func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := fn(f); err != nil {
-		_ = f.Close() // the write error takes precedence
-		return err
-	}
-	return f.Close()
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracetool:", err)
-	os.Exit(1)
 }

@@ -37,7 +37,8 @@ func main() {
 	for _, org := range orgs {
 		org := org
 		build := func() *cluster.Cluster { return cluster.Aohyper(org) }
-		ch, err := core.Characterize(build, charCfg)
+		sess := core.NewSession(build, core.WithCharacterizeConfig(charCfg))
+		ch, err := sess.Characterization()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 	// Trace the application ONCE (on the first configuration) and
 	// build its I/O model from the signature.
 	app := btio.New(btio.Config{Class: btio.ClassA, Procs: 16, Subtype: btio.Full, ComputeScale: 1})
-	ev, err := core.Evaluate(builders[chs[0].Config](), app, chs[0])
+	ev, err := core.NewSession(builders[chs[0].Config], core.WithCharacterization(chs[0])).Evaluate(app)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func main() {
 			bestCh = ch
 		}
 	}
-	actual, err := core.Evaluate(builders[best.Config](), app, bestCh)
+	actual, err := core.NewSession(builders[best.Config], core.WithCharacterization(bestCh)).Evaluate(app)
 	if err != nil {
 		log.Fatal(err)
 	}

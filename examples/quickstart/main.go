@@ -7,19 +7,32 @@
 //     sits, and how much of each level's capacity it obtains.
 //
 // Run with: go run ./examples/quickstart
+//
+// Warm starts: pass -store DIR and run twice. The first run measures
+// the characterization and persists it; the second reads the tables
+// back (the store summary line shows "1 hits, 0 misses") and prints
+// identical output — Phase 1 survives the process.
+//
+//	go run ./examples/quickstart -store /tmp/ioeval-store
+//	go run ./examples/quickstart -store /tmp/ioeval-store
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/core"
+	"ioeval/internal/store"
 	"ioeval/internal/workload/btio"
 )
 
 func main() {
+	storeDir := flag.String("store", "", "persist characterizations in this directory (warm starts)")
+	flag.Parse()
+
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
 
 	// Phase 1 (system): characterize each I/O-path level with a
@@ -33,7 +46,16 @@ func main() {
 		LibBlockSizes:  []int64{4 << 20, 32 << 20},
 		LibFileSize:    256 << 20,
 	}
-	sess := core.NewSession(build, core.WithCharacterizeConfig(cfg))
+	opts := []core.SessionOption{core.WithCharacterizeConfig(cfg)}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, core.WithStore(st))
+	}
+	sess := core.NewSession(build, opts...)
 	ch, err := sess.Characterization()
 	if err != nil {
 		log.Fatal(err)
@@ -55,4 +77,10 @@ func main() {
 	}
 	fmt.Println(core.FormatProfile(ev.AppName(), ev.Profile()))
 	fmt.Println(core.FormatEvaluation(ev))
+
+	if st != nil {
+		s := st.Stats()
+		fmt.Printf("store %s: %d hits, %d misses, %d writes\n",
+			st.Dir(), s.Hits, s.Misses, s.Puts)
+	}
 }

@@ -55,7 +55,7 @@ func main() {
 	declR, declW := spec.DeclaredBytes()
 	fmt.Printf("spec %q: %d ranks, %d phases, declares %d B read / %d B written\n\n",
 		app.Name(), spec.Procs, len(spec.Phases), declR, declW)
-	evSynth, err := core.Evaluate(build(), app, ch)
+	evSynth, err := core.NewSession(build, core.WithCharacterization(ch)).Evaluate(app)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func main() {
 	// BT-IO, so the evaluations must be identical — same io-time, same
 	// byte counts, same used-% verdict.
 	cfg := btio.Config{Class: btio.ClassA, Procs: 4, Subtype: btio.Full, ComputeScale: 1}
-	evHand, err := core.Evaluate(build(), btio.New(cfg), ch)
+	evHand, err := core.NewSession(build, core.WithCharacterization(ch)).Evaluate(btio.New(cfg))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,7 +16,7 @@ var (
 func benchCharacterization(b *testing.B) *Characterization {
 	b.Helper()
 	benchCharOnce.Do(func() {
-		ch, err := Characterize(goldenCluster, goldenCharCfg())
+		ch, err := characterize(goldenCluster, goldenCharCfg())
 		if err != nil {
 			panic(err)
 		}
@@ -37,7 +37,7 @@ func BenchmarkEvaluateBTIO(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := goldenCluster()
-		if _, err := Evaluate(c, app, ch); err != nil {
+		if _, err := evaluate(c, app, ch); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +53,7 @@ func BenchmarkEvaluateBTIONoSpans(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c := goldenCluster()
 		c.Path = nil
-		if _, err := Evaluate(c, app, ch); err != nil {
+		if _, err := evaluate(c, app, ch); err != nil {
 			b.Fatal(err)
 		}
 	}

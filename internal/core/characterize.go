@@ -48,6 +48,45 @@ type CharacterizeConfig struct {
 	Fault *fault.Plan
 }
 
+// withDefaults returns the config with every unset field filled in:
+// the paper's sweep parameters, and the stress-rule file sizes derived
+// from the probe cluster's RAM. The result is fully determined — two
+// configs that characterize identically normalize identically — which
+// is what makes it the canonical input of Fingerprint.
+func (cfg CharacterizeConfig) withDefaults(probe *cluster.Cluster) CharacterizeConfig {
+	if len(cfg.FSBlockSizes) == 0 {
+		cfg.FSBlockSizes = bench.DefaultBlockSizes()
+	}
+	if len(cfg.FSModes) == 0 {
+		cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
+	}
+	if cfg.LibProcs == 0 {
+		cfg.LibProcs = 8
+	}
+	if len(cfg.LibBlockSizes) == 0 {
+		cfg.LibBlockSizes = bench.DefaultIORBlockSizes()
+	}
+	if cfg.LibTransfer == 0 {
+		cfg.LibTransfer = 256 << 10
+	}
+	if cfg.LibFileSize == 0 {
+		cfg.LibFileSize = 32 << 30
+	}
+	if cfg.RandomOps == 0 {
+		cfg.RandomOps = 4096
+	}
+	if cfg.LocalFileSize == 0 {
+		cfg.LocalFileSize = 2 * probe.Cfg.IONodeRAM
+	}
+	if cfg.GlobalFileSize == 0 {
+		cfg.GlobalFileSize = 2 * probe.Cfg.NodeRAM
+	}
+	if cfg.Fault != nil && cfg.Fault.Empty() {
+		cfg.Fault = nil
+	}
+	return cfg
+}
+
 // DefaultCharacterizeConfig mirrors the paper's setup.
 func DefaultCharacterizeConfig() CharacterizeConfig {
 	return CharacterizeConfig{
@@ -78,34 +117,14 @@ type Characterization struct {
 // Table returns the table of a level.
 func (c *Characterization) Table(l Level) *PerfTable { return c.Tables[l] }
 
-// Characterize measures a configuration at the three I/O-path levels.
+// characterize measures a configuration at the three I/O-path levels.
 // build must return a *fresh* cluster of the configuration under test
 // each time it is called: characterizing dirties caches, allocators
 // and the simulated clock, so every level gets its own instance.
-func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Characterization, error) {
-	if len(cfg.FSBlockSizes) == 0 {
-		cfg.FSBlockSizes = bench.DefaultBlockSizes()
-	}
-	if len(cfg.FSModes) == 0 {
-		cfg.FSModes = []bench.Mode{bench.SeqWrite, bench.SeqRead}
-	}
-	if cfg.LibProcs == 0 {
-		cfg.LibProcs = 8
-	}
-	if len(cfg.LibBlockSizes) == 0 {
-		cfg.LibBlockSizes = bench.DefaultIORBlockSizes()
-	}
-	if cfg.LibTransfer == 0 {
-		cfg.LibTransfer = 256 << 10
-	}
-	if cfg.LibFileSize == 0 {
-		cfg.LibFileSize = 32 << 30
-	}
-	if cfg.RandomOps == 0 {
-		cfg.RandomOps = 4096
-	}
-
+// Reached through Session.Characterization (the exported surface).
+func characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Characterization, error) {
 	probe := build()
+	cfg = cfg.withDefaults(probe)
 	name := fmt.Sprintf("%s/%s", probe.Cfg.Name, probe.Cfg.Org)
 	if cfg.UsePFS {
 		name = fmt.Sprintf("%s/pfs-%d", probe.Cfg.Name, probe.Cfg.PFSIONodes)
@@ -134,9 +153,6 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 	{
 		c := build()
 		fileSize := cfg.LocalFileSize
-		if fileSize == 0 {
-			fileSize = 2 * c.Cfg.IONodeRAM
-		}
 		localFS := fs.Interface(c.ServerFS)
 		drop := func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) }
 		if cfg.UsePFS {
@@ -162,9 +178,6 @@ func Characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Chara
 	{
 		c := build()
 		fileSize := cfg.GlobalFileSize
-		if fileSize == 0 {
-			fileSize = 2 * c.Cfg.NodeRAM
-		}
 		globalFS := fs.Interface(c.Nodes[0].NFS)
 		drop := func(p *sim.Proc) {
 			m := ioreq.Meta(p)

@@ -228,19 +228,20 @@ func (e *Evaluation) Phases() []telemetry.PhaseInterval { return e.phases }
 // time-in-level attribution).
 func (e *Evaluation) PathProfile() telemetry.PathProfile { return e.path }
 
-// Evaluate runs the application on the cluster under a tracer and
+// evaluate runs the application on the cluster under a tracer and
 // produces the evaluation against the configuration's
 // characterization. The cluster must be fresh (unused engine).
-func Evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Evaluation, error) {
-	return EvaluateScenario(c, app, ch, "")
+// Reached through Session.Evaluate (the exported surface).
+func evaluate(c *cluster.Cluster, app workload.App, ch *Characterization) (*Evaluation, error) {
+	return evaluateScenario(c, app, ch, "")
 }
 
-// EvaluateScenario is Evaluate for a run taken under a named fault
+// evaluateScenario is evaluate for a run taken under a named fault
 // scenario: the caller has already armed a fault plan on the cluster
 // (fault.Apply), and the evaluation is labeled with the scenario so
 // degraded-mode rows are distinguishable from healthy ones in every
-// report.
-func EvaluateScenario(c *cluster.Cluster, app workload.App, ch *Characterization, scenario string) (*Evaluation, error) {
+// report. Reached through Session.EvaluateScenario.
+func evaluateScenario(c *cluster.Cluster, app workload.App, ch *Characterization, scenario string) (*Evaluation, error) {
 	tr := trace.New()
 	var runTracer mpiio.Tracer = tr
 	var ps *trace.PhaseSnapshotter

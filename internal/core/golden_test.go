@@ -57,12 +57,12 @@ func goldenCharCfg() CharacterizeConfig {
 // any diff is a real format or model change: inspect it, then rerun
 // with -update to accept.
 func TestTelemetryReportGolden(t *testing.T) {
-	ch, err := Characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 	quick := btio.Class{Name: "Q", N: 64, Steps: 5, WriteInterval: 5}
-	ev, err := Evaluate(goldenCluster(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}), ch)
+	ev, err := evaluate(goldenCluster(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}), ch)
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}

@@ -34,7 +34,7 @@ func quickCharCfg() CharacterizeConfig {
 }
 
 func TestCharacterizeProducesThreeLevels(t *testing.T) {
-	ch, err := Characterize(func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }, quickCharCfg())
+	ch, err := characterize(func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -117,13 +117,13 @@ func TestUsedTableAgainstKnownRates(t *testing.T) {
 // paper's Tables III/IV conclusion).
 func TestEndToEndFullVsSimple(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := Characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 	quick := btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5}
 	run := func(st btio.Subtype) *Evaluation {
-		ev, err := Evaluate(build(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: st}), ch)
+		ev, err := evaluate(build(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: st}), ch)
 		if err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}
@@ -151,12 +151,12 @@ func TestEndToEndFullVsSimple(t *testing.T) {
 
 func TestEvaluateMadBenchReportsPhases(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.JBOD) }
-	ch, err := Characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 	app := madbench.New(madbench.Config{Procs: 4, KPix: 4, Bins: 4, FileType: madbench.Shared})
-	ev, err := Evaluate(build(), app, ch)
+	ev, err := evaluate(build(), app, ch)
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestMethodologyOnPFS(t *testing.T) {
 
 	charCfg := quickCharCfg()
 	charCfg.UsePFS = true
-	chPFS, err := Characterize(buildPFS, charCfg)
+	chPFS, err := characterize(buildPFS, charCfg)
 	if err != nil {
 		t.Fatalf("characterize PFS: %v", err)
 	}
@@ -212,7 +212,7 @@ func TestMethodologyOnPFS(t *testing.T) {
 	}
 
 	quickClass := btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5}
-	evPFS, err := Evaluate(buildPFS(), btio.New(btio.Config{
+	evPFS, err := evaluate(buildPFS(), btio.New(btio.Config{
 		Class: quickClass, Procs: 4, Subtype: btio.Simple, UsePFS: true,
 	}), chPFS)
 	if err != nil {
@@ -220,11 +220,11 @@ func TestMethodologyOnPFS(t *testing.T) {
 	}
 
 	buildNFS := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	chNFS, err := Characterize(buildNFS, quickCharCfg())
+	chNFS, err := characterize(buildNFS, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize NFS: %v", err)
 	}
-	evNFS, err := Evaluate(buildNFS(), btio.New(btio.Config{
+	evNFS, err := evaluate(buildNFS(), btio.New(btio.Config{
 		Class: quickClass, Procs: 4, Subtype: btio.Simple,
 	}), chNFS)
 	if err != nil {
@@ -242,14 +242,14 @@ func TestMethodologyOnPFS(t *testing.T) {
 	}
 }
 
-func TestMethodologyFacade(t *testing.T) {
-	m := &Methodology{
-		Build:        func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
-		CharConfig:   quickCharCfg(),
-		Requirements: &Requirements{MinWriteRate: 10e6, MaxIOFraction: 0.99},
-	}
+func TestSessionFacade(t *testing.T) {
+	sess := NewSession(
+		func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		WithCharacterizeConfig(quickCharCfg()),
+		WithRequirements(Requirements{MinWriteRate: 10e6, MaxIOFraction: 0.99}),
+	)
 	quickClass := btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5}
-	rep, err := m.Run(btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full}))
+	rep, err := sess.Run(btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Full}))
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -264,7 +264,7 @@ func TestMethodologyFacade(t *testing.T) {
 	}
 	// Characterization must be cached across runs.
 	ch1 := rep.Characterization
-	rep2, err := m.Run(btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Simple}))
+	rep2, err := sess.Run(btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: btio.Simple}))
 	if err != nil {
 		t.Fatalf("second run: %v", err)
 	}
@@ -273,18 +273,19 @@ func TestMethodologyFacade(t *testing.T) {
 	}
 }
 
-func TestMethodologyNeedsBuilder(t *testing.T) {
-	m := &Methodology{}
-	if _, err := m.Characterization(); err == nil {
-		t.Fatal("expected error without Build")
+func TestSessionNeedsBuilder(t *testing.T) {
+	sess := NewSession(nil)
+	if _, err := sess.Characterization(); err == nil {
+		t.Fatal("expected error without a builder")
 	}
 }
 
-// Distinct methodologies must characterize in parallel: each Build
-// function below waits until the other methodology's Build has also
+// Distinct sessions must characterize in parallel: each Build
+// function below waits until the other session's Build has also
 // started, so the test deadlocks (and times out) if first-time
-// characterizations serialize behind a lock held across Characterize.
-func TestMethodologiesCharacterizeInParallel(t *testing.T) {
+// characterizations serialize behind a lock held across the
+// characterization phase.
+func TestSessionsCharacterizeInParallel(t *testing.T) {
 	cfg := quickCharCfg()
 	cfg.FSBlockSizes = cfg.FSBlockSizes[:1]
 	cfg.FSModes = cfg.FSModes[:2]
@@ -292,24 +293,21 @@ func TestMethodologiesCharacterizeInParallel(t *testing.T) {
 
 	started := make(chan int, 2)
 	release := make(chan struct{})
-	mk := func(id int) *Methodology {
+	mk := func(id int) *Session {
 		first := true
-		return &Methodology{
-			CharConfig: cfg,
-			Build: func() *cluster.Cluster {
-				if first { // Characterize builds several clusters; gate only the first
-					first = false
-					started <- id
-					<-release
-				}
-				return cluster.Aohyper(cluster.JBOD)
-			},
-		}
+		return NewSession(func() *cluster.Cluster {
+			if first { // characterization builds several clusters; gate only the first
+				first = false
+				started <- id
+				<-release
+			}
+			return cluster.Aohyper(cluster.JBOD)
+		}, WithCharacterizeConfig(cfg))
 	}
-	ms := []*Methodology{mk(0), mk(1)}
+	ms := []*Session{mk(0), mk(1)}
 	done := make(chan error, len(ms))
 	for _, m := range ms {
-		go func(m *Methodology) {
+		go func(m *Session) {
 			_, err := m.Characterization()
 			done <- err
 		}(m)

@@ -116,7 +116,7 @@ func TestFormatPrediction(t *testing.T) {
 // pattern-bound simple subtype.
 func TestModelValidationAgainstRuns(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := Characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -124,7 +124,7 @@ func TestModelValidationAgainstRuns(t *testing.T) {
 
 	run := func(st btio.Subtype) (*Evaluation, Prediction) {
 		app := btio.New(btio.Config{Class: quickClass, Procs: 4, Subtype: st})
-		ev, err := Evaluate(build(), app, ch)
+		ev, err := evaluate(build(), app, ch)
 		if err != nil {
 			t.Fatalf("evaluate: %v", err)
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 
@@ -31,11 +33,24 @@ type PathLevelSelf struct {
 	SelfNS sim.Duration `json:"self_ns"`
 }
 
+// PathReportFormat and PathReportVersion are the path report's
+// versioned envelope when exported standalone. WriteJSON stamps them
+// and ReadPathReportJSON checks them; a PathReport nested inside
+// another document (a sweep cell) stays unstamped — the outer
+// envelope covers it.
+const (
+	PathReportFormat  = "ioeval-path-report"
+	PathReportVersion = 1
+)
+
 // PathReport is the span side of the evaluation verdict: where
 // requests actually spent their time, aggregated from the per-request
 // span trees, cross-checked against the used-% table's indirect
 // inference and against the trace (the conservation invariant).
 type PathReport struct {
+	Format  string `json:"format,omitempty"`
+	Version int    `json:"version,omitempty"`
+
 	// Profile is the full 8-level × 3-class span aggregation.
 	Profile telemetry.PathProfile `json:"profile"`
 
@@ -121,6 +136,36 @@ func (e *Evaluation) PathReport() PathReport {
 	}
 	pr.Conserved = pr.Drift <= conservationTolerance
 	return pr
+}
+
+// WriteJSON writes the path report as indented JSON under the
+// versioned envelope.
+func (pr PathReport) WriteJSON(w io.Writer) error {
+	pr.Format = PathReportFormat
+	pr.Version = PathReportVersion
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(pr); err != nil {
+		return fmt.Errorf("core: encode path report: %w", err)
+	}
+	return nil
+}
+
+// ReadPathReportJSON parses a standalone path report written by
+// WriteJSON, rejecting documents whose envelope names another format
+// or version.
+func ReadPathReportJSON(rd io.Reader) (*PathReport, error) {
+	var pr PathReport
+	if err := json.NewDecoder(rd).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("core: decode path report: %w", err)
+	}
+	if pr.Format != PathReportFormat {
+		return nil, fmt.Errorf("core: unexpected format %q", pr.Format)
+	}
+	if pr.Version != PathReportVersion {
+		return nil, fmt.Errorf("core: unsupported version %d", pr.Version)
+	}
+	return &pr, nil
 }
 
 // FormatPathReport renders the span attribution and its cross-checks

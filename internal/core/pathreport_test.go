@@ -34,11 +34,11 @@ func pathReportJSON(t *testing.T, pr PathReport) []byte {
 // rendering are deterministic, so any diff is a real change; inspect,
 // then rerun with -update to accept.
 func TestPathReportGolden(t *testing.T) {
-	ch, err := Characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
-	ev, err := Evaluate(goldenCluster(), quickGoldenBTIO(), ch)
+	ev, err := evaluate(goldenCluster(), quickGoldenBTIO(), ch)
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -122,12 +122,12 @@ func TestPathReportDegradedGolden(t *testing.T) {
 // TestPathReportMadBench checks the acceptance criteria on the second
 // workload: conservation and verdict agreement on a MadBench2 run.
 func TestPathReportMadBench(t *testing.T) {
-	ch, err := Characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 	app := madbench.New(madbench.Config{Procs: 4, KPix: 4, Bins: 4, FileType: madbench.Shared})
-	ev, err := Evaluate(goldenCluster(), app, ch)
+	ev, err := evaluate(goldenCluster(), app, ch)
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}

@@ -16,20 +16,34 @@ import (
 // computed on first use and cached, so many applications can be
 // evaluated against one Session cheaply; with a fault plan set, Run
 // evaluates the application both healthy and under the scenario and
-// reports the used-% tables side by side.
+// reports the used-% tables side by side. With a store attached
+// (WithStore), characterization is looked up by content fingerprint
+// before being measured, and written back on a miss — warm sessions
+// skip the expensive phase entirely.
 //
-// Session replaces the former Characterize/Methodology duality; the
-// old surface remains as thin deprecated wrappers.
+// Session is the sole entry point to the methodology: the former
+// Characterize/Evaluate/Methodology surface was removed in its favor.
 type Session struct {
 	build   func() *cluster.Cluster
 	charCfg CharacterizeConfig
 	plan    *fault.Plan
 	reqs    *Requirements
 	preset  *Characterization // preloaded tables (WithCharacterization)
+	store   CharStore
 
 	charOnce sync.Once
 	char     *Characterization
 	charErr  error
+}
+
+// CharStore is a persistent characterization cache keyed by content
+// fingerprint (see Fingerprint). GetOrCompute returns the stored
+// characterization for the fingerprint, or calls compute exactly once
+// per process to fill the entry. internal/store provides the on-disk
+// implementation; the interface lives here so core does not depend on
+// the store's mechanics.
+type CharStore interface {
+	GetOrCompute(fingerprint string, compute func() (*Characterization, error)) (*Characterization, error)
 }
 
 // SessionOption configures a Session at construction.
@@ -63,6 +77,13 @@ func WithRequirements(req Requirements) SessionOption {
 // measurement phase.
 func WithCharacterization(ch *Characterization) SessionOption {
 	return func(s *Session) { s.preset = ch }
+}
+
+// WithStore attaches a persistent characterization store: the session
+// consults it (by content fingerprint) before characterizing and
+// writes the result back on a miss. A nil store is ignored.
+func WithStore(st CharStore) SessionOption {
+	return func(s *Session) { s.store = st }
 }
 
 // NewSession creates a session for the configuration produced by
@@ -106,7 +127,17 @@ func (s *Session) Characterization() (*Characterization, error) {
 		return nil, fmt.Errorf("core: Session needs a cluster builder")
 	}
 	s.charOnce.Do(func() {
-		s.char, s.charErr = Characterize(s.build, s.charCfg)
+		compute := func() (*Characterization, error) { return characterize(s.build, s.charCfg) }
+		if s.store == nil {
+			s.char, s.charErr = compute()
+			return
+		}
+		fp, err := Fingerprint(s.build, s.charCfg)
+		if err != nil {
+			s.charErr = err
+			return
+		}
+		s.char, s.charErr = s.store.GetOrCompute(fp, compute)
 	})
 	return s.char, s.charErr
 }
@@ -131,7 +162,7 @@ func (s *Session) Evaluate(app workload.App) (*Evaluation, error) {
 	if s.build == nil {
 		return nil, fmt.Errorf("core: Session needs a cluster builder")
 	}
-	return Evaluate(s.build(), app, ch)
+	return evaluate(s.build(), app, ch)
 }
 
 // EvaluateScenario runs the application under the session's fault
@@ -152,7 +183,7 @@ func (s *Session) EvaluateScenario(app workload.App) (*Evaluation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return EvaluateScenario(c, app, ch, s.plan.Name)
+	return evaluateScenario(c, app, ch, s.plan.Name)
 }
 
 // Run executes all three phases for the application: configuration
@@ -169,7 +200,7 @@ func (s *Session) Run(app workload.App) (*Report, error) {
 	}
 	c := s.build()
 	analysis := AnalyzeConfiguration(c)
-	ev, err := Evaluate(c, app, ch)
+	ev, err := evaluate(c, app, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +218,7 @@ func (s *Session) Run(app workload.App) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		dev, err := EvaluateScenario(dc, app, ch, s.plan.Name)
+		dev, err := evaluateScenario(dc, app, ch, s.plan.Name)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", s.plan.Name, err)
 		}

@@ -208,25 +208,26 @@ func TestSessionCharacterizationSingleFlight(t *testing.T) {
 	}
 }
 
-// TestMethodologyWrapperDelegates: the deprecated Methodology surface
-// still runs end to end through the Session it wraps.
-func TestMethodologyWrapperDelegates(t *testing.T) {
-	m := &Methodology{
-		Build:      func() *cluster.Cluster { return cluster.Aohyper(cluster.JBOD) },
-		CharConfig: quickCharCfg(),
-	}
-	ch1, err := m.Characterization()
+// TestSessionRunReusesCharacterization: Run on a session that already
+// characterized must reuse the cached tables, and a healthy session's
+// report carries no degraded half.
+func TestSessionRunReusesCharacterization(t *testing.T) {
+	sess := NewSession(
+		func() *cluster.Cluster { return cluster.Aohyper(cluster.JBOD) },
+		WithCharacterizeConfig(quickCharCfg()),
+	)
+	ch1, err := sess.Characterization()
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := m.Run(quickBTIO())
+	rep, err := sess.Run(quickBTIO())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Characterization != ch1 {
-		t.Fatal("Run recomputed the wrapper's characterization")
+		t.Fatal("Run recomputed the session's characterization")
 	}
 	if rep.Evaluation == nil || rep.Degraded != nil {
-		t.Fatalf("wrapper report malformed: eval=%v degraded=%v", rep.Evaluation, rep.Degraded)
+		t.Fatalf("report malformed: eval=%v degraded=%v", rep.Evaluation, rep.Degraded)
 	}
 }

@@ -1,0 +1,60 @@
+package core
+
+import "strings"
+
+// Report is the output of one methodology run (Session.Run) for one
+// application. When the session carried a fault plan, Degraded holds
+// the under-fault evaluation alongside the healthy one.
+type Report struct {
+	Characterization *Characterization
+	ConfigAnalysis   string
+	Evaluation       *Evaluation
+	Checks           []RequirementCheck
+	Utilization      string
+
+	// Degraded-mode half of the report — set only when a fault
+	// scenario was armed (Session.Run with WithFaultPlan).
+	Scenario            string
+	Degraded            *Evaluation
+	DegradedChecks      []RequirementCheck
+	DegradedUtilization string
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("== I/O configuration analysis ==\n")
+	b.WriteString(r.ConfigAnalysis)
+	b.WriteString("\n== Characterization (system side) ==\n")
+	for _, level := range Levels() {
+		if t := r.Characterization.Table(level); t != nil {
+			b.WriteString(FormatPerfTable(t))
+			b.WriteByte('\n')
+		}
+	}
+	b.WriteString("== Application characterization ==\n")
+	b.WriteString(FormatProfile(r.Evaluation.AppName(), r.Evaluation.Profile()))
+	b.WriteString("\n== Evaluation ==\n")
+	b.WriteString(FormatEvaluation(r.Evaluation))
+	if len(r.Checks) > 0 {
+		b.WriteString("\n== Requirements ==\n")
+		b.WriteString(FormatChecks(r.Checks))
+	}
+	if r.Degraded != nil {
+		b.WriteString("\n== Evaluation under fault scenario: " + r.Scenario + " ==\n")
+		b.WriteString(FormatEvaluation(r.Degraded))
+		b.WriteString("\n== Healthy vs degraded used-% ==\n")
+		b.WriteString(FormatUsedComparison(r.Evaluation.Used(), r.Degraded.Used()))
+		if len(r.DegradedChecks) > 0 {
+			b.WriteString("\n== Requirements (degraded) ==\n")
+			b.WriteString(FormatChecks(r.DegradedChecks))
+		}
+	}
+	b.WriteString("\n== Utilization ==\n")
+	b.WriteString(r.Utilization)
+	if r.Degraded != nil && r.DegradedUtilization != "" {
+		b.WriteString("\n== Utilization (degraded) ==\n")
+		b.WriteString(r.DegradedUtilization)
+	}
+	return b.String()
+}

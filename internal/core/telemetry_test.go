@@ -16,7 +16,7 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 	c := cluster.Aohyper(cluster.RAID5)
 	quick := btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5}
 	app := btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full})
-	ev, err := Evaluate(c, app, &Characterization{Config: "test"})
+	ev, err := evaluate(c, app, &Characterization{Config: "test"})
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -97,12 +97,12 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 // the evaluation).
 func TestTelemetryReportLevelsMatchUsed(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := Characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg())
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 	quick := btio.Class{Name: "Q", N: 64, Steps: 20, WriteInterval: 5}
-	ev, err := Evaluate(build(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}), ch)
+	ev, err := evaluate(build(), btio.New(btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}), ch)
 	if err != nil {
 		t.Fatalf("evaluate: %v", err)
 	}
@@ -140,15 +140,15 @@ func TestLevelTelemetryMapping(t *testing.T) {
 // Characterization memoization must be safe under concurrent first
 // use (run with -race): exactly one characterization is computed and
 // every caller sees the same pointer.
-func TestMethodologyCharacterizationConcurrent(t *testing.T) {
+func TestSessionCharacterizationConcurrent(t *testing.T) {
 	cfg := quickCharCfg()
 	cfg.FSBlockSizes = cfg.FSBlockSizes[:1]
 	cfg.FSModes = cfg.FSModes[:2]
 	cfg.LibBlockSizes = cfg.LibBlockSizes[:1]
-	m := &Methodology{
-		Build:      func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
-		CharConfig: cfg,
-	}
+	m := NewSession(
+		func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) },
+		WithCharacterizeConfig(cfg),
+	)
 	const n = 8
 	chans := make([]*Characterization, n)
 	var wg sync.WaitGroup

@@ -19,6 +19,7 @@ func DefaultAnalyzers() []*Analyzer {
 		SpanBalance(),
 		SeedFlow(),
 		FaultPlan(),
+		LegacyAPI(),
 	}
 }
 

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LegacyAPICheck is the name of the legacyapi analyzer.
+const LegacyAPICheck = "legacyapi"
+
+// legacyCoreNames are the shapes of the retired pre-Session entry
+// points: the Methodology facade and the package-level
+// Characterize/Evaluate/EvaluateScenario functions, all superseded by
+// core.Session (NewSession + Characterization/Evaluate/Run).
+var legacyCoreNames = map[string]bool{
+	"Methodology":      true,
+	"Characterize":     true,
+	"Evaluate":         true,
+	"EvaluateScenario": true,
+}
+
+// LegacyAPI returns the analyzer that keeps the retired pre-Session
+// core API from coming back: it flags any exported top-level
+// declaration of the removed names inside an internal core package,
+// and any qualified reference (core.Characterize, core.Methodology,
+// ...) to them from the rest of the module. Methods named Evaluate on
+// other types — Session.Evaluate in particular — are untouched: only
+// package-level shapes of the core package are banned.
+func LegacyAPI() *Analyzer {
+	return &Analyzer{
+		Name: LegacyAPICheck,
+		Doc: "Reports reintroductions of the removed pre-Session core API: " +
+			"exported top-level Methodology/Characterize/Evaluate/EvaluateScenario " +
+			"declarations in internal core, and qualified core.<name> references " +
+			"anywhere in the module. Use core.NewSession and the Session methods.",
+		Run: legacyAPIRun,
+	}
+}
+
+// isInternalCorePkg matches the methodology package itself (package
+// core under an internal/ tree), by name and path so fixture trees
+// conform.
+func isInternalCorePkg(name, path string) bool {
+	return name == "core" && isInternal(path)
+}
+
+func legacyAPIRun(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	if isInternalCorePkg(pass.Types.Name(), pass.Path) {
+		out = append(out, legacyDecls(pass)...)
+	}
+	out = append(out, legacyRefs(pass)...)
+	return out
+}
+
+// legacyDecls flags exported top-level declarations of the banned
+// names inside the core package: a reintroduced wrapper is a finding
+// at its definition, before it has any callers.
+func legacyDecls(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	flag := func(id *ast.Ident, kind string) {
+		if legacyCoreNames[id.Name] && id.IsExported() {
+			out = append(out, diag(pass.Package, id.Pos(), LegacyAPICheck,
+				"%s %s reintroduces the removed pre-Session core API; make it a Session method or unexport it", kind, id.Name))
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv == nil { // methods may share the names (Session.Evaluate)
+					flag(d.Name, "function")
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						flag(sp.Name, "type")
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							flag(name, "declaration")
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// legacyRefs flags qualified references to the banned names through
+// an imported internal core package: core.Evaluate(...) is a finding
+// wherever it appears, core.NewSession(...).Evaluate(...) is not (the
+// selector's operand is a value, not the package).
+func legacyRefs(pass *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !legacyCoreNames[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			imported := pn.Imported()
+			if !isInternalCorePkg(imported.Name(), imported.Path()) {
+				return true
+			}
+			out = append(out, diag(pass.Package, sel.Pos(), LegacyAPICheck,
+				"core.%s was removed; use core.NewSession and the Session API", sel.Sel.Name))
+			return true
+		})
+	}
+	return out
+}

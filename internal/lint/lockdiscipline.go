@@ -14,7 +14,7 @@ const LockDisciplineCheck = "lockdiscipline"
 // rules: a mutex locked in a function is released by a defer in that
 // same function, and no exported module-internal function or method
 // is called while the lock is held (the exact shape of the bug fixed
-// in Methodology.Characterization, where a mutex held across
+// in Session.Characterization, where a mutex held across
 // Characterize serialized independent sweeps).
 func LockDiscipline() *Analyzer {
 	return &Analyzer{

@@ -1,0 +1,33 @@
+// Package core is a stub of the methodology package for the legacyapi
+// fixture: it reintroduces the removed pre-Session shapes (which must
+// be flagged at their declarations) alongside the supported Session
+// API (which must not be).
+package core
+
+// Session is the supported entry point; declaring it is fine.
+type Session struct{ ch *Characterization }
+
+// Characterization is a plain result type; its name is not banned.
+type Characterization struct{ Rate float64 }
+
+// NewSession is the supported constructor.
+func NewSession() *Session { return &Session{} }
+
+// Evaluate as a method on Session is the supported API — a receiver
+// disqualifies it from the top-level ban.
+func (s *Session) Evaluate(app string) (*Characterization, error) { return s.ch, nil }
+
+type Methodology struct{ s *Session } // want legacyapi "type Methodology reintroduces the removed pre-Session core API"
+
+func Characterize(quick bool) (*Characterization, error) { // want legacyapi "function Characterize reintroduces the removed pre-Session core API"
+	return nil, nil
+}
+
+func Evaluate(app string, ch *Characterization) (*Characterization, error) { // want legacyapi "function Evaluate reintroduces the removed pre-Session core API"
+	return ch, nil
+}
+
+var EvaluateScenario = Evaluate // want legacyapi "declaration EvaluateScenario reintroduces the removed pre-Session core API"
+
+// evaluate is unexported: private helpers may keep the old names.
+func evaluate(app string) error { return nil }

@@ -1,0 +1,33 @@
+// Package legacyapi is the consumer fixture for the legacyapi
+// analyzer: qualified references to the removed pre-Session core API
+// must be flagged; the Session replacement must stay clean.
+package legacyapi
+
+import "fixture/internal/core"
+
+// old resurrects the removed package-level calls.
+func old() error {
+	ch, err := core.Characterize(true) // want legacyapi "core.Characterize was removed"
+	if err != nil {
+		return err
+	}
+	if _, err := core.Evaluate("btio", ch); err != nil { // want legacyapi "core.Evaluate was removed"
+		return err
+	}
+	_, err = core.EvaluateScenario("btio", ch) // want legacyapi "core.EvaluateScenario was removed"
+	return err
+}
+
+// oldFacade resurrects the removed facade type.
+func oldFacade() any {
+	var m core.Methodology // want legacyapi "core.Methodology was removed"
+	return m
+}
+
+// current uses the Session API: the Evaluate here is a method call on
+// a Session value, not a package-level reference, and must not be
+// flagged.
+func current() (*core.Characterization, error) {
+	sess := core.NewSession()
+	return sess.Evaluate("btio")
+}

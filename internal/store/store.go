@@ -1,0 +1,487 @@
+// Package store is a persistent, content-addressed characterization
+// store. Entries are keyed by core.Fingerprint — a hash of everything
+// that determines the measurement (cluster configuration plus
+// normalized characterization parameters) — so a configuration is
+// characterized once and every later session, sweep worker or CLI
+// invocation that would measure the same thing reads the tables back
+// instead. The paper treats characterization as the expensive,
+// rarely-repeated phase; the store is what makes "rarely" true across
+// process boundaries.
+//
+// Failure semantics: the store is a cache, never an authority. A
+// corrupt, truncated or mismatched entry is treated as a miss, moved
+// into a quarantine/ subdirectory for inspection, and recomputed; a
+// failed write-back is counted and ignored. No store problem is ever
+// fatal to an evaluation.
+//
+// Determinism: on a miss the computed characterization is encoded,
+// persisted, and the *decoded* copy is returned — cold and warm runs
+// both see tables that made one round trip through the persistence
+// format, so a warm-started run is byte-identical to the cold run
+// that filled the store.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"ioeval/internal/core"
+	"ioeval/internal/telemetry"
+)
+
+const (
+	entryFormat   = "ioeval-store-entry"
+	entryVersion  = 1
+	entryExt      = ".json"
+	tmpPrefix     = ".tmp-"
+	quarantineDir = "quarantine"
+)
+
+// entry is the on-disk envelope around one persisted characterization.
+// The payload is the core persistence format
+// ("ioeval-characterization"); the checksum covers the compacted
+// payload bytes — a canonical form, since the envelope encoder re-flows
+// the payload's whitespace — so bit rot inside the payload is caught
+// before the payload's own decoder runs.
+type entry struct {
+	Format      string          `json:"format"`
+	Version     int             `json:"version"`
+	Fingerprint string          `json:"fingerprint"`
+	Checksum    string          `json:"checksum_sha256"`
+	Payload     json.RawMessage `json:"payload"`
+}
+
+// Option configures a Store at Open.
+type Option func(*Store)
+
+// WithMaxBytes bounds the store's entry bytes on disk: after every
+// write-back, oldest entries (mtime ascending, name as tiebreak) are
+// evicted until the total fits. Zero (the default) disables GC.
+func WithMaxBytes(n int64) Option {
+	return func(s *Store) { s.maxBytes = n }
+}
+
+// Stats are the store's monotonic counters.
+type Stats struct {
+	// Hits is the number of lookups served from disk; MemHits the
+	// number served from this process's memo (an earlier hit or
+	// write-back in the same process).
+	Hits    int64
+	MemHits int64
+	// Misses counts lookups that had to characterize.
+	Misses int64
+	// Puts counts successful write-backs.
+	Puts int64
+	// Evictions counts entries removed by the size-bounded GC.
+	Evictions int64
+	// Quarantined counts corrupt/mismatched entries moved aside.
+	Quarantined int64
+
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Store is an on-disk characterization store rooted at one directory.
+// It is safe for concurrent use; a missing entry requested by many
+// goroutines at once is computed exactly once (in-process
+// single-flight).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	memo    map[string]*core.Characterization
+	stats   Stats
+}
+
+// flight is one in-progress fill; waiters block on done.
+type flight struct {
+	done chan struct{}
+	ch   *core.Characterization
+	err  error
+}
+
+// Open opens (creating if needed) the store rooted at dir. Leftover
+// temporary files from a crashed writer are removed.
+func Open(dir string, opts ...Option) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		flights: map[string]*flight{},
+		memo:    map[string]*core.Characterization{},
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Crash recovery: a writer that died between CreateTemp and rename
+	// leaves a tmp file no reader will ever match; sweep them.
+	if names, err := os.ReadDir(dir); err == nil {
+		for _, de := range names {
+			if strings.HasPrefix(de.Name(), tmpPrefix) {
+				_ = os.Remove(filepath.Join(dir, de.Name()))
+			}
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Stats returns a copy of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// validFingerprint guards the fingerprint's use as a file name.
+func validFingerprint(fp string) error {
+	if fp == "" {
+		return fmt.Errorf("store: empty fingerprint")
+	}
+	for _, r := range fp {
+		ok := r >= '0' && r <= '9' || r >= 'a' && r <= 'f' || r >= 'A' && r <= 'F'
+		if !ok {
+			return fmt.Errorf("store: fingerprint %q is not hex", fp)
+		}
+	}
+	return nil
+}
+
+// GetOrCompute returns the characterization stored under fingerprint,
+// filling the entry via compute on a miss. Concurrent callers for the
+// same fingerprint share one compute call; every caller receives the
+// same round-tripped characterization. Implements core.CharStore.
+func (s *Store) GetOrCompute(fp string, compute func() (*core.Characterization, error)) (*core.Characterization, error) {
+	if err := validFingerprint(fp); err != nil {
+		return nil, err
+	}
+	ch, theirs, mine := s.lookup(fp)
+	if mine == nil {
+		if theirs == nil {
+			return ch, nil // in-process memo hit
+		}
+		<-theirs.done
+		return theirs.ch, theirs.err
+	}
+	mine.ch, mine.err = s.fill(fp, compute)
+	s.land(fp, mine)
+	close(mine.done)
+	return mine.ch, mine.err
+}
+
+// lookup resolves one fingerprint under the lock: a memo hit, an
+// in-progress flight to wait on, or a fresh flight registered for this
+// caller to fill (exactly one of the three is non-nil/non-zero).
+func (s *Store) lookup(fp string) (ch *core.Characterization, theirs, mine *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ch, ok := s.memo[fp]; ok {
+		s.stats.MemHits++
+		return ch, nil, nil
+	}
+	if f, ok := s.flights[fp]; ok {
+		return nil, f, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[fp] = f
+	return nil, nil, f
+}
+
+// land deregisters a completed flight, memoizing its result on
+// success (a failed compute must stay retryable).
+func (s *Store) land(fp string, f *flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.flights, fp)
+	if f.err == nil {
+		s.memo[fp] = f.ch
+	}
+}
+
+// memoize records a disk hit in the in-process memo.
+func (s *Store) memoize(fp string, ch *core.Characterization) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memo[fp] = ch
+}
+
+// memoized consults the in-process memo only.
+func (s *Store) memoized(fp string) (*core.Characterization, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch, ok := s.memo[fp]
+	if ok {
+		s.stats.MemHits++
+	}
+	return ch, ok
+}
+
+// Get returns the stored characterization for fingerprint, or false
+// on a miss. It never computes.
+func (s *Store) Get(fp string) (*core.Characterization, bool) {
+	if validFingerprint(fp) != nil {
+		return nil, false
+	}
+	if ch, ok := s.memoized(fp); ok {
+		return ch, true
+	}
+	ch, ok := s.load(fp)
+	if ok {
+		s.memoize(fp, ch)
+	}
+	return ch, ok
+}
+
+// fill resolves one missing memo slot: disk first, compute on a miss,
+// write-back best-effort.
+func (s *Store) fill(fp string, compute func() (*core.Characterization, error)) (*core.Characterization, error) {
+	if ch, ok := s.load(fp); ok {
+		return ch, nil
+	}
+	s.addStat(func(st *Stats) { st.Misses++ })
+	ch, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	// Encode once; persist the bytes and return their decoding, so the
+	// caller sees exactly what a warm run will read back.
+	var payload bytes.Buffer
+	if err := ch.WriteJSON(&payload); err != nil {
+		// Unencodable tables cannot be stored; serve the computed copy.
+		return ch, nil
+	}
+	rt, err := core.ReadCharacterizationJSON(bytes.NewReader(payload.Bytes()))
+	if err != nil {
+		return ch, nil
+	}
+	s.put(fp, payload.Bytes())
+	return rt, nil
+}
+
+// load reads and verifies one entry. Every failure mode — unreadable
+// file, bad envelope, wrong format/version/fingerprint, checksum
+// mismatch, undecodable payload — quarantines the file and reports a
+// miss.
+func (s *Store) load(fp string) (*core.Characterization, bool) {
+	path := filepath.Join(s.dir, fp+entryExt)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.quarantine(path)
+		}
+		return nil, false
+	}
+	ch, err := decodeEntry(fp, raw)
+	if err != nil {
+		s.quarantine(path)
+		return nil, false
+	}
+	s.addStat(func(st *Stats) {
+		st.Hits++
+		st.BytesRead += int64(len(raw))
+	})
+	return ch, true
+}
+
+func decodeEntry(fp string, raw []byte) (*core.Characterization, error) {
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, fmt.Errorf("store: entry %s: %w", fp, err)
+	}
+	if e.Format != entryFormat {
+		return nil, fmt.Errorf("store: entry %s: unexpected format %q", fp, e.Format)
+	}
+	if e.Version != entryVersion {
+		return nil, fmt.Errorf("store: entry %s: unsupported version %d", fp, e.Version)
+	}
+	if e.Fingerprint != fp {
+		return nil, fmt.Errorf("store: entry %s: fingerprint mismatch (%s)", fp, e.Fingerprint)
+	}
+	sum, err := payloadChecksum(e.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: entry %s: %w", fp, err)
+	}
+	if sum != e.Checksum {
+		return nil, fmt.Errorf("store: entry %s: checksum mismatch", fp)
+	}
+	ch, err := core.ReadCharacterizationJSON(bytes.NewReader(e.Payload))
+	if err != nil {
+		return nil, fmt.Errorf("store: entry %s: %w", fp, err)
+	}
+	return ch, nil
+}
+
+// payloadChecksum hashes the payload in its compacted (canonical)
+// form, so the checksum survives the whitespace re-flow the envelope
+// encoder applies to nested raw JSON.
+func payloadChecksum(payload []byte) (string, error) {
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, payload); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// put writes one entry atomically (temp file + rename) and runs GC.
+// Write failures are dropped: the store is a cache, and a session
+// that could not persist its tables still evaluated correctly.
+func (s *Store) put(fp string, payload []byte) {
+	sum, err := payloadChecksum(payload)
+	if err != nil {
+		return // non-JSON payloads cannot be stored
+	}
+	e := entry{
+		Format:      entryFormat,
+		Version:     entryVersion,
+		Fingerprint: fp,
+		Checksum:    sum,
+		Payload:     json.RawMessage(payload),
+	}
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return
+	}
+	raw = append(raw, '\n')
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, fp+entryExt)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return
+	}
+	s.addStat(func(st *Stats) {
+		st.Puts++
+		st.BytesWritten += int64(len(raw))
+	})
+	s.gc(fp)
+}
+
+// gc evicts oldest entries (mtime ascending, name ascending on ties —
+// a fully deterministic order) until the store fits maxBytes. The
+// entry named keep — the one just written — is never evicted, so a
+// put always survives its own GC pass.
+func (s *Store) gc(keep string) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	type ent struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var ents []ent
+	var total int64
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entryExt) || strings.HasPrefix(name, tmpPrefix) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		ents = append(ents, ent{name: name, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].mtime != ents[j].mtime {
+			return ents[i].mtime < ents[j].mtime
+		}
+		return ents[i].name < ents[j].name
+	})
+	for _, e := range ents {
+		if total <= s.maxBytes {
+			break
+		}
+		if e.name == keep+entryExt {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, e.name)); err != nil {
+			continue
+		}
+		total -= e.size
+		s.addStat(func(st *Stats) { st.Evictions++ })
+	}
+}
+
+// quarantine moves a bad entry aside (removing it if the move fails)
+// so it never shadows a recomputation, while staying available for
+// inspection.
+func (s *Store) quarantine(path string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if err := os.Rename(path, filepath.Join(qdir, filepath.Base(path))); err != nil {
+			_ = os.Remove(path)
+		}
+	} else {
+		_ = os.Remove(path)
+	}
+	s.addStat(func(st *Stats) { st.Quarantined++ })
+}
+
+func (s *Store) addStat(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+// Snapshot exposes the store as a telemetry probe on LevelStore:
+// lookups served land in the read class, write-backs in the write
+// class, and the cache-behaviour counters (hits split by source,
+// misses, evictions, quarantined entries) ride in Aux.
+func (s *Store) Snapshot() telemetry.Snapshot {
+	st := s.Stats()
+	return telemetry.Snapshot{
+		Component: "char-store",
+		Level:     telemetry.LevelStore,
+		Units:     1,
+		Counters: telemetry.Counters{
+			Read:  telemetry.OpCounters{Ops: st.Hits, Bytes: st.BytesRead},
+			Write: telemetry.OpCounters{Ops: st.Puts, Bytes: st.BytesWritten},
+			Aux: map[string]int64{
+				"hits":        st.Hits,
+				"mem_hits":    st.MemHits,
+				"misses":      st.Misses,
+				"puts":        st.Puts,
+				"evictions":   st.Evictions,
+				"quarantined": st.Quarantined,
+			},
+		},
+	}
+}

@@ -20,11 +20,8 @@ func BenchmarkSweepSequentialBaseline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, cfg := range grid.Configs {
 			for _, app := range grid.Apps {
-				ch, err := core.Characterize(cfg.Build, cfg.Char)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if _, err := core.Evaluate(cfg.Build(), app.New(), ch); err != nil {
+				sess := core.NewSession(cfg.Build, core.WithCharacterizeConfig(cfg.Char))
+				if _, err := sess.Evaluate(app.New()); err != nil {
 					b.Fatal(err)
 				}
 			}

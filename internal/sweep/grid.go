@@ -40,7 +40,8 @@ type GridSpec struct {
 	Char core.CharacterizeConfig
 	// Scenarios is the fault-scenario axis: each plan adds a degraded
 	// variant of every cell, evaluated under the plan against the
-	// healthy cell's characterization (shared via fingerprint). An
+	// healthy cell's characterization (shared automatically — both
+	// cells fingerprint identically). An
 	// empty (zero) plan in the list stands for the healthy run; when
 	// the list omits it, the healthy cell is still emitted first.
 	// Plans that require redundancy (disk failures) are skipped on
@@ -126,12 +127,14 @@ func (s GridSpec) Grid() Grid {
 						continue // no degraded mode to evaluate
 					}
 					sc := sc
+					// Scenario cells share the healthy cell's characterization
+					// automatically: the fault plan is evaluation-side, so both
+					// cells carry the same content fingerprint.
 					g.Configs = append(g.Configs, Config{
-						Name:        fmt.Sprintf("%s/%s", name, sc.Name),
-						Fingerprint: name, // share the healthy characterization
-						Build:       build,
-						Char:        char,
-						Fault:       &sc,
+						Name:  fmt.Sprintf("%s/%s", name, sc.Name),
+						Build: build,
+						Char:  char,
+						Fault: &sc,
 					})
 				}
 			}

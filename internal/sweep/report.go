@@ -130,7 +130,7 @@ func summarizeByLevel(snaps []telemetry.Snapshot) []LevelSummary {
 	for _, level := range []telemetry.Level{
 		telemetry.LevelLibrary, telemetry.LevelGlobalFS, telemetry.LevelLocalFS,
 		telemetry.LevelCache, telemetry.LevelBlock, telemetry.LevelDevice,
-		telemetry.LevelNetwork, telemetry.LevelFault,
+		telemetry.LevelNetwork, telemetry.LevelFault, telemetry.LevelStore,
 	} {
 		group := byLevel[level]
 		if len(group) == 0 {
@@ -153,8 +153,17 @@ type BestPick struct {
 	Config string `json:"config"`
 }
 
+// ReportFormat and ReportVersion are the sweep report's versioned
+// envelope, stamped by WriteJSON and checked by ReadReportJSON.
+const (
+	ReportFormat  = "ioeval-sweep-report"
+	ReportVersion = 1
+)
+
 // Report is the deterministic, ranked outcome of one sweep.
 type Report struct {
+	Format   string     `json:"format,omitempty"`
+	Version  int        `json:"version,omitempty"`
 	Configs  []string   `json:"configs"` // grid order
 	Apps     []string   `json:"apps"`    // grid order
 	RankedBy string     `json:"ranked_by"`
@@ -239,14 +248,34 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// WriteJSON writes the report as indented JSON.
+// WriteJSON writes the report as indented JSON under the versioned
+// envelope.
 func (r *Report) WriteJSON(w io.Writer) error {
+	out := *r
+	out.Format = ReportFormat
+	out.Version = ReportVersion
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(r); err != nil {
+	if err := enc.Encode(&out); err != nil {
 		return fmt.Errorf("sweep: encode report: %w", err)
 	}
 	return nil
+}
+
+// ReadReportJSON parses a report written by WriteJSON, rejecting
+// documents whose envelope names another format or version.
+func ReadReportJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("sweep: decode report: %w", err)
+	}
+	if r.Format != ReportFormat {
+		return nil, fmt.Errorf("sweep: unexpected format %q", r.Format)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("sweep: unsupported version %d", r.Version)
+	}
+	return &r, nil
 }
 
 // WriteFile writes the report to path as JSON.

@@ -8,12 +8,16 @@
 // methodology, scaled out.
 //
 // Characterization (the expensive, per-configuration phase) is
-// memoized per unique cluster fingerprint with single-flight
-// semantics: distinct configurations characterize in parallel, the
-// same configuration is characterized exactly once no matter how many
-// workloads are evaluated against it. Evaluations are memoized the
-// same way, so table/figure generators sharing an Engine (see
-// internal/experiments) pay for each cell once per process.
+// memoized per content fingerprint (core.Fingerprint — a hash of the
+// cluster configuration plus normalized characterization parameters)
+// with single-flight semantics: distinct configurations characterize
+// in parallel, identical ones — even under different grid names —
+// are characterized exactly once no matter how many workloads are
+// evaluated against them. Evaluations are memoized the same way, so
+// table/figure generators sharing an Engine (see internal/experiments)
+// pay for each cell once per process. With a persistent store attached
+// (SetStore), characterizations additionally survive the process: a
+// warm re-run of a grid performs zero characterizations.
 package sweep
 
 import (
@@ -35,10 +39,6 @@ type Config struct {
 	// Name identifies the configuration in reports; it must be unique
 	// within a grid (it is the ranking tie-break key).
 	Name string
-	// Fingerprint keys the shared characterization cache. Configs with
-	// equal fingerprints share one characterization; empty defaults to
-	// Name.
-	Fingerprint string
 	// Build returns a fresh cluster of this configuration. It must be
 	// safe to call from multiple goroutines (each call builds an
 	// independent simulation).
@@ -47,16 +47,10 @@ type Config struct {
 	Char core.CharacterizeConfig
 	// Fault, when non-nil, arms the plan on the evaluation cluster: the
 	// cell measures the configuration under failure, against the
-	// healthy characterization (share it across scenarios by setting
-	// Fingerprint to the healthy cell's name).
+	// healthy characterization. Scenario cells share the healthy cell's
+	// characterization automatically — the fault plan is evaluation-side
+	// and not part of the content fingerprint.
 	Fault *fault.Plan
-}
-
-func (c Config) fingerprint() string {
-	if c.Fingerprint != "" {
-		return c.Fingerprint
-	}
-	return c.Name
 }
 
 // AppSpec is one workload of a sweep. New must return a fresh App per
@@ -71,8 +65,10 @@ type AppSpec struct {
 // memoized characterizations and evaluations across calls.
 type Engine struct {
 	workers int
+	store   core.CharStore
 
 	mu    sync.Mutex
+	fps   map[string]*fpEntry
 	chars map[string]*charEntry
 	evals map[string]*evalEntry
 
@@ -80,6 +76,12 @@ type Engine struct {
 	nCharHit atomic.Int64
 	nEval    atomic.Int64
 	nEvalHit atomic.Int64
+}
+
+type fpEntry struct {
+	once sync.Once
+	fp   string
+	err  error
 }
 
 type charEntry struct {
@@ -102,6 +104,7 @@ func NewEngine(workers int) *Engine {
 	}
 	return &Engine{
 		workers: workers,
+		fps:     map[string]*fpEntry{},
 		chars:   map[string]*charEntry{},
 		evals:   map[string]*evalEntry{},
 	}
@@ -109,6 +112,37 @@ func NewEngine(workers int) *Engine {
 
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetStore attaches a persistent characterization store: missing
+// characterizations are looked up there before being measured and
+// written back after. Set it before the first Characterization/Run
+// call; a nil store keeps the engine purely in-memory.
+func (e *Engine) SetStore(st core.CharStore) { e.store = st }
+
+// fingerprintFor returns the memoized content fingerprint of cfg
+// (single-flight per configuration name — computing one builds a
+// probe cluster, so it is worth sharing across the config's cells).
+func (e *Engine) fingerprintFor(cfg Config) (string, error) {
+	ent := e.fpEntryFor(cfg.Name)
+	ent.once.Do(func() {
+		ent.fp, ent.err = core.Fingerprint(cfg.Build, cfg.Char)
+	})
+	return ent.fp, ent.err
+}
+
+// fpEntryFor returns (creating if needed) the fingerprint entry for
+// one configuration name, under the same locking discipline as
+// charEntryFor.
+func (e *Engine) fpEntryFor(name string) *fpEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ent, ok := e.fps[name]
+	if !ok {
+		ent = &fpEntry{}
+		e.fps[name] = ent
+	}
+	return ent
+}
 
 // charEntryFor returns (creating if needed) the single-flight entry
 // for one characterization fingerprint. The lock scopes exactly this
@@ -140,19 +174,34 @@ func (e *Engine) evalEntryFor(key string) *evalEntry {
 }
 
 // Characterization returns the memoized characterization of cfg.
-// Single-flight per fingerprint: concurrent callers with the same
-// fingerprint block on one computation; distinct fingerprints proceed
-// in parallel (the engine holds no lock across Characterize).
+// Single-flight per content fingerprint: concurrent callers whose
+// configs would measure identical tables block on one computation;
+// distinct fingerprints proceed in parallel (the engine holds no lock
+// across the measurement). With a store attached, the measurement is
+// replaced by a store lookup when the entry exists — only actual
+// measurements count toward the "characterizations" counter.
 func (e *Engine) Characterization(cfg Config) (*core.Characterization, error) {
 	if cfg.Build == nil {
 		return nil, fmt.Errorf("sweep: config %q needs a Build function", cfg.Name)
 	}
-	ent := e.charEntryFor(cfg.fingerprint())
+	fp, err := e.fingerprintFor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: fingerprint %s: %w", cfg.Name, err)
+	}
+	ent := e.charEntryFor(fp)
 	hit := true
 	ent.once.Do(func() {
 		hit = false
-		e.nChar.Add(1)
-		ent.ch, ent.err = core.Characterize(cfg.Build, cfg.Char)
+		compute := func() (*core.Characterization, error) {
+			e.nChar.Add(1)
+			sess := core.NewSession(cfg.Build, core.WithCharacterizeConfig(cfg.Char))
+			return sess.Characterization()
+		}
+		if e.store != nil {
+			ent.ch, ent.err = e.store.GetOrCompute(fp, compute)
+			return
+		}
+		ent.ch, ent.err = compute()
 	})
 	if hit {
 		e.nCharHit.Add(1)
@@ -180,16 +229,15 @@ func (e *Engine) Evaluate(cfg Config, app AppSpec) (*core.Evaluation, error) {
 			ent.err = err
 			return
 		}
-		c := cfg.Build()
+		opts := []core.SessionOption{core.WithCharacterization(ch)}
 		if cfg.Fault != nil && !cfg.Fault.Empty() {
-			if _, err := fault.Apply(c, *cfg.Fault); err != nil {
-				ent.err = err
-				return
-			}
-			ent.ev, ent.err = core.EvaluateScenario(c, app.New(), ch, cfg.Fault.Name)
+			opts = append(opts, core.WithFaultPlan(*cfg.Fault))
+			sess := core.NewSession(cfg.Build, opts...)
+			ent.ev, ent.err = sess.EvaluateScenario(app.New())
 			return
 		}
-		ent.ev, ent.err = core.Evaluate(c, app.New(), ch)
+		sess := core.NewSession(cfg.Build, opts...)
+		ent.ev, ent.err = sess.Evaluate(app.New())
 	})
 	if hit {
 		e.nEvalHit.Add(1)

@@ -196,14 +196,15 @@ func with(cfg cluster.Config, org cluster.Organization) cluster.Config {
 	return cfg
 }
 
-// TestSharedFingerprint: configs declaring the same fingerprint share
-// one characterization.
+// TestSharedFingerprint: configs measuring the same cluster with the
+// same parameters carry the same content fingerprint — even under
+// different grid names — and share one characterization.
 func TestSharedFingerprint(t *testing.T) {
 	base := tinyBase("fp", 2)
 	grid := Grid{
 		Configs: []Config{
-			{Name: "fp/one", Fingerprint: "fp", Build: buildFn(base), Char: quickChar()},
-			{Name: "fp/two", Fingerprint: "fp", Build: buildFn(base), Char: quickChar()},
+			{Name: "fp/one", Build: buildFn(base), Char: quickChar()},
+			{Name: "fp/two", Build: buildFn(base), Char: quickChar()},
 		},
 		Apps: testApps()[1:],
 	}
@@ -253,11 +254,12 @@ func TestCharacterizationSingleFlight(t *testing.T) {
 			t.Fatal("concurrent callers saw different characterizations")
 		}
 	}
-	// Characterize builds one cluster per level plus a probe.
+	// Characterization builds one cluster per level plus a probe, and
+	// the content fingerprint builds one more probe.
 	if got := eng.Snapshot().Counters.Aux["characterizations"]; got != 1 {
 		t.Fatalf("characterizations = %d, want 1", got)
 	}
-	if builds.Load() > 4 {
+	if builds.Load() > 5 {
 		t.Fatalf("Build called %d times for one characterization", builds.Load())
 	}
 

@@ -6,10 +6,12 @@ import (
 	"ioeval/internal/sim"
 )
 
-// NumLevels is the number of I/O-path levels (the Level enum).
+// NumLevels is the number of I/O-path levels a request can traverse.
+// LevelStore is off-path (the characterization store never appears on
+// a request's span stack) and deliberately excluded.
 const NumLevels = 8
 
-// Levels lists every level in path order (the Level enum order).
+// Levels lists every on-path level in path order (the Level enum order).
 var Levels = [NumLevels]Level{
 	LevelLibrary, LevelGlobalFS, LevelLocalFS, LevelCache,
 	LevelBlock, LevelDevice, LevelNetwork, LevelFault,

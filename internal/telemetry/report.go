@@ -34,9 +34,21 @@ type PhaseInterval struct {
 	Snaps []Snapshot `json:"components"`
 }
 
+// ReportFormat and ReportVersion are the telemetry report's envelope:
+// every exported artifact carries {format, version, ...} so a decoder
+// can reject foreign or stale documents instead of misreading them.
+const (
+	ReportFormat  = "ioeval-telemetry-report"
+	ReportVersion = 1
+)
+
 // Report is the exported telemetry document: whole-run component
 // snapshots, per-level rate rows, and optional per-phase deltas.
+// Format/Version are stamped by WriteJSON and checked by
+// ReadReportJSON.
 type Report struct {
+	Format     string          `json:"format,omitempty"`
+	Version    int             `json:"version,omitempty"`
 	App        string          `json:"app,omitempty"`
 	Config     string          `json:"config,omitempty"`
 	At         sim.Time        `json:"at_ns"`
@@ -45,11 +57,15 @@ type Report struct {
 	Phases     []PhaseInterval `json:"phases,omitempty"`
 }
 
-// WriteJSON writes the report as indented JSON.
+// WriteJSON writes the report as indented JSON under the versioned
+// envelope.
 func (r *Report) WriteJSON(w io.Writer) error {
+	out := *r
+	out.Format = ReportFormat
+	out.Version = ReportVersion
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r)
+	return enc.Encode(&out)
 }
 
 // WriteFile writes the report to path as JSON.
@@ -65,11 +81,18 @@ func (r *Report) WriteFile(path string) error {
 	return f.Close()
 }
 
-// ReadReportJSON parses a report written by WriteJSON.
+// ReadReportJSON parses a report written by WriteJSON, rejecting
+// documents whose envelope names another format or version.
 func ReadReportJSON(rd io.Reader) (*Report, error) {
 	var r Report
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
 		return nil, fmt.Errorf("telemetry: decode report: %w", err)
+	}
+	if r.Format != ReportFormat {
+		return nil, fmt.Errorf("telemetry: unexpected format %q", r.Format)
+	}
+	if r.Version != ReportVersion {
+		return nil, fmt.Errorf("telemetry: unsupported version %d", r.Version)
 	}
 	return &r, nil
 }

@@ -39,6 +39,7 @@ const (
 	LevelDevice                // physical disks (device.Disk)
 	LevelNetwork               // interconnect and NICs (netsim)
 	LevelFault                 // fault-injection plane (internal/fault)
+	LevelStore                 // characterization store (internal/store)
 )
 
 func (l Level) String() string {
@@ -59,6 +60,8 @@ func (l Level) String() string {
 		return "network"
 	case LevelFault:
 		return "fault"
+	case LevelStore:
+		return "store"
 	}
 	return fmt.Sprintf("Level(%d)", int(l))
 }
@@ -69,7 +72,7 @@ func (l Level) MarshalText() ([]byte, error) { return []byte(l.String()), nil }
 // UnmarshalText parses a level name.
 func (l *Level) UnmarshalText(b []byte) error {
 	for _, cand := range []Level{LevelLibrary, LevelGlobalFS, LevelLocalFS,
-		LevelCache, LevelBlock, LevelDevice, LevelNetwork, LevelFault} {
+		LevelCache, LevelBlock, LevelDevice, LevelNetwork, LevelFault, LevelStore} {
 		if cand.String() == string(b) {
 			*l = cand
 			return nil

@@ -224,6 +224,12 @@ func TestReportJSONRoundtrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}
+	// WriteJSON stamps the versioned envelope; the in-memory report
+	// under it must survive unchanged.
+	if got.Format != ReportFormat || got.Version != ReportVersion {
+		t.Fatalf("envelope = %q v%d, want %q v%d", got.Format, got.Version, ReportFormat, ReportVersion)
+	}
+	got.Format, got.Version = "", 0
 	if !reflect.DeepEqual(rep, got) {
 		t.Fatalf("roundtrip mismatch:\nwant %+v\ngot  %+v", rep, got)
 	}

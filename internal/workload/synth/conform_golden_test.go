@@ -76,11 +76,11 @@ func TestSynthConformEvaluationGolden(t *testing.T) {
 
 	quick := btio.Class{Name: "Q", N: 64, Steps: 5, WriteInterval: 5}
 	cfg := btio.Config{Class: quick, Procs: 4, Subtype: btio.Full}
-	evHand, err := core.Evaluate(goldenCluster(), btio.New(cfg), ch)
+	evHand, err := core.NewSession(goldenCluster, core.WithCharacterization(ch)).Evaluate(btio.New(cfg))
 	if err != nil {
 		t.Fatalf("evaluate hand: %v", err)
 	}
-	evSynth, err := core.Evaluate(goldenCluster(), synth.MustCompile(synth.BTIOSpec(cfg)), ch)
+	evSynth, err := core.NewSession(goldenCluster, core.WithCharacterization(ch)).Evaluate(synth.MustCompile(synth.BTIOSpec(cfg)))
 	if err != nil {
 		t.Fatalf("evaluate synth: %v", err)
 	}
@@ -132,11 +132,11 @@ func TestSynthConformMadbenchEvaluation(t *testing.T) {
 		t.Fatalf("characterize: %v", err)
 	}
 	cfg := madbench.Config{Procs: 4, KPix: 1, Bins: 2, FileType: madbench.Shared}
-	evHand, err := core.Evaluate(goldenCluster(), madbench.New(cfg), ch)
+	evHand, err := core.NewSession(goldenCluster, core.WithCharacterization(ch)).Evaluate(madbench.New(cfg))
 	if err != nil {
 		t.Fatalf("evaluate hand: %v", err)
 	}
-	evSynth, err := core.Evaluate(goldenCluster(), synth.MustCompile(synth.MadbenchSpec(cfg)), ch)
+	evSynth, err := core.NewSession(goldenCluster, core.WithCharacterization(ch)).Evaluate(synth.MustCompile(synth.MadbenchSpec(cfg)))
 	if err != nil {
 		t.Fatalf("evaluate synth: %v", err)
 	}
