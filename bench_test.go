@@ -15,6 +15,9 @@ import (
 	"sync"
 	"testing"
 
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/core"
 	"ioeval/internal/experiments"
 )
 
@@ -39,6 +42,39 @@ func BenchmarkFig5_IOzoneAohyper(b *testing.B)   { report(b, experiments.Fig5())
 func BenchmarkFig6_IORAohyper(b *testing.B)      { report(b, experiments.Fig6()) }
 func BenchmarkFig13_IOzoneClusterA(b *testing.B) { report(b, experiments.Fig13()) }
 func BenchmarkFig14_IORClusterA(b *testing.B)    { report(b, experiments.Fig14()) }
+
+// --- characterization shard plan ---------------------------------------
+
+// The parallel-vs-sequential pair below times the Fig. 5
+// characterization (Aohyper RAID5, the paper's parameters) end to end
+// at fixed worker counts. Unlike the memoized figure generators above,
+// every iteration builds a fresh session, so the measured wall clock
+// is the real cost of the phase; the tables are byte-identical at any
+// worker count, so the ratio between the two is pure speedup.
+func benchmarkFig5Characterization(b *testing.B, workers int) {
+	cfg := core.CharacterizeConfig{
+		FSBlockSizes:  bench.DefaultBlockSizes(), // 32 KB … 16 MB
+		FSModes:       []bench.Mode{bench.SeqWrite, bench.SeqRead, bench.RandWrite, bench.RandRead},
+		RandomOps:     2048,
+		LibProcs:      8,
+		LibBlockSizes: bench.DefaultIORBlockSizes(), // 1 MB … 1024 MB
+		LibTransfer:   256 << 10,
+		LibFileSize:   32 << 30,
+	}
+	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
+	for i := 0; i < b.N; i++ {
+		sess := core.NewSession(build,
+			core.WithCharacterizeConfig(cfg),
+			core.WithCharacterizeWorkers(workers))
+		if _, err := sess.Characterization(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5CharacterizationSequential(b *testing.B) { benchmarkFig5Characterization(b, 1) }
+func BenchmarkFig5CharacterizationWorkers4(b *testing.B)   { benchmarkFig5Characterization(b, 4) }
+func BenchmarkFig5CharacterizationWorkers8(b *testing.B)   { benchmarkFig5Characterization(b, 8) }
 
 // --- NAS BT-IO ---------------------------------------------------------
 

@@ -29,6 +29,7 @@ func main() {
 	procs := flag.Int("procs", 8, "processes")
 	bytesMB := flag.Int64("bytes", 64, "MiB per rank per measurement")
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -67,6 +68,7 @@ func main() {
 	if st != nil {
 		sess := core.NewSession(build,
 			core.WithStore(st),
+			core.WithCharacterizeWorkers(*charWorkers),
 			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
 		ch, err := sess.Characterization()
 		if err != nil {

@@ -33,6 +33,7 @@ func main() {
 	timeline := flag.Bool("timeline", false, "render the Jumpshot-style trace timeline")
 	metrics := cliutil.MetricsFlag(flag.CommandLine)
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -96,6 +97,7 @@ func main() {
 	if st != nil {
 		sess := core.NewSession(build,
 			core.WithStore(st),
+			core.WithCharacterizeWorkers(*charWorkers),
 			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
 		ev, err := sess.Evaluate(btio.New(cfg))
 		if err != nil {

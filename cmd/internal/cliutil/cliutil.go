@@ -144,6 +144,13 @@ func StoreFlag(fs *flag.FlagSet) *string {
 	return fs.String("store", "", "characterization store directory: look up tables by content fingerprint before characterizing, write them back on a miss")
 }
 
+// CharWorkersFlag registers -char-workers. The default parallelizes
+// across all CPUs: characterization results are byte-identical at any
+// worker count, so there is no reason for a CLI to idle.
+func CharWorkersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("char-workers", 0, "concurrent characterization measurement units (0 = all CPUs, 1 = sequential); results are byte-identical at any count")
+}
+
 // FaultPlan resolves a builtin scenario name, applying the -seed
 // override when non-zero. An empty name returns (nil, nil).
 func FaultPlan(name string, seed int64) (*fault.Plan, error) {

@@ -48,6 +48,7 @@ func main() {
 	seed := cliutil.SeedFlag(flag.CommandLine)
 	spans := cliutil.SpansFlag(flag.CommandLine)
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -64,7 +65,7 @@ func main() {
 	fmt.Println(core.AnalyzeConfiguration(build()))
 
 	fmt.Println("== Phase 1: characterization (system side) ==")
-	opts := []core.SessionOption{}
+	opts := []core.SessionOption{core.WithCharacterizeWorkers(*charWorkers)}
 	plan, err := cliutil.FaultPlan(*faultName, *seed)
 	if err != nil {
 		cliutil.Fatal(err)

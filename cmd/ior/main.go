@@ -30,6 +30,7 @@ func main() {
 	xferKB := flag.Int64("xfer", 256, "transfer size in KiB")
 	collective := flag.Bool("collective", false, "use collective (two-phase) I/O")
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -68,6 +69,7 @@ func main() {
 	if st != nil {
 		sess := core.NewSession(build,
 			core.WithStore(st),
+			core.WithCharacterizeWorkers(*charWorkers),
 			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
 		ch, err := sess.Characterization()
 		if err != nil {

@@ -49,6 +49,7 @@ func main() {
 	faults := cliutil.FaultListFlag(flag.CommandLine)
 	seed := cliutil.SeedFlag(flag.CommandLine)
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	rank, err := sweep.ParseMetric(*rankName)
@@ -98,6 +99,7 @@ func main() {
 
 	grid := spec.Grid()
 	eng := sweep.NewEngine(*workers)
+	eng.SetCharWorkers(*charWorkers)
 	st, err := cliutil.OpenStore(*storeDir)
 	if err != nil {
 		cliutil.Fatal(err)

@@ -47,6 +47,7 @@ func main() {
 	spans := cliutil.SpansFlag(flag.CommandLine)
 	metrics := cliutil.MetricsFlag(flag.CommandLine)
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	if *emit != "" {
@@ -78,7 +79,10 @@ func main() {
 	}
 
 	fmt.Println("== Phase 1: characterization (system side) ==")
-	opts := []core.SessionOption{core.WithCharacterizeConfig(cliutil.CharConfig(*quick, *pfsNodes > 0))}
+	opts := []core.SessionOption{
+		core.WithCharacterizeConfig(cliutil.CharConfig(*quick, *pfsNodes > 0)),
+		core.WithCharacterizeWorkers(*charWorkers),
+	}
 	plan, err := cliutil.FaultPlan(*faultName, *seed)
 	if err != nil {
 		cliutil.Fatal(err)

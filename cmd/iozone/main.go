@@ -35,6 +35,7 @@ func main() {
 	maxKB := flag.Int64("max", 16384, "largest block size in KiB")
 	modesArg := flag.String("modes", "seq", "comma list of: seq, rand, stride")
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -102,6 +103,7 @@ func main() {
 		}
 		sess := core.NewSession(build,
 			core.WithStore(st),
+			core.WithCharacterizeWorkers(*charWorkers),
 			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
 		ch, err := sess.Characterization()
 		if err != nil {

@@ -34,6 +34,7 @@ func main() {
 	filetype := flag.String("filetype", "shared", "unique or shared")
 	timeline := flag.Bool("timeline", false, "render the trace timeline")
 	storeDir := cliutil.StoreFlag(flag.CommandLine)
+	charWorkers := cliutil.CharWorkersFlag(flag.CommandLine)
 	flag.Parse()
 
 	org, err := cliutil.ParseOrg(*orgName)
@@ -82,6 +83,7 @@ func main() {
 	if st != nil {
 		sess := core.NewSession(build,
 			core.WithStore(st),
+			core.WithCharacterizeWorkers(*charWorkers),
 			core.WithCharacterizeConfig(cliutil.CharConfig(true, false)))
 		ev, err := sess.Evaluate(madbench.New(cfg))
 		if err != nil {

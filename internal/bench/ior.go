@@ -47,10 +47,8 @@ type IORResult struct {
 	ReadRate  float64
 }
 
-// RunIOR measures MPI-IO library-level rates on the cluster's shared
-// storage: every rank writes then reads its own BlockSize segment of
-// one shared file in TransferSize operations.
-func RunIOR(c *cluster.Cluster, cfg IORConfig) ([]IORResult, error) {
+// withDefaults fills the paper's parameters for unset fields.
+func (cfg IORConfig) withDefaults() IORConfig {
 	if cfg.Path == "" {
 		cfg.Path = "/ior.tmp"
 	}
@@ -66,16 +64,32 @@ func RunIOR(c *cluster.Cluster, cfg IORConfig) ([]IORResult, error) {
 	if len(cfg.BlockSizes) == 0 {
 		cfg.BlockSizes = DefaultIORBlockSizes()
 	}
+	return cfg
+}
 
+// RunIOR measures MPI-IO library-level rates on the cluster's shared
+// storage: every rank writes then reads its own BlockSize segment of
+// one shared file in TransferSize operations.
+func RunIOR(c *cluster.Cluster, cfg IORConfig) ([]IORResult, error) {
+	cfg = cfg.withDefaults()
 	var results []IORResult
 	for _, bs := range cfg.BlockSizes {
-		res, err := iorOnce(c, cfg, bs)
+		res, err := RunIORPoint(c, cfg, bs)
 		if err != nil {
 			return nil, err
 		}
 		results = append(results, res)
 	}
 	return results, nil
+}
+
+// RunIORPoint measures a single block-size point — the per-unit entry
+// point of the characterization shard plan (see internal/core). The
+// write pass populates the shared file the read pass consumes, so a
+// point is self-contained on a freshly built cluster.
+func RunIORPoint(c *cluster.Cluster, cfg IORConfig, bs int64) (IORResult, error) {
+	cfg = cfg.withDefaults()
+	return iorOnce(c, cfg, bs)
 }
 
 func iorOnce(c *cluster.Cluster, cfg IORConfig, bs int64) (IORResult, error) {

@@ -137,39 +137,55 @@ type IOzoneResult struct {
 // engine must be otherwise idle; measurements run back to back in
 // simulated time.
 func RunIOzone(eng *sim.Engine, fsi fs.Interface, cfg IOzoneConfig) ([]IOzoneResult, error) {
+	if len(cfg.BlockSizes) == 0 {
+		cfg.BlockSizes = DefaultBlockSizes()
+	}
+	var results []IOzoneResult
+	for _, bs := range cfg.BlockSizes {
+		rs, err := RunIOzoneBlock(eng, fsi, cfg, bs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, rs...)
+	}
+	return results, nil
+}
+
+// RunIOzoneBlock runs every configured mode at a single block size —
+// the per-unit entry point of the characterization shard plan (see
+// internal/core): modes run in configuration order, so a write mode
+// populates the file the paired read mode consumes, and a block's
+// measurements are self-contained on a freshly built cluster (read-
+// only mode lists fill the file untimed first). The engine must be
+// otherwise idle.
+func RunIOzoneBlock(eng *sim.Engine, fsi fs.Interface, cfg IOzoneConfig, bs int64) ([]IOzoneResult, error) {
 	if cfg.Path == "" {
 		cfg.Path = "/iozone.tmp"
 	}
 	if cfg.FileSize <= 0 {
 		panic("bench: IOzone needs a positive file size")
 	}
-	if len(cfg.BlockSizes) == 0 {
-		cfg.BlockSizes = DefaultBlockSizes()
-	}
 	if len(cfg.Modes) == 0 {
 		cfg.Modes = []Mode{SeqWrite, SeqRead}
 	}
 	var results []IOzoneResult
 	var runErr error
-
-	for _, bs := range cfg.BlockSizes {
-		for _, mode := range cfg.Modes {
-			bs, mode := bs, mode
-			eng.Spawn(fmt.Sprintf("iozone-%v-%d", mode, bs), func(p *sim.Proc) {
-				if cfg.BetweenRuns != nil {
-					cfg.BetweenRuns(p)
-				}
-				res, err := iozoneOnce(p, fsi, cfg, mode, bs)
-				if err != nil {
-					runErr = err
-					return
-				}
-				results = append(results, res)
-			})
-			eng.Run()
-			if runErr != nil {
-				return nil, runErr
+	for _, mode := range cfg.Modes {
+		mode := mode
+		eng.Spawn(fmt.Sprintf("iozone-%v-%d", mode, bs), func(p *sim.Proc) {
+			if cfg.BetweenRuns != nil {
+				cfg.BetweenRuns(p)
 			}
+			res, err := iozoneOnce(p, fsi, cfg, mode, bs)
+			if err != nil {
+				runErr = err
+				return
+			}
+			results = append(results, res)
+		})
+		eng.Run()
+		if runErr != nil {
+			return nil, runErr
 		}
 	}
 	return results, nil

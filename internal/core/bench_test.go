@@ -16,7 +16,7 @@ var (
 func benchCharacterization(b *testing.B) *Characterization {
 	b.Helper()
 	benchCharOnce.Do(func() {
-		ch, err := characterize(goldenCluster, goldenCharCfg())
+		ch, err := characterize(goldenCluster, goldenCharCfg(), nil)
 		if err != nil {
 			panic(err)
 		}

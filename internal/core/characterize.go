@@ -6,10 +6,6 @@ import (
 	"ioeval/internal/bench"
 	"ioeval/internal/cluster"
 	"ioeval/internal/fault"
-	"ioeval/internal/fs"
-	"ioeval/internal/ioreq"
-	"ioeval/internal/sim"
-	"ioeval/internal/trace"
 )
 
 // CharacterizeConfig controls the system-characterization phase.
@@ -117,143 +113,39 @@ type Characterization struct {
 // Table returns the table of a level.
 func (c *Characterization) Table(l Level) *PerfTable { return c.Tables[l] }
 
-// characterize measures a configuration at the three I/O-path levels.
-// build must return a *fresh* cluster of the configuration under test
-// each time it is called: characterizing dirties caches, allocators
-// and the simulated clock, so every level gets its own instance.
-// Reached through Session.Characterization (the exported surface).
-func characterize(build func() *cluster.Cluster, cfg CharacterizeConfig) (*Characterization, error) {
+// characterize measures a configuration at the three I/O-path levels
+// by executing the config's shard plan (charplan.go): every
+// measurement unit runs on a fresh cluster — characterizing dirties
+// caches, allocators and the simulated clock, so units must not share
+// an instance — and the per-unit rows merge back in plan order, which
+// makes the result byte-identical at any pool size. build must return
+// a fresh cluster of the configuration under test on each call, and
+// must be safe for concurrent use when the pool runs more than one
+// worker. Reached through Session.Characterization (the exported
+// surface); a nil pool means sequential.
+func characterize(build func() *cluster.Cluster, cfg CharacterizeConfig, pool *CharPool) (*Characterization, error) {
 	probe := build()
 	cfg = cfg.withDefaults(probe)
 	name := fmt.Sprintf("%s/%s", probe.Cfg.Name, probe.Cfg.Org)
 	if cfg.UsePFS {
 		name = fmt.Sprintf("%s/pfs-%d", probe.Cfg.Name, probe.Cfg.PFSIONodes)
 	}
-	ch := &Characterization{Config: name, Tables: map[Level]*PerfTable{}}
 
+	var scenario string
 	if cfg.Fault != nil && !cfg.Fault.Empty() {
-		// Validate once against the probe cluster, then arm the plan on
-		// every benchmark cluster: each level's tables measure the
-		// degraded path.
-		plan := *cfg.Fault
-		if err := plan.Validate(probe); err != nil {
+		// Validate once against the probe cluster; the plan rides on
+		// every unit, armed on each unit's fresh cluster, so the
+		// tables measure the degraded path.
+		if err := cfg.Fault.Validate(probe); err != nil {
 			return nil, fmt.Errorf("characterize: %w", err)
 		}
-		ch.Scenario = plan.Name
-		inner := build
-		build = func() *cluster.Cluster {
-			c := inner()
-			fault.MustApply(c, plan)
-			return c
-		}
+		scenario = cfg.Fault.Name
 	}
 
-	// Local filesystem level: IOzone on the I/O node's own mount,
-	// file twice the I/O node RAM, caches dropped between runs.
-	{
-		c := build()
-		fileSize := cfg.LocalFileSize
-		localFS := fs.Interface(c.ServerFS)
-		drop := func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) }
-		if cfg.UsePFS {
-			localFS = c.PFS.Servers()[0].Backend()
-			drop = nil // PFS server backends sit on plain node caches
-		}
-		results, err := bench.RunIOzone(c.Eng, localFS, bench.IOzoneConfig{
-			Path:        "/char-local.tmp",
-			FileSize:    fileSize,
-			BlockSizes:  cfg.FSBlockSizes,
-			Modes:       cfg.FSModes,
-			RandomOps:   cfg.RandomOps,
-			BetweenRuns: drop,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("local FS characterization: %w", err)
-		}
-		ch.Tables[LevelLocalFS] = tableFromIOzone(LevelLocalFS, name, Local, results)
+	units := charPlan(cfg)
+	rows, err := runPlan(reuseProbe(probe, build), cfg, units, pool)
+	if err != nil {
+		return nil, err
 	}
-
-	// Global filesystem level: IOzone through a compute node's mount
-	// of the shared storage; caches dropped between runs.
-	{
-		c := build()
-		fileSize := cfg.GlobalFileSize
-		globalFS := fs.Interface(c.Nodes[0].NFS)
-		drop := func(p *sim.Proc) {
-			m := ioreq.Meta(p)
-			c.IOCache.DropCaches(m)
-			c.Nodes[0].NFS.DropCaches(m)
-		}
-		if cfg.UsePFS {
-			globalFS = c.Nodes[0].PFS
-			drop = nil // PFS performs no client caching
-		}
-		results, err := bench.RunIOzone(c.Eng, globalFS, bench.IOzoneConfig{
-			Path:        "/char-global.tmp",
-			FileSize:    fileSize,
-			BlockSizes:  cfg.FSBlockSizes,
-			Modes:       cfg.FSModes,
-			RandomOps:   cfg.RandomOps,
-			BetweenRuns: drop,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("network FS characterization: %w", err)
-		}
-		ch.Tables[LevelNFS] = tableFromIOzone(LevelNFS, name, Global, results)
-	}
-
-	// I/O library level: IOR over MPI-IO on the shared storage.
-	{
-		c := build()
-		var drop func(p *sim.Proc)
-		if !cfg.UsePFS {
-			drop = func(p *sim.Proc) { c.IOCache.DropCaches(ioreq.Meta(p)) }
-		}
-		results, err := bench.RunIOR(c, bench.IORConfig{
-			Path:         "/char-lib.tmp",
-			Procs:        cfg.LibProcs,
-			FileSize:     cfg.LibFileSize,
-			BlockSizes:   cfg.LibBlockSizes,
-			TransferSize: cfg.LibTransfer,
-			UsePFS:       cfg.UsePFS,
-			BetweenRuns:  drop,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("library characterization: %w", err)
-		}
-		t := &PerfTable{Level: LevelIOLib, Config: name}
-		for _, r := range results {
-			// Library-level IOPS/latency derive from the transfer size
-			// (IOR issues one library call per transfer).
-			ts := float64(cfg.LibTransfer)
-			t.Add(Row{Op: Write, BlockSize: r.BlockSize, Access: Global, Mode: trace.Sequential,
-				Rate: r.WriteRate, IOPS: r.WriteRate / ts,
-				Latency: sim.DurationFromSeconds(ts / r.WriteRate)})
-			t.Add(Row{Op: Read, BlockSize: r.BlockSize, Access: Global, Mode: trace.Sequential,
-				Rate: r.ReadRate, IOPS: r.ReadRate / ts,
-				Latency: sim.DurationFromSeconds(ts / r.ReadRate)})
-		}
-		ch.Tables[LevelIOLib] = t
-	}
-	return ch, nil
-}
-
-func tableFromIOzone(level Level, config string, access AccessType, results []bench.IOzoneResult) *PerfTable {
-	t := &PerfTable{Level: level, Config: config}
-	for _, r := range results {
-		op := Read
-		if r.Mode.IsWrite() {
-			op = Write
-		}
-		mode := trace.Sequential
-		switch {
-		case r.Mode.IsStrided():
-			mode = trace.Strided
-		case !r.Mode.IsSequential():
-			mode = trace.Random
-		}
-		t.Add(Row{Op: op, BlockSize: r.BlockSize, Access: access, Mode: mode,
-			Rate: r.Rate, IOPS: r.IOPS, Latency: r.Latency})
-	}
-	return t
+	return mergeUnits(name, scenario, units, rows), nil
 }

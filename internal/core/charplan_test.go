@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"ioeval/internal/bench"
+	"ioeval/internal/cluster"
+	"ioeval/internal/fault"
+	"ioeval/internal/sim"
+	"ioeval/internal/trace"
+)
+
+// TestCharPlanShape pins the shard-plan granularity contract: healthy
+// configs shard per (level × block size) with the full mode list
+// inside a unit; configs with a characterization-side fault plan get
+// exactly one unit per level (fault timelines anchor at cluster
+// birth), reproducing the monolithic per-level blocks.
+func TestCharPlanShape(t *testing.T) {
+	base := goldenCharCfg() // 2 FS block sizes, 1 library point
+	faulted := goldenCharCfg()
+	plan := fault.Plan{Name: "x", Seed: 1, Events: []fault.Event{{Kind: fault.DiskSlow, At: sim.Second, Factor: 2}}}
+	faulted.Fault = &plan
+
+	t.Run("healthy", func(t *testing.T) {
+		units := charPlan(base)
+		want := 2*len(base.FSBlockSizes) + len(base.LibBlockSizes)
+		if len(units) != want {
+			t.Fatalf("len(units) = %d, want %d", len(units), want)
+		}
+		// Canonical order: local FS block sizes in sweep order, then
+		// global FS, then library points.
+		idx := 0
+		for _, level := range []Level{LevelLocalFS, LevelNFS} {
+			for _, bs := range base.FSBlockSizes {
+				u := units[idx]
+				idx++
+				if u.Level != level || len(u.BlockSizes) != 1 || u.BlockSizes[0] != bs {
+					t.Fatalf("unit %d = %+v, want level %v bs %d", idx-1, u, level, bs)
+				}
+				if len(u.Modes) != len(base.FSModes) {
+					t.Fatalf("unit %d carries %d modes, want the full list (%d)", idx-1, len(u.Modes), len(base.FSModes))
+				}
+				if u.Fault != nil {
+					t.Fatalf("healthy unit %d carries a fault plan", idx-1)
+				}
+			}
+		}
+		for _, bs := range base.LibBlockSizes {
+			u := units[idx]
+			idx++
+			if u.Level != LevelIOLib || len(u.BlockSizes) != 1 || u.BlockSizes[0] != bs {
+				t.Fatalf("unit %d = %+v, want library bs %d", idx-1, u, bs)
+			}
+		}
+		if units[0].FileSize != base.LocalFileSize || units[len(units)-1].FileSize != base.LibFileSize {
+			t.Fatal("unit file sizes do not follow their level")
+		}
+	})
+
+	t.Run("faulted", func(t *testing.T) {
+		units := charPlan(faulted)
+		if len(units) != 3 {
+			t.Fatalf("len(units) = %d, want one per level", len(units))
+		}
+		for i, level := range []Level{LevelLocalFS, LevelNFS, LevelIOLib} {
+			if units[i].Level != level {
+				t.Fatalf("unit %d level = %v, want %v", i, units[i].Level, level)
+			}
+			if units[i].Fault != faulted.Fault {
+				t.Fatalf("unit %d does not carry the fault plan", i)
+			}
+		}
+		if got := units[0].BlockSizes; len(got) != len(faulted.FSBlockSizes) {
+			t.Fatalf("faulted FS unit has %d block sizes, want the full sweep (%d)", len(got), len(faulted.FSBlockSizes))
+		}
+	})
+}
+
+// TestCharPlanMergePermutation is the merge property test (modeled on
+// table_property_test.go): for randomized shard plans and synthetic
+// per-unit rows, delivering unit results in ANY completion order must
+// merge to byte-identical tables — the canonical row order is a
+// function of the plan alone, never of scheduling.
+func TestCharPlanMergePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20110926))
+	randSizes := func(n int) []int64 {
+		sizes := make([]int64, 0, n)
+		for len(sizes) < n {
+			sizes = append(sizes, (1+int64(rng.Intn(1<<10)))*1024)
+		}
+		return sizes
+	}
+	for trial := 0; trial < 50; trial++ {
+		cfg := CharacterizeConfig{
+			FSBlockSizes:   randSizes(1 + rng.Intn(6)),
+			FSModes:        []bench.Mode{bench.SeqWrite, bench.SeqRead}[:1+rng.Intn(2)],
+			LocalFileSize:  64 << 20,
+			GlobalFileSize: 64 << 20,
+			LibProcs:       2,
+			LibBlockSizes:  randSizes(1 + rng.Intn(4)),
+			LibTransfer:    256 << 10,
+			LibFileSize:    16 << 20,
+			RandomOps:      64,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.Fault = &fault.Plan{Name: "perm", Seed: 1, Events: []fault.Event{{Kind: fault.DiskSlow, At: sim.Second, Factor: 2}}}
+		}
+		units := charPlan(cfg)
+
+		// Synthetic rows: a deterministic function of the unit's plan
+		// index, so a misplaced merge shows up as misplaced rates.
+		rowsFor := func(i int) []Row {
+			u := units[i]
+			var rows []Row
+			for _, bs := range u.BlockSizes {
+				rows = append(rows, Row{Op: Write, BlockSize: bs, Access: Global,
+					Mode: trace.Sequential, Rate: float64(1000*i) + float64(bs%997)})
+			}
+			return rows
+		}
+		reference := make([][]Row, len(units))
+		for i := range units {
+			reference[i] = rowsFor(i)
+		}
+		want := mergeUnits("perm", "", units, reference)
+
+		for p := 0; p < 20; p++ {
+			// Simulate an arbitrary completion order: workers finish
+			// units in permuted order, each writing its own plan slot.
+			rows := make([][]Row, len(units))
+			for _, i := range rng.Perm(len(units)) {
+				rows[i] = rowsFor(i)
+			}
+			got := mergeUnits("perm", "", units, rows)
+			if !sameTables(t, got, want) {
+				t.Fatalf("trial %d perm %d: merged tables differ from canonical order", trial, p)
+			}
+		}
+	}
+}
+
+// sameTables compares two characterizations byte-wise through the
+// persistence encoding — the same surface the store round-trips.
+func sameTables(t *testing.T, a, b *Characterization) bool {
+	t.Helper()
+	var ab, bb bytes.Buffer
+	if err := a.WriteJSON(&ab); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := b.WriteJSON(&bb); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return bytes.Equal(ab.Bytes(), bb.Bytes())
+}
+
+// TestCharacterizeProbeReuse: the probe cluster withDefaults needs is
+// not thrown away — it serves one measurement unit, so characterize
+// builds exactly len(plan) clusters, sequentially or pooled.
+func TestCharacterizeProbeReuse(t *testing.T) {
+	cfg := goldenCharCfg()
+	wantBuilds := int64(len(charPlan(cfg)))
+	for _, workers := range []int{1, 4} {
+		var builds atomic.Int64
+		build := func() *cluster.Cluster {
+			builds.Add(1)
+			return goldenCluster()
+		}
+		var pool *CharPool
+		if workers > 1 {
+			pool = NewCharPool(workers)
+		}
+		if _, err := characterize(build, cfg, pool); err != nil {
+			t.Fatalf("characterize (workers=%d): %v", workers, err)
+		}
+		if builds.Load() != wantBuilds {
+			t.Errorf("workers=%d: Build called %d times, want %d (probe reused for a unit)",
+				workers, builds.Load(), wantBuilds)
+		}
+	}
+}

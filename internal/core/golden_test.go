@@ -57,7 +57,7 @@ func goldenCharCfg() CharacterizeConfig {
 // any diff is a real format or model change: inspect it, then rerun
 // with -update to accept.
 func TestTelemetryReportGolden(t *testing.T) {
-	ch, err := characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}

@@ -34,7 +34,7 @@ func quickCharCfg() CharacterizeConfig {
 }
 
 func TestCharacterizeProducesThreeLevels(t *testing.T) {
-	ch, err := characterize(func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }, quickCharCfg())
+	ch, err := characterize(func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -117,7 +117,7 @@ func TestUsedTableAgainstKnownRates(t *testing.T) {
 // paper's Tables III/IV conclusion).
 func TestEndToEndFullVsSimple(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -151,7 +151,7 @@ func TestEndToEndFullVsSimple(t *testing.T) {
 
 func TestEvaluateMadBenchReportsPhases(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.JBOD) }
-	ch, err := characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestMethodologyOnPFS(t *testing.T) {
 
 	charCfg := quickCharCfg()
 	charCfg.UsePFS = true
-	chPFS, err := characterize(buildPFS, charCfg)
+	chPFS, err := characterize(buildPFS, charCfg, nil)
 	if err != nil {
 		t.Fatalf("characterize PFS: %v", err)
 	}
@@ -220,7 +220,7 @@ func TestMethodologyOnPFS(t *testing.T) {
 	}
 
 	buildNFS := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	chNFS, err := characterize(buildNFS, quickCharCfg())
+	chNFS, err := characterize(buildNFS, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize NFS: %v", err)
 	}

@@ -116,7 +116,7 @@ func TestFormatPrediction(t *testing.T) {
 // pattern-bound simple subtype.
 func TestModelValidationAgainstRuns(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}

@@ -34,7 +34,7 @@ func pathReportJSON(t *testing.T, pr PathReport) []byte {
 // rendering are deterministic, so any diff is a real change; inspect,
 // then rerun with -update to accept.
 func TestPathReportGolden(t *testing.T) {
-	ch, err := characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
@@ -122,7 +122,7 @@ func TestPathReportDegradedGolden(t *testing.T) {
 // TestPathReportMadBench checks the acceptance criteria on the second
 // workload: conservation and verdict agreement on a MadBench2 run.
 func TestPathReportMadBench(t *testing.T) {
-	ch, err := characterize(goldenCluster, goldenCharCfg())
+	ch, err := characterize(goldenCluster, goldenCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}

@@ -30,6 +30,7 @@ type Session struct {
 	reqs    *Requirements
 	preset  *Characterization // preloaded tables (WithCharacterization)
 	store   CharStore
+	pool    *CharPool // nil = sequential characterization
 
 	charOnce sync.Once
 	char     *Characterization
@@ -86,6 +87,25 @@ func WithStore(st CharStore) SessionOption {
 	return func(s *Session) { s.store = st }
 }
 
+// WithCharacterizeWorkers runs the characterization phase's
+// measurement units on up to n concurrent workers (n <= 0 sizes the
+// pool to GOMAXPROCS, n == 1 is the sequential default without the
+// option). The merged tables are byte-identical at any worker count —
+// every unit runs on its own fresh cluster and results merge in
+// canonical plan order — and the content fingerprint is unaffected,
+// so parallel and sequential sessions share store entries. With n > 1
+// the session's cluster builder must be safe for concurrent use.
+func WithCharacterizeWorkers(n int) SessionOption {
+	return func(s *Session) { s.pool = NewCharPool(n) }
+}
+
+// WithCharacterizePool shares an existing worker pool across sessions
+// (sweep runs every cell's characterization on one engine-wide pool
+// instead of nesting a pool per cell). A nil pool means sequential.
+func WithCharacterizePool(p *CharPool) SessionOption {
+	return func(s *Session) { s.pool = p }
+}
+
 // NewSession creates a session for the configuration produced by
 // build, which must return a fresh cluster per call.
 func NewSession(build func() *cluster.Cluster, opts ...SessionOption) *Session {
@@ -127,7 +147,7 @@ func (s *Session) Characterization() (*Characterization, error) {
 		return nil, fmt.Errorf("core: Session needs a cluster builder")
 	}
 	s.charOnce.Do(func() {
-		compute := func() (*Characterization, error) { return characterize(s.build, s.charCfg) }
+		compute := func() (*Characterization, error) { return characterize(s.build, s.charCfg, s.pool) }
 		if s.store == nil {
 			s.char, s.charErr = compute()
 			return

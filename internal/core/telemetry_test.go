@@ -97,7 +97,7 @@ func TestEvaluatePhaseDeltasSumToTotals(t *testing.T) {
 // the evaluation).
 func TestTelemetryReportLevelsMatchUsed(t *testing.T) {
 	build := func() *cluster.Cluster { return cluster.Aohyper(cluster.RAID5) }
-	ch, err := characterize(build, quickCharCfg())
+	ch, err := characterize(build, quickCharCfg(), nil)
 	if err != nil {
 		t.Fatalf("characterize: %v", err)
 	}

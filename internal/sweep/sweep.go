@@ -66,6 +66,12 @@ type AppSpec struct {
 type Engine struct {
 	workers int
 	store   core.CharStore
+	// charPool bounds concurrent characterization measurement units
+	// engine-wide: cells share one pool instead of nesting a pool per
+	// characterization, so total simulation concurrency stays bounded
+	// by it no matter how many cells characterize at once. Safe — cell
+	// workers hold no pool token while waiting on a characterization.
+	charPool *core.CharPool
 
 	mu    sync.Mutex
 	fps   map[string]*fpEntry
@@ -103,15 +109,25 @@ func NewEngine(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Engine{
-		workers: workers,
-		fps:     map[string]*fpEntry{},
-		chars:   map[string]*charEntry{},
-		evals:   map[string]*evalEntry{},
+		workers:  workers,
+		charPool: core.NewCharPool(workers),
+		fps:      map[string]*fpEntry{},
+		chars:    map[string]*charEntry{},
+		evals:    map[string]*evalEntry{},
 	}
 }
 
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// SetCharWorkers resizes the engine-wide characterization pool (the
+// -char-workers CLI knob): n <= 0 sizes it to GOMAXPROCS, n == 1 makes
+// every characterization sequential. Reports stay byte-identical at
+// any size. Set it before the first Characterization/Run call.
+func (e *Engine) SetCharWorkers(n int) { e.charPool = core.NewCharPool(n) }
+
+// CharWorkers returns the characterization pool's concurrency bound.
+func (e *Engine) CharWorkers() int { return e.charPool.Workers() }
 
 // SetStore attaches a persistent characterization store: missing
 // characterizations are looked up there before being measured and
@@ -194,7 +210,9 @@ func (e *Engine) Characterization(cfg Config) (*core.Characterization, error) {
 		hit = false
 		compute := func() (*core.Characterization, error) {
 			e.nChar.Add(1)
-			sess := core.NewSession(cfg.Build, core.WithCharacterizeConfig(cfg.Char))
+			sess := core.NewSession(cfg.Build,
+				core.WithCharacterizeConfig(cfg.Char),
+				core.WithCharacterizePool(e.charPool))
 			return sess.Characterization()
 		}
 		if e.store != nil {

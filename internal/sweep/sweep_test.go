@@ -254,12 +254,14 @@ func TestCharacterizationSingleFlight(t *testing.T) {
 			t.Fatal("concurrent callers saw different characterizations")
 		}
 	}
-	// Characterization builds one cluster per level plus a probe, and
-	// the content fingerprint builds one more probe.
+	// Characterization builds one cluster per shard-plan unit (the
+	// probe doubles as the first unit's cluster: quickChar has two FS
+	// block sizes × two filesystem levels + one library point = 5
+	// units), and the content fingerprint builds one more probe.
 	if got := eng.Snapshot().Counters.Aux["characterizations"]; got != 1 {
 		t.Fatalf("characterizations = %d, want 1", got)
 	}
-	if builds.Load() > 5 {
+	if builds.Load() > 6 {
 		t.Fatalf("Build called %d times for one characterization", builds.Load())
 	}
 
@@ -269,10 +271,9 @@ func TestCharacterizationSingleFlight(t *testing.T) {
 	started := make(chan string, 2)
 	release := make(chan struct{})
 	gate := func(name string, base cluster.Config) Config {
-		first := true
+		var first atomic.Bool // Build runs concurrently (shard-plan workers)
 		return Config{Name: name, Char: quickChar(), Build: func() *cluster.Cluster {
-			if first {
-				first = false
+			if first.CompareAndSwap(false, true) {
 				started <- name
 				<-release
 			}
